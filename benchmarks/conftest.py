@@ -1,0 +1,39 @@
+"""Benchmark fixtures: shared sweep result so Figs. 7/8/9 reuse one run.
+
+The synthetic sweep drives Figs. 7-9 and the Sec. V counts; it is
+computed once per session at the configured population size
+(``REPRO_SWEEP_DESIGNS``, default 200; the paper used 1000).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.eval import experiments as E
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--sweep-designs",
+        action="store",
+        type=int,
+        default=None,
+        help="synthetic population size for Fig. 7/8/9 benches "
+        "(default: REPRO_SWEEP_DESIGNS or 200; paper used 1000)",
+    )
+
+
+@pytest.fixture(scope="session")
+def sweep(request):
+    count = request.config.getoption("--sweep-designs") or E.DEFAULT_SWEEP_DESIGNS
+    return E.run_sweep(count=count)
+
+
+@pytest.fixture(scope="session")
+def casestudy_original():
+    return E.exp_table3()
+
+
+@pytest.fixture(scope="session")
+def casestudy_modified():
+    return E.exp_table5()

@@ -1,0 +1,138 @@
+"""Ablation benches for the design choices DESIGN.md calls out.
+
+Not paper figures -- these quantify the interpretation decisions:
+
+* transition policy (LENIENT vs STRICT ``d_ij``);
+* restart breadth (``max_initial_pairs``);
+* outer-loop depth (``max_candidate_sets``);
+* the joint-occurrence clique filter (Table I reproduction choice).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.allocation import AllocationOptions
+from repro.core.clustering import enumerate_base_partitions
+from repro.core.cost import TransitionPolicy, total_reconfiguration_frames
+from repro.core.partitioner import PartitionerOptions, partition
+from repro.eval.casestudy import CASESTUDY_BUDGET, casestudy_design
+from repro.eval.report import render_table
+
+
+@pytest.fixture(scope="module")
+def design():
+    return casestudy_design()
+
+
+def test_ablation_transition_policy(benchmark, design):
+    """LENIENT admits static-region behaviour; STRICT charges vacating
+    transitions.  Both must beat the modular baseline evaluated under
+    the same policy."""
+    from repro.core.baselines import one_module_per_region_scheme
+
+    rows = []
+    for policy in TransitionPolicy:
+        opts = PartitionerOptions(policy=policy)
+        result = partition(design, CASESTUDY_BUDGET, opts)
+        modular = total_reconfiguration_frames(
+            one_module_per_region_scheme(design), policy
+        )
+        rows.append((policy.value, result.total_frames, modular))
+        assert result.total_frames <= modular
+
+    benchmark(
+        partition,
+        design,
+        CASESTUDY_BUDGET,
+        PartitionerOptions(policy=TransitionPolicy.STRICT),
+    )
+    print()
+    print(
+        render_table(
+            ("policy", "proposed total", "modular total"),
+            rows,
+            title="Ablation: transition policy (d_ij semantics)",
+        )
+    )
+
+
+def test_ablation_restart_breadth(benchmark, design):
+    """The paper restarts the descent from every initial pair; capping
+    restarts trades quality for speed.  Quality must degrade
+    monotonically (more restarts never hurt)."""
+    caps = [1, 4, 16, None]
+    rows = []
+    totals = []
+    for cap in caps:
+        opts = PartitionerOptions(
+            allocation=AllocationOptions(max_initial_pairs=cap)
+        )
+        result = partition(design, CASESTUDY_BUDGET, opts)
+        totals.append(result.total_frames)
+        rows.append((cap if cap is not None else "all (paper)", result.total_frames))
+    # More restarts never worsen the result.
+    for wide, narrow in zip(totals[1:], totals[:-1]):
+        assert wide <= narrow
+
+    benchmark(
+        partition,
+        design,
+        CASESTUDY_BUDGET,
+        PartitionerOptions(allocation=AllocationOptions(max_initial_pairs=1)),
+    )
+    print()
+    print(
+        render_table(
+            ("max initial pairs", "proposed total"),
+            rows,
+            title="Ablation: merge-search restart breadth",
+        )
+    )
+
+
+def test_ablation_candidate_set_depth(benchmark, design):
+    """The outer covering loop contributes beyond the first CPS."""
+    rows = []
+    totals = []
+    for depth in (1, 4, 16, None):
+        opts = PartitionerOptions(max_candidate_sets=depth)
+        result = partition(design, CASESTUDY_BUDGET, opts)
+        totals.append(result.total_frames)
+        rows.append(
+            (
+                depth if depth is not None else "until covering fails (paper)",
+                result.total_frames,
+                result.candidate_sets_explored,
+            )
+        )
+    for deep, shallow in zip(totals[1:], totals[:-1]):
+        assert deep <= shallow
+
+    benchmark(
+        partition, design, CASESTUDY_BUDGET, PartitionerOptions(max_candidate_sets=1)
+    )
+    print()
+    print(
+        render_table(
+            ("max candidate sets", "proposed total", "sets explored"),
+            rows,
+            title="Ablation: outer covering-loop depth",
+        )
+    )
+
+
+def test_ablation_joint_occurrence_filter(benchmark, design):
+    """Keeping pairwise-only cliques (the literal clustering narrative)
+    enlarges the base-partition pool without breaking covering."""
+    filtered = benchmark(enumerate_base_partitions, design)
+    unfiltered = enumerate_base_partitions(
+        design, include_non_joint_cliques=True
+    )
+    assert len(unfiltered) >= len(filtered)
+    print()
+    print(
+        f"base partitions: {len(filtered)} with the joint-occurrence "
+        f"filter (paper Table I), {len(unfiltered)} without "
+        f"({len(unfiltered) - len(filtered)} pairwise-only cliques dropped)"
+    )

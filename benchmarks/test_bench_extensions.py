@@ -1,0 +1,124 @@
+"""Benches for the implemented extensions (paper Sec. VI future work).
+
+* heuristic-vs-exact optimality gap (search-quality certification);
+* area/time Pareto front of the case study;
+* probability-weighted objective vs unweighted, judged on Markov traces;
+* end-to-end placed-bitstream inventory (feedback loop included).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.arch.resources import ResourceVector
+from repro.core.cost import total_reconfiguration_frames
+from repro.core.exact import partition_exact
+from repro.core.pareto import pareto_front, render_front
+from repro.core.partitioner import PartitionerOptions, partition
+from repro.eval.casestudy import CASESTUDY_BUDGET, casestudy_design
+from repro.eval.example_design import example_design
+from repro.eval.report import render_table
+from repro.runtime.adaptive import MarkovEnvironment
+from repro.runtime.manager import replay
+from repro.runtime.profile import estimate_markov, pair_frequencies
+
+
+def test_exact_gap(benchmark):
+    """The heuristic matches the exhaustive optimum on the paper's
+    running example across a budget sweep."""
+    design = example_design()
+    budgets = [ResourceVector(c, 16, 16) for c in (420, 480, 520, 560, 620)]
+    rows = []
+    for budget in budgets:
+        exact_scheme = partition_exact(design, budget)
+        heuristic = partition(design, budget)
+        exact_total = total_reconfiguration_frames(exact_scheme)
+        rows.append((budget.clb, exact_total, heuristic.total_frames))
+        assert heuristic.total_frames == exact_total
+    benchmark(partition_exact, design, budgets[2])
+    print()
+    print(
+        render_table(
+            ("CLB budget", "exact optimum", "heuristic"),
+            rows,
+            title="search-quality certification (running example)",
+        )
+    )
+
+
+def test_pareto_front_casestudy(benchmark):
+    """The case study's area/time trade-off curve."""
+    design = casestudy_design()
+    front = benchmark(
+        pareto_front, design, CASESTUDY_BUDGET, max_candidate_sets=4
+    )
+    assert front
+    # The frontier spans a genuine trade: min-time point uses more area
+    # than the min-area point (or the front is a single point).
+    by_time = min(front, key=lambda p: p.total_frames)
+    by_area = min(front, key=lambda p: p.usage.clb)
+    assert by_time.total_frames <= by_area.total_frames
+    print()
+    print(render_front(front))
+
+
+def test_weighted_objective_on_trace(benchmark):
+    """Optimising for observed statistics pays off on matching traces."""
+    design = casestudy_design()
+    # Sticky two-regime chain over the eight configurations.
+    names = [c.name for c in design.configurations]
+    trace_env = MarkovEnvironment(
+        design,
+        estimate_markov(design, (["Conf.1", "Conf.2", "Conf.3"] * 60) + names),
+    )
+    trace = trace_env.trace(3000, seed=1)
+    weights = pair_frequencies(trace)
+
+    weighted = partition(
+        design, CASESTUDY_BUDGET, PartitionerOptions(pair_probabilities=weights)
+    )
+    unweighted = partition(design, CASESTUDY_BUDGET)
+    w_frames = replay(weighted.scheme, trace).total_frames
+    u_frames = replay(unweighted.scheme, trace).total_frames
+
+    benchmark(
+        partition,
+        design,
+        CASESTUDY_BUDGET,
+        PartitionerOptions(pair_probabilities=weights),
+    )
+    print()
+    print(
+        render_table(
+            ("objective", "trace frames (3000 steps)"),
+            [("weighted (trace statistics)", w_frames), ("unweighted (Eq. 7)", u_frames)],
+            title="probability-weighted objective on a matching trace",
+        )
+    )
+    assert w_frames <= u_frames * 1.05
+
+
+def test_feedback_placed_bitstreams(benchmark, tmp_path):
+    """Fig. 2 end to end with the floorplan feedback loop: a placed
+    scheme whose partial bitstreams are written and re-parsed."""
+    from repro.arch.library import virtex5_full
+    from repro.flow.bitgen import parse_bitstream, write_scheme_bitstreams
+    from repro.flow.feedback import partition_and_place
+
+    design = casestudy_design()
+    library = virtex5_full()
+    placed = benchmark(partition_and_place, design, library)
+    paths = write_scheme_bitstreams(placed.scheme, placed.plan, tmp_path)
+    total_bytes = 0
+    for path in paths:
+        info = parse_bitstream(path.read_bytes())
+        assert info.design == design.name
+        total_bytes += path.stat().st_size
+    print()
+    print(
+        f"placed on {placed.device.name} "
+        f"({placed.partition_attempts} attempts, "
+        f"{placed.device_escalations} escalations); "
+        f"{len(paths)} partial bitstreams, {total_bytes / 1e6:.2f} MB total"
+    )
+    assert len(paths) == sum(len(r.partitions) for r in placed.scheme.regions)

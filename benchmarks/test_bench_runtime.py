@@ -1,0 +1,166 @@
+"""Runtime-substrate benches: trace replay and wall-clock projection.
+
+Extends the paper's frame-count evaluation with the seconds the frames
+imply through the ICAP model -- the quantity the motivating applications
+(cognitive radio, real-time systems) actually care about.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.baselines import one_module_per_region_scheme, single_region_scheme
+from repro.core.partitioner import partition
+from repro.eval.casestudy import CASESTUDY_BUDGET, casestudy_design
+from repro.eval.report import render_table
+from repro.runtime.adaptive import BurstyEnvironment, UniformEnvironment
+from repro.runtime.icap import PRESETS
+from repro.runtime.manager import replay
+
+
+@pytest.fixture(scope="module")
+def schemes():
+    design = casestudy_design()
+    return design, {
+        "proposed": partition(design, CASESTUDY_BUDGET).scheme,
+        "modular": one_module_per_region_scheme(design),
+        "single-region": single_region_scheme(design),
+    }
+
+
+def test_uniform_trace_replay(benchmark, schemes):
+    """1000-step uniform adaptation trace over the three schemes."""
+    design, by_name = schemes
+    trace = UniformEnvironment(design).trace(1000, seed=7)
+    stats = benchmark(replay, by_name["proposed"], trace)
+
+    rows = []
+    for name, scheme in by_name.items():
+        s = replay(scheme, trace)
+        rows.append((name, s.total_frames, s.worst_frames, f"{s.total_seconds * 1e3:.1f}"))
+    print()
+    print(
+        render_table(
+            ("scheme", "total frames", "worst frames", "total ms (custom-dma)"),
+            rows,
+            title="uniform 1000-step adaptation trace",
+        )
+    )
+    totals = {name: replay(s, trace).total_frames for name, s in by_name.items()}
+    assert totals["proposed"] <= totals["single-region"]
+    assert stats.transitions == 999
+
+
+def test_bursty_trace_replay(benchmark, schemes):
+    """Bursty environments reward schemes with static-like regions."""
+    design, by_name = schemes
+    trace = BurstyEnvironment(design, dwell=0.9).trace(1000, seed=7)
+    benchmark(replay, by_name["proposed"], trace)
+    totals = {name: replay(s, trace).total_frames for name, s in by_name.items()}
+    print()
+    print(f"bursty trace totals: {totals}")
+    assert totals["proposed"] <= totals["single-region"]
+
+
+def test_icap_controller_projection(benchmark, schemes):
+    """Seconds per average transition under the three ICAP presets."""
+    design, by_name = schemes
+    trace = UniformEnvironment(design).trace(400, seed=11)
+    rows = []
+    for preset_name, model in PRESETS.items():
+        stats = replay(by_name["proposed"], trace, icap=model)
+        rows.append(
+            (
+                preset_name,
+                f"{model.bytes_per_second / 1e6:.0f} MB/s",
+                f"{stats.total_seconds / stats.transitions * 1e3:.2f} ms",
+            )
+        )
+    benchmark(replay, by_name["proposed"], trace)
+    print()
+    print(
+        render_table(
+            ("controller", "throughput", "mean transition latency"),
+            rows,
+            title="ICAP-controller projection (proposed scheme)",
+        )
+    )
+
+
+def test_prefetch_latency_hiding(benchmark, schemes):
+    """Speculative prefetch (the ref. [4] idea under probabilistic
+    prediction): how much demand latency a Markov predictor hides."""
+    from repro.eval.report import render_table
+    from repro.runtime.adaptive import MarkovEnvironment
+    from repro.runtime.prefetch import (
+        markov_predictor,
+        oracle_predictor,
+        replay_with_prefetch,
+    )
+
+    design, by_name = schemes
+    scheme = by_name["proposed"]
+    names = [c.name for c in design.configurations]
+    # Sticky chain: mostly alternate within the good-channel regime.
+    matrix = {}
+    for i, src in enumerate(names):
+        nxt = names[(i + 1) % len(names)]
+        rest = [n for n in names if n not in (src, nxt)]
+        matrix[src] = {nxt: 0.9, **{n: 0.1 / len(rest) for n in rest}}
+    env = MarkovEnvironment(design, matrix)
+    trace = env.trace(1500, seed=3)
+
+    plain = replay(scheme, trace)
+    markov = replay_with_prefetch(scheme, trace, markov_predictor(matrix))
+    oracle = replay_with_prefetch(scheme, trace, oracle_predictor(trace))
+    benchmark(replay_with_prefetch, scheme, trace, markov_predictor(matrix))
+
+    rows = [
+        ("no prefetch", plain.total_frames, "-", "-"),
+        (
+            "markov predictor",
+            markov.total_frames,
+            markov.prefetch_hits,
+            markov.prefetched_frames,
+        ),
+        (
+            "oracle predictor",
+            oracle.total_frames,
+            oracle.prefetch_hits,
+            oracle.prefetched_frames,
+        ),
+    ]
+    print()
+    print(
+        render_table(
+            ("policy", "demand frames", "hits", "prefetched frames"),
+            rows,
+            title="latency hiding by speculative prefetch (1500-step trace)",
+        )
+    )
+    assert oracle.total_frames <= markov.total_frames <= plain.total_frames
+
+
+def test_bitstream_stream_consumption(benchmark, schemes, tmp_path):
+    """Cycle-level ICAP feed of real generated bitstream bytes."""
+    from repro.arch.library import get_device
+    from repro.flow.bitgen import write_scheme_bitstreams
+    from repro.flow.floorplan import floorplan
+    from repro.runtime.icap import CUSTOM_DMA_CONTROLLER, VENDOR_HWICAP
+    from repro.runtime.stream import consume_bitstream, stream_scheme_bitstreams
+
+    design, by_name = schemes
+    scheme = by_name["modular"]
+    device = get_device("FX70T")
+    plan = floorplan(scheme, device)
+    paths = write_scheme_bitstreams(scheme, plan, tmp_path)
+    data = paths[0].read_bytes()
+    report = benchmark(consume_bitstream, data, CUSTOM_DMA_CONTROLLER)
+    slow = consume_bitstream(data, VENDOR_HWICAP)
+    print()
+    print(
+        f"{paths[0].name}: {report.words_payload} payload words, "
+        f"{report.cycles} cycles ({report.seconds * 1e3:.3f} ms) on the "
+        f"custom controller; {slow.seconds * 1e3:.2f} ms on vendor HWICAP"
+    )
+    assert slow.cycles > report.cycles

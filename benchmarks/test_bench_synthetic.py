@@ -1,0 +1,95 @@
+"""Benches for the synthetic evaluation: Figs. 7, 8, 9 and the Sec. V
+prose counts.
+
+The session-scoped ``sweep`` fixture evaluates the population once
+(``REPRO_SWEEP_DESIGNS`` designs, default 200; the paper used 1000 --
+pass ``--sweep-designs 1000`` for the full run).  The benches here time
+representative single-design work and print the regenerated figures.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.arch.library import virtex5_ladder
+from repro.core.partitioner import partition_with_device_selection
+from repro.eval import experiments as E
+from repro.synth.generator import generate_population
+
+
+@pytest.fixture(scope="module")
+def one_design():
+    (pair,) = list(generate_population(1, seed=E.DEFAULT_SWEEP_SEED))
+    return pair[1]
+
+
+def test_fig7_total_reconfiguration_time(benchmark, sweep, one_design):
+    """Fig. 7: total reconfiguration time, three schemes, sorted by
+    device.  The bench times one full device-selected partitioning."""
+    library = virtex5_ladder()
+    benchmark(partition_with_device_selection, one_design, library)
+
+    series = sweep.total_time_series()
+    n = sweep.n
+    print()
+    print(E.render_fig7(sweep))
+    # Shape assertions from the paper's Fig. 7 discussion:
+    assert sum(series["single-region"]) > sum(series["proposed"])
+    assert sum(series["modular"]) >= sum(series["proposed"])
+    assert n == len(series["proposed"])
+
+
+def test_fig8_worst_reconfiguration_time(benchmark, sweep):
+    """Fig. 8: worst-case reconfiguration time, same axes."""
+    series = benchmark(sweep.worst_time_series)
+    print()
+    print(E.render_fig8(sweep))
+    # Paper: proposed almost always beats modular on worst case; the
+    # single-region scheme sometimes has the lowest worst case.
+    assert sum(series["modular"]) >= sum(series["proposed"])
+
+
+def test_fig9_improvement_histograms(benchmark, sweep):
+    """Fig. 9(a-d): percentage-improvement histograms."""
+    profiles = benchmark(sweep.profiles)
+    print()
+    print(E.render_fig9(sweep))
+    # (a) total vs modular: majority better (paper 73%).
+    assert profiles["a"].fraction_better > 0.5
+    # (b) total vs single-region: never worse (paper: all cases).
+    assert profiles["b"].fraction_better_or_equal == 1.0
+    # (c) worst vs modular: majority better (paper 70%).
+    assert profiles["c"].fraction_better > 0.5
+    # (d) worst vs single-region: mixed, as in the paper (87.5%).
+    assert profiles["d"].fraction_better_or_equal > 0.5
+
+
+def test_device_escalation_counts(benchmark, sweep):
+    """Sec. V: 201/1000 designs escalate; 13/1000 fit a smaller device
+    than the modular scheme needs."""
+    counts = benchmark(sweep.headline_counts)
+    print()
+    print(E.render_headlines(sweep))
+    assert counts["skipped"] == 0
+    # Escalations occur but remain the minority (paper: 20.1%).
+    assert 0 < counts["escalated_pct"] < 60
+    # Some designs fit a smaller device than modular requires (paper: 13).
+    assert counts["smaller_than_modular"] >= 1
+
+
+def test_partitioner_runtime_envelope(benchmark, sweep):
+    """Paper: "between a few seconds and one minute" per design (2013
+    hardware).  Our per-design mean must stay well inside that."""
+    counts = benchmark(sweep.headline_counts)
+    assert counts["mean_runtime_s"] < 10.0
+
+
+def test_sweep_analysis(benchmark, sweep):
+    """Beyond the paper: per-class, structural and trade-off analysis of
+    the same sweep (see repro.eval.analysis)."""
+    from repro.eval.analysis import by_circuit_class, render_analysis
+
+    breakdown = benchmark(by_circuit_class, sweep)
+    assert sum(b.n for b in breakdown) == sweep.n
+    print()
+    print(render_analysis(sweep))

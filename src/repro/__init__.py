@@ -1,0 +1,73 @@
+"""repro: automated partitioning for partial-reconfiguration design.
+
+A complete reproduction of Vipin & Fahmy, "Automated Partitioning for
+Partial Reconfiguration Design of Adaptive Systems" (IEEE IPDPSW 2013):
+
+* :mod:`repro.core` -- the partitioning algorithm (connectivity matrix,
+  agglomerative clustering, covering, merge search, baselines);
+* :mod:`repro.arch` -- the Virtex-5 area model (tiles, frames, devices);
+* :mod:`repro.flow` -- the surrounding tool flow (synthesis estimation,
+  XML front end, floorplanning, constraints, bitstreams);
+* :mod:`repro.runtime` -- ICAP timing and adaptation-trace simulation;
+* :mod:`repro.synth` -- the synthetic design generator of Sec. V;
+* :mod:`repro.eval` -- drivers regenerating every table and figure.
+
+Quick start::
+
+    from repro import PRDesign, Module, Configuration, partition
+    from repro.arch import ResourceVector, get_device
+
+    design = ...                     # modules + configurations
+    device = get_device("FX70T")
+    result = partition(design, device.usable_capacity(design.static_resources))
+    print(result.scheme.describe())
+"""
+
+from .arch.resources import ResourceType, ResourceVector
+from .core.baselines import (
+    one_module_per_region_scheme,
+    single_region_scheme,
+    static_scheme,
+)
+from .core.cost import (
+    TransitionPolicy,
+    total_reconfiguration_frames,
+    transition_frames,
+    worst_case_frames,
+)
+from .core.model import Configuration, Mode, Module, PRDesign, design_from_tables
+from .core.partitioner import (
+    InfeasibleError,
+    PartitionerOptions,
+    partition,
+    partition_with_device_selection,
+    select_device,
+)
+from .core.result import PartitioningScheme, Region
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Configuration",
+    "InfeasibleError",
+    "Mode",
+    "Module",
+    "PRDesign",
+    "PartitionerOptions",
+    "PartitioningScheme",
+    "Region",
+    "ResourceType",
+    "ResourceVector",
+    "TransitionPolicy",
+    "design_from_tables",
+    "one_module_per_region_scheme",
+    "partition",
+    "partition_with_device_selection",
+    "select_device",
+    "single_region_scheme",
+    "static_scheme",
+    "total_reconfiguration_frames",
+    "transition_frames",
+    "worst_case_frames",
+    "__version__",
+]

@@ -1,0 +1,188 @@
+"""Device model: capacities plus a synthesised columnar fabric layout.
+
+The partitioning algorithm only needs aggregate capacities, but the
+floorplanning substrate (``repro.flow.floorplan``) needs the *columnar*
+structure of the fabric: which column holds which resource type, and how
+many clock rows tall the device is.  Vendor documentation gives aggregate
+counts per device; the exact column order is device specific and not
+reproducible from public tables, so :func:`synthesise_columns` derives a
+realistic interleaving (CLB columns with periodic BRAM and DSP columns)
+that is *consistent* with the aggregate counts.  The partitioner's results
+do not depend on the interleaving, only on the totals -- the layout only
+affects where the floorplanner can draw rectangles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from .resources import ResourceType, ResourceVector
+from .tiles import FRAMES_PER_TILE, PRIMITIVES_PER_TILE
+
+
+@dataclass(frozen=True, slots=True)
+class Column:
+    """One full-height resource column of the fabric."""
+
+    index: int
+    rtype: ResourceType
+
+    @property
+    def primitives_per_row(self) -> int:
+        """Primitives contributed by this column within one clock row."""
+        return PRIMITIVES_PER_TILE[self.rtype]
+
+    @property
+    def frames(self) -> int:
+        """Frames of one tile (one row's worth) of this column."""
+        return FRAMES_PER_TILE[self.rtype]
+
+
+@dataclass(frozen=True)
+class Device:
+    """An FPGA device: aggregate capacities and a columnar fabric grid.
+
+    ``capacity`` counts primitives (CLBs, BRAMs, DSP slices).  ``rows`` is
+    the number of clock rows; a tile is one row tall.  ``columns`` is the
+    left-to-right column sequence; each column is ``rows`` tiles tall.
+    """
+
+    name: str
+    capacity: ResourceVector
+    rows: int
+    columns: tuple[Column, ...] = field(default_factory=tuple)
+    family: str = "virtex5"
+
+    def __post_init__(self) -> None:
+        if self.rows <= 0:
+            raise ValueError(f"device {self.name!r} must have at least one row")
+        if self.capacity.is_zero:
+            raise ValueError(f"device {self.name!r} has no resources")
+
+    # ------------------------------------------------------------------
+    # derived geometry
+    # ------------------------------------------------------------------
+    @property
+    def column_count(self) -> int:
+        return len(self.columns)
+
+    def columns_of(self, rtype: ResourceType) -> list[Column]:
+        """All columns holding ``rtype`` resources, left to right."""
+        return [c for c in self.columns if c.rtype is rtype]
+
+    def tile_capacity(self) -> ResourceVector:
+        """Total tiles available per resource type (columns x rows)."""
+        counts = {rtype: 0 for rtype in ResourceType}
+        for column in self.columns:
+            counts[column.rtype] += self.rows
+        return ResourceVector(
+            clb=counts[ResourceType.CLB],
+            bram=counts[ResourceType.BRAM],
+            dsp=counts[ResourceType.DSP],
+        )
+
+    def grid_capacity(self) -> ResourceVector:
+        """Primitive capacity implied by the synthesised grid.
+
+        May exceed :attr:`capacity` slightly because the grid rounds each
+        resource type up to whole columns; feasibility checks always use
+        :attr:`capacity` (the vendor aggregate), never the grid.
+        """
+        tiles = self.tile_capacity()
+        return ResourceVector(
+            clb=tiles.clb * PRIMITIVES_PER_TILE[ResourceType.CLB],
+            bram=tiles.bram * PRIMITIVES_PER_TILE[ResourceType.BRAM],
+            dsp=tiles.dsp * PRIMITIVES_PER_TILE[ResourceType.DSP],
+        )
+
+    def total_frames(self) -> int:
+        """Configuration frames of the whole fabric (full bitstream size)."""
+        return sum(column.frames for column in self.columns) * self.rows
+
+    def fits(self, requirement: ResourceVector) -> bool:
+        """True when ``requirement`` fits the aggregate capacity."""
+        return requirement.fits_in(self.capacity)
+
+    def usable_capacity(self, static_reservation: ResourceVector) -> ResourceVector:
+        """Capacity left for PR regions after reserving static logic."""
+        return self.capacity.saturating_sub(static_reservation)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.name}{self.capacity}"
+
+
+def synthesise_columns(
+    capacity: ResourceVector,
+    rows: int,
+) -> tuple[Column, ...]:
+    """Derive a realistic columnar layout matching aggregate capacities.
+
+    Each resource type needs ``ceil(total / (per_tile * rows))`` columns.
+    BRAM and DSP columns are spread evenly through the CLB columns, the way
+    real Virtex fabrics interleave hard-block columns with logic.
+    """
+    import math
+
+    def col_count(total: int, rtype: ResourceType) -> int:
+        per_column = PRIMITIVES_PER_TILE[rtype] * rows
+        return math.ceil(total / per_column) if total else 0
+
+    n_clb = col_count(capacity.clb, ResourceType.CLB)
+    n_bram = col_count(capacity.bram, ResourceType.BRAM)
+    n_dsp = col_count(capacity.dsp, ResourceType.DSP)
+    if n_clb == 0:
+        raise ValueError("a device must contain at least one CLB column")
+
+    # Interleave: place each special column after an evenly spaced CLB run.
+    specials: list[ResourceType] = []
+    specials.extend([ResourceType.BRAM] * n_bram)
+    specials.extend([ResourceType.DSP] * n_dsp)
+    # Alternate BRAM/DSP so neither clumps at one edge.
+    specials.sort(key=lambda r: r.value)
+    interleaved: list[ResourceType] = []
+    n_special = len(specials)
+    if n_special == 0:
+        interleaved = [ResourceType.CLB] * n_clb
+    else:
+        # Positions of special columns among (n_clb + n_special) slots.
+        total_slots = n_clb + n_special
+        special_slots = {
+            round((i + 1) * total_slots / (n_special + 1)) for i in range(n_special)
+        }
+        # Collisions from rounding: fall back to a simple even spread.
+        while len(special_slots) < n_special:
+            for slot in range(total_slots):
+                if slot not in special_slots:
+                    special_slots.add(slot)
+                    if len(special_slots) == n_special:
+                        break
+        special_iter = iter(specials)
+        for slot in range(total_slots):
+            if slot in special_slots:
+                interleaved.append(next(special_iter))
+            else:
+                interleaved.append(ResourceType.CLB)
+
+    return tuple(Column(index=i, rtype=rtype) for i, rtype in enumerate(interleaved))
+
+
+def make_device(
+    name: str,
+    clb: int,
+    bram: int,
+    dsp: int,
+    rows: int,
+    family: str = "virtex5",
+) -> Device:
+    """Convenience constructor that synthesises the column layout."""
+    capacity = ResourceVector(clb=clb, bram=bram, dsp=dsp)
+    columns = synthesise_columns(capacity, rows)
+    return Device(name=name, capacity=capacity, rows=rows, columns=columns, family=family)
+
+
+def iter_tiles(device: Device) -> Iterator[tuple[int, Column]]:
+    """Iterate over (row, column) tiles of the device, row-major."""
+    for row in range(device.rows):
+        for column in device.columns:
+            yield row, column

@@ -1,0 +1,97 @@
+"""Configuration-frame addressing and bitstream sizing.
+
+Virtex-5 configuration memory is addressed by frame (UG191): a frame
+address identifies (block type, top/bottom half, row, major column, minor
+frame).  The partitioner itself only counts frames, but the bitstream
+substrate (``repro.flow.bitstream``) and the runtime ICAP model use this
+module to enumerate concrete frame addresses for a floorplanned region and
+to size the resulting partial bitstreams, which makes the frames-are-
+proportional-to-time assumption (Eq. 9) concrete.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from .device import Device
+from .resources import ResourceType
+from .tiles import BYTES_PER_FRAME, FRAMES_PER_TILE, WORDS_PER_FRAME
+
+#: Block-type field of a Virtex-5 frame address (UG191 table 6-13).
+BLOCK_TYPE_INTERCONNECT = 0  # CLB/DSP/IOB interconnect & configuration
+BLOCK_TYPE_BRAM_CONTENT = 1  # BlockRAM content
+
+_BLOCK_TYPE_FOR: dict[ResourceType, int] = {
+    ResourceType.CLB: BLOCK_TYPE_INTERCONNECT,
+    ResourceType.DSP: BLOCK_TYPE_INTERCONNECT,
+    ResourceType.BRAM: BLOCK_TYPE_INTERCONNECT,
+}
+
+
+@dataclass(frozen=True, slots=True)
+class FrameAddress:
+    """A single configuration-frame address."""
+
+    block_type: int
+    row: int
+    major: int  # column index within the row
+    minor: int  # frame index within the column/tile
+
+    def pack(self) -> int:
+        """Pack into a 32-bit word using the UG191 field layout.
+
+        [23:21] block type | [20] top/bottom (always 0 here; rows are
+        absolute) | [19:15] row | [14:7] major | [6:0] minor.
+        """
+        if not (0 <= self.minor < 128 and 0 <= self.major < 256 and 0 <= self.row < 32):
+            raise ValueError(f"frame address field out of range: {self}")
+        return (
+            (self.block_type & 0x7) << 21
+            | (self.row & 0x1F) << 15
+            | (self.major & 0xFF) << 7
+            | (self.minor & 0x7F)
+        )
+
+
+def frames_in_tile(device: Device, row: int, major: int) -> Iterator[FrameAddress]:
+    """Enumerate the frame addresses of one tile of the device grid."""
+    if not (0 <= row < device.rows):
+        raise ValueError(f"row {row} out of range for {device.name}")
+    if not (0 <= major < device.column_count):
+        raise ValueError(f"column {major} out of range for {device.name}")
+    column = device.columns[major]
+    n = FRAMES_PER_TILE[column.rtype]
+    block = _BLOCK_TYPE_FOR[column.rtype]
+    for minor in range(n):
+        yield FrameAddress(block_type=block, row=row, major=major, minor=minor)
+
+
+@dataclass(frozen=True, slots=True)
+class BitstreamSize:
+    """Size of a (partial) bitstream in frames, words and bytes."""
+
+    frames: int
+
+    def __post_init__(self) -> None:
+        if self.frames < 0:
+            raise ValueError("frame count must be non-negative")
+
+    @property
+    def words(self) -> int:
+        return self.frames * WORDS_PER_FRAME
+
+    @property
+    def data_bytes(self) -> int:
+        return self.frames * BYTES_PER_FRAME
+
+    def total_bytes(self, overhead_bytes: int = 0) -> int:
+        """Payload plus header/command overhead (CRC, FAR writes, ...)."""
+        if overhead_bytes < 0:
+            raise ValueError("overhead must be non-negative")
+        return self.data_bytes + overhead_bytes
+
+
+def full_bitstream(device: Device) -> BitstreamSize:
+    """Size of the initial full-device configuration."""
+    return BitstreamSize(frames=device.total_frames())

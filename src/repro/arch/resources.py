@@ -1,0 +1,238 @@
+"""Resource accounting primitives for Xilinx-style FPGA fabrics.
+
+The whole partitioning problem is expressed over three columnar resource
+types found in Virtex-5 class devices (Sec. IV-B of the paper):
+
+* ``CLB``  -- configurable logic blocks (the paper uses "CLB" and "slice"
+  interchangeably; we adopt the unit that Eq. 3 divides by 20 and call it a
+  CLB throughout),
+* ``BRAM`` -- 36 Kb block RAMs,
+* ``DSP``  -- DSP48E slices.
+
+:class:`ResourceVector` is an immutable triple over these types with the
+arithmetic the algorithm needs: component-wise addition (stacking logic),
+component-wise maximum (alternatives sharing one region), scalar comparison
+against device capacities, and ceiling division for the tile maths.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Mapping
+
+
+class ResourceType(enum.Enum):
+    """The columnar resource types of a Virtex-5 class fabric."""
+
+    CLB = "clb"
+    BRAM = "bram"
+    DSP = "dsp"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+#: Canonical iteration order used everywhere (matrices, reports, tuples).
+RESOURCE_TYPES: tuple[ResourceType, ...] = (
+    ResourceType.CLB,
+    ResourceType.BRAM,
+    ResourceType.DSP,
+)
+
+
+@dataclass(frozen=True, slots=True)
+class ResourceVector:
+    """An immutable (CLB, BRAM, DSP) requirement or capacity.
+
+    Supports the operations the partitioner relies on:
+
+    ``a + b``
+        stacking two circuits side by side (both active at once);
+    ``a | b``
+        component-wise maximum: the footprint of a region that must be able
+        to hold either ``a`` or ``b`` (Eq. 2 of the paper, generalised
+        per resource type);
+    ``a <= b``
+        "fits inside": every component of ``a`` is at most that of ``b``.
+        This is a *partial* order -- ``not (a <= b)`` does not imply
+        ``b <= a``.
+    """
+
+    clb: int = 0
+    bram: int = 0
+    dsp: int = 0
+
+    def __post_init__(self) -> None:
+        for name in ("clb", "bram", "dsp"):
+            value = getattr(self, name)
+            if not isinstance(value, int):
+                raise TypeError(f"{name} must be an int, got {type(value).__name__}")
+            if value < 0:
+                raise ValueError(f"{name} must be non-negative, got {value}")
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def zero(cls) -> "ResourceVector":
+        """The additive identity (an empty circuit)."""
+        return _ZERO
+
+    @classmethod
+    def from_mapping(cls, mapping: Mapping[ResourceType | str, int]) -> "ResourceVector":
+        """Build a vector from a mapping keyed by :class:`ResourceType` or name.
+
+        Unknown keys raise ``KeyError`` so that typos in hand-written design
+        files fail loudly.
+        """
+        values = {"clb": 0, "bram": 0, "dsp": 0}
+        for key, amount in mapping.items():
+            name = key.value if isinstance(key, ResourceType) else str(key).lower()
+            if name not in values:
+                raise KeyError(f"unknown resource type {key!r}")
+            values[name] = int(amount)
+        return cls(**values)
+
+    @classmethod
+    def sum(cls, vectors: Iterable["ResourceVector"]) -> "ResourceVector":
+        """Component-wise sum of an iterable of vectors."""
+        clb = bram = dsp = 0
+        for v in vectors:
+            clb += v.clb
+            bram += v.bram
+            dsp += v.dsp
+        return cls(clb, bram, dsp)
+
+    @classmethod
+    def envelope(cls, vectors: Iterable["ResourceVector"]) -> "ResourceVector":
+        """Component-wise maximum of an iterable (zero for an empty iterable).
+
+        This is the footprint of a region that must accommodate any one of
+        ``vectors`` at a time (paper Eq. 2 applied per resource type).
+        """
+        clb = bram = dsp = 0
+        for v in vectors:
+            clb = max(clb, v.clb)
+            bram = max(bram, v.bram)
+            dsp = max(dsp, v.dsp)
+        return cls(clb, bram, dsp)
+
+    # ------------------------------------------------------------------
+    # accessors
+    # ------------------------------------------------------------------
+    def get(self, rtype: ResourceType) -> int:
+        """The component for ``rtype``."""
+        return getattr(self, rtype.value)
+
+    def as_tuple(self) -> tuple[int, int, int]:
+        """``(clb, bram, dsp)`` in canonical order."""
+        return (self.clb, self.bram, self.dsp)
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self.as_tuple())
+
+    @property
+    def is_zero(self) -> bool:
+        """True when no resources at all are required."""
+        return self.clb == 0 and self.bram == 0 and self.dsp == 0
+
+    # ------------------------------------------------------------------
+    # arithmetic
+    # ------------------------------------------------------------------
+    def __add__(self, other: "ResourceVector") -> "ResourceVector":
+        if not isinstance(other, ResourceVector):
+            return NotImplemented
+        return ResourceVector(self.clb + other.clb, self.bram + other.bram, self.dsp + other.dsp)
+
+    def __sub__(self, other: "ResourceVector") -> "ResourceVector":
+        """Component-wise difference; negative results raise ``ValueError``.
+
+        Used when carving a static-region reservation out of a device budget.
+        """
+        if not isinstance(other, ResourceVector):
+            return NotImplemented
+        return ResourceVector(self.clb - other.clb, self.bram - other.bram, self.dsp - other.dsp)
+
+    def __or__(self, other: "ResourceVector") -> "ResourceVector":
+        if not isinstance(other, ResourceVector):
+            return NotImplemented
+        return ResourceVector(
+            max(self.clb, other.clb), max(self.bram, other.bram), max(self.dsp, other.dsp)
+        )
+
+    def __mul__(self, factor: int) -> "ResourceVector":
+        if not isinstance(factor, int):
+            return NotImplemented
+        if factor < 0:
+            raise ValueError("cannot scale a ResourceVector by a negative factor")
+        return ResourceVector(self.clb * factor, self.bram * factor, self.dsp * factor)
+
+    __rmul__ = __mul__
+
+    def saturating_sub(self, other: "ResourceVector") -> "ResourceVector":
+        """Component-wise difference clamped at zero."""
+        return ResourceVector(
+            max(0, self.clb - other.clb),
+            max(0, self.bram - other.bram),
+            max(0, self.dsp - other.dsp),
+        )
+
+    # ------------------------------------------------------------------
+    # ordering (partial)
+    # ------------------------------------------------------------------
+    def fits_in(self, capacity: "ResourceVector") -> bool:
+        """True when this requirement fits within ``capacity``."""
+        return (
+            self.clb <= capacity.clb
+            and self.bram <= capacity.bram
+            and self.dsp <= capacity.dsp
+        )
+
+    def __le__(self, other: "ResourceVector") -> bool:
+        return self.fits_in(other)
+
+    def __ge__(self, other: "ResourceVector") -> bool:
+        return other.fits_in(self)
+
+    def __lt__(self, other: "ResourceVector") -> bool:
+        return self.fits_in(other) and self != other
+
+    def __gt__(self, other: "ResourceVector") -> bool:
+        return other.fits_in(self) and self != other
+
+    def dominates(self, other: "ResourceVector") -> bool:
+        """True when every component is at least ``other``'s."""
+        return other.fits_in(self)
+
+    # ------------------------------------------------------------------
+    # tile helpers
+    # ------------------------------------------------------------------
+    def ceil_div(self, divisors: "ResourceVector") -> "ResourceVector":
+        """Component-wise ceiling division (requirement -> tile counts).
+
+        Zero divisors are only legal for zero components (0/0 == 0), which
+        lets callers pass per-tile capacities even when a resource type is
+        entirely absent from a requirement.
+        """
+        out = []
+        for value, div in zip(self.as_tuple(), divisors.as_tuple()):
+            if div == 0:
+                if value != 0:
+                    raise ZeroDivisionError(
+                        "non-zero requirement with a zero per-tile capacity"
+                    )
+                out.append(0)
+            else:
+                out.append(math.ceil(value / div))
+        return ResourceVector(*out)
+
+    # ------------------------------------------------------------------
+    # presentation
+    # ------------------------------------------------------------------
+    def __str__(self) -> str:
+        return f"(clb={self.clb}, bram={self.bram}, dsp={self.dsp})"
+
+
+_ZERO = ResourceVector(0, 0, 0)

@@ -1,0 +1,156 @@
+"""Tile geometry and frame-count area maths (paper Sec. IV-B, Eqs. 1-6).
+
+Virtex-5 class devices arrange resources in full-height columns.  A *tile*
+is the intersection of one clock row and one column: the smallest unit the
+supported PR flow can reconfigure.  Each tile type packs a fixed number of
+primitives and occupies a fixed number of configuration *frames*:
+
+=========  ==================  =================
+tile type  primitives per tile frames per tile
+=========  ==================  =================
+CLB        20 CLBs             36
+DSP        8 DSP slices        28
+BRAM       4 BlockRAMs         30
+=========  ==================  =================
+
+A region sized to hold a set of alternatives therefore costs
+
+    frames(region) = sum_t  W_t * ceil(need_t / capacity_t)        (Eq. 6)
+
+where ``need_t`` is the component-wise maximum requirement over the
+alternatives (Eq. 2).  These constants and formulas are used verbatim by the
+cost model, the baselines, and the floorplanner.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from .resources import RESOURCE_TYPES, ResourceType, ResourceVector
+
+#: Primitives packed into one tile of each type (Sec. IV-B).
+PRIMITIVES_PER_TILE: Mapping[ResourceType, int] = {
+    ResourceType.CLB: 20,
+    ResourceType.DSP: 8,
+    ResourceType.BRAM: 4,
+}
+
+#: Configuration frames occupied by one tile of each type (Sec. IV-B).
+FRAMES_PER_TILE: Mapping[ResourceType, int] = {
+    ResourceType.CLB: 36,
+    ResourceType.DSP: 28,
+    ResourceType.BRAM: 30,
+}
+
+#: Words (32-bit) per configuration frame; 41 words == 1312 bits.
+WORDS_PER_FRAME = 41
+BITS_PER_FRAME = 1312
+BYTES_PER_FRAME = BITS_PER_FRAME // 8
+
+#: Per-tile capacities as a vector, for :meth:`ResourceVector.ceil_div`.
+TILE_CAPACITY = ResourceVector(
+    clb=PRIMITIVES_PER_TILE[ResourceType.CLB],
+    bram=PRIMITIVES_PER_TILE[ResourceType.BRAM],
+    dsp=PRIMITIVES_PER_TILE[ResourceType.DSP],
+)
+
+#: Frames per tile as a vector (dot with a tile-count vector to get frames).
+TILE_FRAMES = ResourceVector(
+    clb=FRAMES_PER_TILE[ResourceType.CLB],
+    bram=FRAMES_PER_TILE[ResourceType.BRAM],
+    dsp=FRAMES_PER_TILE[ResourceType.DSP],
+)
+
+
+@dataclass(frozen=True, slots=True)
+class TileCount:
+    """Tile requirements of a region, by type (results of Eqs. 3-5)."""
+
+    clb_tiles: int
+    bram_tiles: int
+    dsp_tiles: int
+
+    @property
+    def total_tiles(self) -> int:
+        return self.clb_tiles + self.bram_tiles + self.dsp_tiles
+
+    @property
+    def frames(self) -> int:
+        """Eq. 6: total configuration frames spanned by these tiles."""
+        return (
+            self.clb_tiles * FRAMES_PER_TILE[ResourceType.CLB]
+            + self.bram_tiles * FRAMES_PER_TILE[ResourceType.BRAM]
+            + self.dsp_tiles * FRAMES_PER_TILE[ResourceType.DSP]
+        )
+
+    def as_vector(self) -> ResourceVector:
+        """Tile counts packed as a (clb, bram, dsp) vector."""
+        return ResourceVector(self.clb_tiles, self.bram_tiles, self.dsp_tiles)
+
+    def primitives(self) -> ResourceVector:
+        """The primitive capacity these tiles actually provide.
+
+        This is what the tiles *contain* (tile count x primitives per tile),
+        i.e. the post-quantisation footprint a scheme charges against the
+        device. Always dominates the raw requirement that produced it.
+        """
+        return ResourceVector(
+            self.clb_tiles * PRIMITIVES_PER_TILE[ResourceType.CLB],
+            self.bram_tiles * PRIMITIVES_PER_TILE[ResourceType.BRAM],
+            self.dsp_tiles * PRIMITIVES_PER_TILE[ResourceType.DSP],
+        )
+
+
+def tiles_for(requirement: ResourceVector) -> TileCount:
+    """Quantise a raw requirement to whole tiles (Eqs. 3-5).
+
+    Partial tiles are never shared between regions (the flow forbids it,
+    Sec. IV-B), so every resource type rounds up independently.
+    """
+    t = requirement.ceil_div(TILE_CAPACITY)
+    return TileCount(clb_tiles=t.clb, bram_tiles=t.bram, dsp_tiles=t.dsp)
+
+
+def frames_for(requirement: ResourceVector) -> int:
+    """Frames needed by a region sized for ``requirement`` (Eqs. 3-6)."""
+    return tiles_for(requirement).frames
+
+
+def quantised_footprint(requirement: ResourceVector) -> ResourceVector:
+    """Primitive capacity actually consumed once rounded to whole tiles."""
+    return tiles_for(requirement).primitives()
+
+
+def region_frames(alternatives: "list[ResourceVector] | tuple[ResourceVector, ...]") -> int:
+    """Frames of a region that must host any one of ``alternatives``.
+
+    Component-wise maximum (Eq. 2 per resource type), then tile rounding
+    (Eqs. 3-5), then the frame sum (Eq. 6).
+    """
+    return frames_for(ResourceVector.envelope(alternatives))
+
+
+def frames_to_bytes(frames: int) -> int:
+    """Size in bytes of a partial bitstream covering ``frames`` frames."""
+    if frames < 0:
+        raise ValueError("frame count must be non-negative")
+    return frames * BYTES_PER_FRAME
+
+
+def frames_to_words(frames: int) -> int:
+    """Size in 32-bit words of a partial bitstream covering ``frames``."""
+    if frames < 0:
+        raise ValueError("frame count must be non-negative")
+    return frames * WORDS_PER_FRAME
+
+
+def describe_tile_constants() -> str:
+    """Human-readable summary of the architecture constants (for reports)."""
+    lines = ["tile type  primitives/tile  frames/tile"]
+    for rtype in RESOURCE_TYPES:
+        lines.append(
+            f"{rtype.value.upper():<9}  {PRIMITIVES_PER_TILE[rtype]:>15}  {FRAMES_PER_TILE[rtype]:>11}"
+        )
+    lines.append(f"frame: {WORDS_PER_FRAME} words / {BITS_PER_FRAME} bits")
+    return "\n".join(lines)

@@ -1,0 +1,238 @@
+"""Command-line interface: ``repro-pr`` / ``python -m repro``.
+
+Subcommands mirror the deliverables:
+
+* ``partition <design.xml>`` -- run the full algorithm on an XML design
+  description (optionally with device auto-selection) and print the
+  resulting scheme, UCF and bitstream inventory;
+* ``casestudy`` -- regenerate Tables III/IV/V;
+* ``example`` -- regenerate the Sec. IV artefacts (matrix, Table I);
+* ``sweep`` -- regenerate Figs. 7/8/9 and the Sec. V headline counts;
+* ``pareto`` -- explore the area/time trade-off curve of a design;
+* ``devices`` -- print the reconstructed Virtex-5 library.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from .arch.library import virtex5_full, virtex5_ladder
+from .core.partitioner import (
+    InfeasibleError,
+    partition,
+    partition_with_device_selection,
+)
+from .eval import experiments as E
+from .eval.report import render_table
+from .flow.bitstream import generate_bitstreams
+from .flow.constraints import emit_ucf
+from .flow.floorplan import FloorplanError, floorplan
+from .flow.xmlio import load_design
+
+
+def _cmd_partition(args: argparse.Namespace) -> int:
+    doc = load_design(args.design)
+    design = doc.design
+    library = virtex5_full()
+    print(design.summary())
+
+    if args.device or doc.device_name:
+        device = library.get(args.device or doc.device_name)
+        capacity = doc.budget or device.usable_capacity(design.static_resources)
+        try:
+            result = partition(design, capacity)
+        except InfeasibleError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+    else:
+        try:
+            dres = partition_with_device_selection(design, library)
+        except InfeasibleError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        device, result = dres.device, dres.result
+        print(f"selected device: {device.name} (escalations: {dres.escalations})")
+
+    scheme = result.scheme
+    print(scheme.describe())
+    print(
+        f"total reconfiguration: {result.total_frames} frames; "
+        f"worst case: {result.worst_frames} frames"
+    )
+
+    if args.floorplan:
+        try:
+            plan = floorplan(scheme, device)
+        except FloorplanError as exc:
+            print(f"floorplanning failed: {exc}", file=sys.stderr)
+            return 2
+        from .flow.visualize import render_floorplan
+
+        print(render_floorplan(plan))
+        if args.ucf:
+            print(emit_ucf(scheme, plan))
+        bits = generate_bitstreams(scheme, device, plan)
+        print(
+            f"bitstreams: full {bits.full_bytes} B + "
+            f"{len(bits.partials)} partials, total {bits.total_storage_bytes} B"
+        )
+        if args.out:
+            from .flow.bitgen import write_scheme_bitstreams
+            from .flow.netlist import build_netlists, emit_wrapper_hdl
+            from pathlib import Path
+
+            out = Path(args.out)
+            out.mkdir(parents=True, exist_ok=True)
+            (out / "system.ucf").write_text(emit_ucf(scheme, plan))
+            for name, netlist in build_netlists(scheme).items():
+                (out / f"{name}_wrapper.v").write_text(emit_wrapper_hdl(netlist))
+            written = write_scheme_bitstreams(scheme, plan, out)
+            print(f"wrote UCF, wrappers and {len(written)} bitstreams to {out}/")
+    return 0
+
+
+def _cmd_pareto(args: argparse.Namespace) -> int:
+    from .core.pareto import pareto_front, render_front
+
+    doc = load_design(args.design)
+    design = doc.design
+    library = virtex5_full()
+    if args.device or doc.device_name:
+        device = library.get(args.device or doc.device_name)
+        capacity = doc.budget or device.usable_capacity(design.static_resources)
+    else:
+        from .core.partitioner import select_device
+
+        device = select_device(design, library)
+        capacity = device.usable_capacity(design.static_resources)
+    print(f"{design.summary()}; budget {capacity} on {device.name}")
+    front = pareto_front(
+        design, capacity, max_candidate_sets=args.candidate_sets
+    )
+    print(render_front(front))
+    return 0
+
+
+def _cmd_casestudy(_args: argparse.Namespace) -> int:
+    r3 = E.exp_table3()
+    print(E.render_table3(r3))
+    print()
+    print(E.render_table4(r3))
+    print()
+    print(E.render_table5())
+    return 0
+
+
+def _cmd_example(_args: argparse.Namespace) -> int:
+    print("Connectivity matrix (Sec. IV-C):")
+    print(E.exp_connectivity_matrix().render())
+    print()
+    print(E.render_table1())
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    def progress(i: int, n: int) -> None:
+        if args.progress and i % 25 == 0:
+            print(f"... {i}/{n}", file=sys.stderr)
+
+    sweep = E.run_sweep(count=args.designs, seed=args.seed, progress=progress)
+    print(E.render_fig7(sweep))
+    print()
+    print(E.render_fig8(sweep))
+    print()
+    print(E.render_fig9(sweep))
+    print()
+    print(E.render_headlines(sweep))
+    if args.analysis:
+        from .eval.analysis import render_analysis
+
+        print()
+        print(render_analysis(sweep))
+    return 0
+
+
+def _cmd_devices(_args: argparse.Namespace) -> int:
+    rows = [
+        (
+            d.name,
+            d.capacity.clb,
+            d.capacity.bram,
+            d.capacity.dsp,
+            d.rows,
+            d.column_count,
+            d.total_frames(),
+        )
+        for d in virtex5_ladder()
+    ]
+    print(render_table(
+        ("Device", "CLBs", "BRAMs", "DSPs", "rows", "columns", "frames"),
+        rows,
+        title="Reconstructed Virtex-5 ladder (Fig. 7/8 axis)",
+    ))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-pr",
+        description=(
+            "Automated partitioning for partial-reconfiguration design "
+            "(reproduction of Vipin & Fahmy, IPDPSW 2013)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("partition", help="partition an XML design description")
+    p.add_argument("design", help="path to the design XML file")
+    p.add_argument("--device", help="target device name (else auto-select)")
+    p.add_argument(
+        "--floorplan", action="store_true", help="also floorplan the result"
+    )
+    p.add_argument("--ucf", action="store_true", help="print the generated UCF")
+    p.add_argument(
+        "--out", help="directory for UCF/wrappers/partial bitstreams "
+        "(requires --floorplan)"
+    )
+    p.set_defaults(func=_cmd_partition)
+
+    p = sub.add_parser(
+        "pareto", help="area/time Pareto front of an XML design"
+    )
+    p.add_argument("design", help="path to the design XML file")
+    p.add_argument("--device", help="target device name (else auto-select)")
+    p.add_argument("--candidate-sets", type=int, default=6)
+    p.set_defaults(func=_cmd_pareto)
+
+    p = sub.add_parser("casestudy", help="regenerate Tables III/IV/V")
+    p.set_defaults(func=_cmd_casestudy)
+
+    p = sub.add_parser("example", help="regenerate the Sec. IV example artefacts")
+    p.set_defaults(func=_cmd_example)
+
+    p = sub.add_parser("sweep", help="regenerate Figs. 7/8/9")
+    p.add_argument("--designs", type=int, default=E.DEFAULT_SWEEP_DESIGNS)
+    p.add_argument("--seed", type=int, default=E.DEFAULT_SWEEP_SEED)
+    p.add_argument("--progress", action="store_true")
+    p.add_argument(
+        "--analysis",
+        action="store_true",
+        help="also print per-class / structural analysis",
+    )
+    p.set_defaults(func=_cmd_sweep)
+
+    p = sub.add_parser("devices", help="print the device library")
+    p.set_defaults(func=_cmd_devices)
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

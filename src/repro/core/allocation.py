@@ -1,0 +1,432 @@
+"""Region-allocation merge search (paper Sec. IV-C, Fig. 6 inner loops).
+
+Starting from a candidate partition set with every base partition in its
+own region (the minimum-reconfiguration-time arrangement), the search
+repeatedly assigns two *compatible* partitions (or partition groups) to a
+shared region.  Merging shrinks the total footprint -- a shared region is
+sized for the larger member instead of both -- at the price of extra
+reconfigurations whenever consecutive configurations need different
+members.  Every feasible arrangement encountered is scored by total
+reconfiguration frames (Eq. 10); the best one wins.
+
+Following the paper, the greedy descent is restarted once from every
+possible *initial* compatible pair ("assigns two compatible base
+partitions to the same region, which are distinct from those used to
+begin the previous iterations"), so a locally bad first merge cannot trap
+the search.  Restart count and step counts are configurable to keep large
+synthetic designs within the paper's seconds-to-a-minute runtime.
+
+Implementation note: this is the hot loop of the whole library (the
+Fig. 7-9 sweep runs it hundreds of thousands of times), so the internal
+:class:`_Group` works on plain int tuples -- (clb, bram, dsp) -- instead
+of :class:`ResourceVector`, quantisation is inlined, and merged groups
+are memoised by member signature.  The public surface still speaks
+``ResourceVector``/:class:`PartitioningScheme`.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Callable, Iterable, Sequence
+
+from ..arch.resources import ResourceVector
+from .clustering import BasePartition
+from .cost import DEFAULT_POLICY, TransitionPolicy
+from .covering import CandidatePartitionSet
+from .model import PRDesign
+from .result import PartitioningScheme, Region
+
+# Tile constants inlined from repro.arch.tiles (kept in sync by tests).
+_CLB_PER_TILE, _BRAM_PER_TILE, _DSP_PER_TILE = 20, 4, 8
+_CLB_FRAMES, _BRAM_FRAMES, _DSP_FRAMES = 36, 30, 28
+
+Vec = tuple[int, int, int]
+
+
+def _quantise(req: Vec) -> tuple[Vec, int]:
+    """(footprint, frames) of a region sized for ``req`` (Eqs. 3-6)."""
+    c, b, d = req
+    tc = -(-c // _CLB_PER_TILE)
+    tb = -(-b // _BRAM_PER_TILE)
+    td = -(-d // _DSP_PER_TILE)
+    footprint = (tc * _CLB_PER_TILE, tb * _BRAM_PER_TILE, td * _DSP_PER_TILE)
+    frames = tc * _CLB_FRAMES + tb * _BRAM_FRAMES + td * _DSP_FRAMES
+    return footprint, frames
+
+
+@dataclass(frozen=True, slots=True)
+class _Group:
+    """One (tentative) region during the search.
+
+    ``activity`` has one entry per configuration: the label of the member
+    partition serving that configuration, or ``None``.  ``usage`` is the
+    bitmask of configuration indices touching any member's modes -- two
+    groups may merge iff their usage masks are disjoint (the paper's
+    compatibility relation lifted to groups).
+    """
+
+    members: tuple[BasePartition, ...]
+    activity: tuple[str | None, ...]
+    usage: int  # bitmask over configuration indices
+    requirement: Vec
+    frames: int
+    footprint: Vec
+    switch_pairs_strict: float
+    switch_pairs_lenient: float
+    signature: frozenset[str]
+
+    def switch_pairs(self, policy: TransitionPolicy) -> float:
+        if policy is TransitionPolicy.STRICT:
+            return self.switch_pairs_strict
+        return self.switch_pairs_lenient
+
+    def cost(self, policy: TransitionPolicy) -> float:
+        """This group's contribution to Eq. 10 (weighted when the search
+        carries pair weights; then a float, otherwise an integral count
+        times the frame footprint)."""
+        return self.frames * self.switch_pairs(policy)
+
+
+def _switch_pair_counts(activity: Sequence[str | None]) -> tuple[int, int]:
+    """(strict, lenient) pair counts for an activity vector.
+
+    strict:  unordered pairs with differing entries (None is a value);
+    lenient: unordered pairs with differing entries, both non-None.
+    """
+    counts: dict[str | None, int] = {}
+    for label in activity:
+        counts[label] = counts.get(label, 0) + 1
+    n = len(activity)
+
+    def c2(k: int) -> int:
+        return k * (k - 1) // 2
+
+    same = sum(c2(k) for k in counts.values())
+    strict = c2(n) - same
+    non_none = n - counts.get(None, 0)
+    same_non_none = sum(c2(k) for lbl, k in counts.items() if lbl is not None)
+    lenient = c2(non_none) - same_non_none
+    return strict, lenient
+
+
+def _weighted_switch_sums(
+    activity: Sequence[str | None], weights
+) -> tuple[float, float]:
+    """(strict, lenient) switch sums under a symmetric pair-weight matrix.
+
+    ``weights[i, j]`` is the importance of the (configuration i,
+    configuration j) transition -- the paper's "statistical information
+    about the probabilities of different configurations" extension.
+    O(C^2); only used when weights are supplied.
+    """
+    strict = lenient = 0.0
+    n = len(activity)
+    for i in range(n):
+        ai = activity[i]
+        for j in range(i + 1, n):
+            aj = activity[j]
+            if ai == aj:
+                continue
+            w = float(weights[i, j])
+            strict += w
+            if ai is not None and aj is not None:
+                lenient += w
+    return strict, lenient
+
+
+def _make_group(
+    members: tuple[BasePartition, ...],
+    activity: tuple[str | None, ...],
+    usage: int,
+    weights=None,
+) -> _Group:
+    rc = rb = rd = 0
+    for p in members:
+        r = p.resources
+        if r.clb > rc:
+            rc = r.clb
+        if r.bram > rb:
+            rb = r.bram
+        if r.dsp > rd:
+            rd = r.dsp
+    requirement = (rc, rb, rd)
+    footprint, frames = _quantise(requirement)
+    if weights is None:
+        strict, lenient = _switch_pair_counts(activity)
+    else:
+        strict, lenient = _weighted_switch_sums(activity, weights)
+    return _Group(
+        members=members,
+        activity=activity,
+        usage=usage,
+        requirement=requirement,
+        frames=frames,
+        footprint=footprint,
+        switch_pairs_strict=strict,
+        switch_pairs_lenient=lenient,
+        signature=frozenset(p.label for p in members),
+    )
+
+
+def _initial_groups(
+    design: PRDesign, cps: CandidatePartitionSet, weights=None
+) -> list[_Group]:
+    """Each candidate partition in its own region."""
+    config_modes = [frozenset(c.modes) for c in design.configurations]
+    config_names = [c.name for c in design.configurations]
+    groups: list[_Group] = []
+    for bp in cps.partitions:
+        activity = tuple(
+            bp.label if bp.label in cps.cover[name] else None
+            for name in config_names
+        )
+        usage = 0
+        for i, modes in enumerate(config_modes):
+            if bp.modes & modes:
+                usage |= 1 << i
+        groups.append(_make_group((bp,), activity, usage, weights))
+    return groups
+
+
+class _MergeCache:
+    """Memoises merged groups by member-signature pair.
+
+    A cache is bound to one pair-weight matrix (or none); mixing weighted
+    and unweighted searches requires separate caches.
+    """
+
+    def __init__(self, weights=None) -> None:
+        self._cache: dict[frozenset[str], _Group] = {}
+        self.weights = weights
+
+    def merge(self, a: _Group, b: _Group) -> _Group:
+        key = a.signature | b.signature
+        merged = self._cache.get(key)
+        if merged is None:
+            activity = tuple(
+                x if x is not None else y for x, y in zip(a.activity, b.activity)
+            )
+            merged = _make_group(
+                a.members + b.members, activity, a.usage | b.usage, self.weights
+            )
+            self._cache[key] = merged
+        return merged
+
+
+def _mergeable(a: _Group, b: _Group) -> bool:
+    return not (a.usage & b.usage)
+
+
+def _fits(groups: Sequence[_Group], capacity: Vec) -> bool:
+    c = b = d = 0
+    for g in groups:
+        fc, fb, fd = g.footprint
+        c += fc
+        b += fb
+        d += fd
+    return c <= capacity[0] and b <= capacity[1] and d <= capacity[2]
+
+
+def _total_cost(groups: Sequence[_Group], policy: TransitionPolicy) -> float:
+    return sum(g.cost(policy) for g in groups)
+
+
+@dataclass
+class AllocationOptions:
+    """Tuning knobs for the merge search.
+
+    Defaults follow the paper's exhaustive-restart description; the caps
+    exist so very large synthetic designs stay within the paper's
+    seconds-to-a-minute runtime envelope.  ``max_initial_pairs=None``
+    means every compatible pair seeds one descent.
+    """
+
+    policy: TransitionPolicy = DEFAULT_POLICY
+    max_initial_pairs: int | None = None
+    max_descent_steps: int | None = None
+    #: Optional symmetric (C x C) transition-importance matrix in
+    #: configuration declaration order; switches the objective from the
+    #: all-pairs count (Eq. 7) to the probability-weighted variant the
+    #: paper proposes as future work.
+    pair_weights: "object | None" = None
+
+    def __post_init__(self) -> None:
+        if self.max_initial_pairs is not None and self.max_initial_pairs < 1:
+            raise ValueError("max_initial_pairs must be positive or None")
+        if self.max_descent_steps is not None and self.max_descent_steps < 1:
+            raise ValueError("max_descent_steps must be positive or None")
+
+
+@dataclass
+class AllocationOutcome:
+    """Result of searching one candidate partition set."""
+
+    best_groups: list[_Group] | None
+    best_cost: float | None
+    states_explored: int
+    feasible_states: int
+
+    @property
+    def found(self) -> bool:
+        return self.best_groups is not None
+
+
+def search_candidate_set(
+    design: PRDesign,
+    cps: CandidatePartitionSet,
+    capacity: ResourceVector,
+    options: AllocationOptions | None = None,
+    merge_cache: _MergeCache | None = None,
+) -> AllocationOutcome:
+    """Run the restarted greedy merge search for one CPS.
+
+    Every feasible state encountered (including the all-separate start)
+    competes; the arrangement with minimum total reconfiguration frames is
+    returned as raw groups (convert with :func:`groups_to_scheme`).
+    A shared ``merge_cache`` may be passed when several candidate sets of
+    one design are searched in sequence.
+    """
+    options = options or AllocationOptions()
+    policy = options.policy
+    cap: Vec = capacity.as_tuple()
+    cache = merge_cache or _MergeCache(options.pair_weights)
+
+    base = _initial_groups(design, cps, options.pair_weights)
+    best_groups: list[_Group] | None = None
+    best_cost: float | None = None
+    states = 0
+    feasible = 0
+    seen_states: set[frozenset[frozenset[str]]] = set()
+
+    def consider(groups: list[_Group]) -> None:
+        nonlocal best_groups, best_cost, states, feasible
+        states += 1
+        if _fits(groups, cap):
+            feasible += 1
+            cost = _total_cost(groups, policy)
+            if best_cost is None or cost < best_cost or (
+                cost == best_cost
+                and best_groups is not None
+                and len(groups) < len(best_groups)
+            ):
+                best_cost = cost
+                best_groups = list(groups)
+
+    consider(base)
+
+    # All compatible pairs at the start, ordered by the cost delta of the
+    # merge so capped runs try the most promising seeds first.
+    def pair_delta(a: _Group, b: _Group) -> float:
+        return cache.merge(a, b).cost(policy) - a.cost(policy) - b.cost(policy)
+
+    initial_pairs = [
+        (i, j)
+        for i, j in itertools.combinations(range(len(base)), 2)
+        if _mergeable(base[i], base[j])
+    ]
+    initial_pairs.sort(key=lambda ij: pair_delta(base[ij[0]], base[ij[1]]))
+    if options.max_initial_pairs is not None:
+        initial_pairs = initial_pairs[: options.max_initial_pairs]
+
+    for i, j in initial_pairs:
+        groups = [g for k, g in enumerate(base) if k not in (i, j)]
+        groups.append(cache.merge(base[i], base[j]))
+        consider(groups)
+        _greedy_descent(groups, cap, options, consider, seen_states, cache)
+
+    return AllocationOutcome(
+        best_groups=best_groups,
+        best_cost=best_cost,
+        states_explored=states,
+        feasible_states=feasible,
+    )
+
+
+def _greedy_descent(
+    groups: list[_Group],
+    capacity: Vec,
+    options: AllocationOptions,
+    consider: Callable[[list[_Group]], None],
+    seen_states: set[frozenset[frozenset[str]]],
+    cache: _MergeCache,
+) -> None:
+    """Best-improvement merging until no merge helps and the state fits.
+
+    While the arrangement does not fit the budget, the merge shrinking the
+    footprint most is forced (cost-delta as tiebreak); once it fits, only
+    cost-improving merges are applied.
+    """
+    policy = options.policy
+    steps = 0
+    while len(groups) > 1:
+        if options.max_descent_steps is not None and steps >= options.max_descent_steps:
+            return
+        signature = frozenset(g.signature for g in groups)
+        if signature in seen_states:
+            return
+        seen_states.add(signature)
+
+        fits = _fits(groups, capacity)
+        best_merge: tuple[int, int, _Group] | None = None
+        best_key: tuple[int, int] | None = None
+        n = len(groups)
+        for i in range(n):
+            gi = groups[i]
+            ui = gi.usage
+            for j in range(i + 1, n):
+                gj = groups[j]
+                if ui & gj.usage:
+                    continue
+                merged = cache.merge(gi, gj)
+                delta_cost = (
+                    merged.cost(policy) - gi.cost(policy) - gj.cost(policy)
+                )
+                saved = (
+                    gi.footprint[0] + gj.footprint[0] - merged.footprint[0]
+                ) + (
+                    gi.footprint[1] + gj.footprint[1] - merged.footprint[1]
+                ) + (
+                    gi.footprint[2] + gj.footprint[2] - merged.footprint[2]
+                )
+                # Cost first once feasible; footprint saving first before.
+                key = (delta_cost, -saved) if fits else (-saved, delta_cost)
+                if best_key is None or key < best_key:
+                    best_key = key
+                    best_merge = (i, j, merged)
+        if best_merge is None:
+            return
+        i, j, merged = best_merge
+        delta_cost = (
+            merged.cost(policy) - groups[i].cost(policy) - groups[j].cost(policy)
+        )
+        if fits and delta_cost >= 0:
+            return
+        groups = [g for k, g in enumerate(groups) if k not in (i, j)]
+        groups.append(merged)
+        consider(groups)
+        steps += 1
+
+
+def groups_to_scheme(
+    design: PRDesign,
+    cps: CandidatePartitionSet,
+    groups: Iterable[_Group],
+    strategy: str = "proposed",
+) -> PartitioningScheme:
+    """Materialise raw search groups as a validated scheme.
+
+    Regions are numbered in a deterministic order (sorted by member
+    labels) so repeated runs print identical tables.
+    """
+    ordered = sorted(groups, key=lambda g: sorted(g.signature))
+    regions = tuple(
+        Region(name=f"PRR{i + 1}", partitions=g.members)
+        for i, g in enumerate(ordered)
+    )
+    return PartitioningScheme(
+        design=design,
+        regions=regions,
+        cover={k: tuple(v) for k, v in cps.cover.items()},
+        strategy=strategy,
+    )

@@ -1,0 +1,121 @@
+"""The two traditional partitioning schemes plus the all-static design.
+
+Sec. IV-A of the paper frames the design space with three reference
+points that the evaluation (Tables IV-V, Figs. 7-9) compares against:
+
+* **static** -- every mode implemented concurrently, mode switches are
+  multiplexer flips: zero reconfiguration time, maximal area;
+* **one module per region** ("modular") -- each module gets a region
+  sized for its largest mode;
+* **single region** -- all reconfigurable logic in one region sized for
+  the largest configuration: minimal area, every transition rewrites the
+  whole region.
+"""
+
+from __future__ import annotations
+
+from ..arch.resources import ResourceVector
+from .clustering import BasePartition
+from .matrix import ConnectivityMatrix
+from .model import PRDesign
+from .result import PartitioningScheme, Region
+
+
+def static_scheme(design: PRDesign) -> PartitioningScheme:
+    """Everything in static logic; configurations switch via multiplexers.
+
+    Resource usage is the raw sum of every mode of every module (unused
+    modes included -- they were designed in, a static implementation
+    carries them), with zero regions and zero reconfiguration time.
+    """
+    return PartitioningScheme(
+        design=design,
+        regions=(),
+        cover={c.name: () for c in design.configurations},
+        static_modes=frozenset(m.name for m in design.all_modes),
+        strategy="static",
+    )
+
+
+def _singleton(design: PRDesign, cmatrix: ConnectivityMatrix, mode_name: str) -> BasePartition:
+    mode = design.mode(mode_name)
+    return BasePartition(
+        modes=frozenset((mode_name,)),
+        frequency_weight=cmatrix.node_weight(mode_name),
+        resources=mode.resources,
+        modules=frozenset((mode.module,)),
+    )
+
+
+def one_module_per_region_scheme(design: PRDesign) -> PartitioningScheme:
+    """Each module in its own region, one singleton partition per mode.
+
+    Regions are sized by the envelope of the module's *active* modes
+    (modes outside every configuration are not implemented).  Modules
+    with no active mode get no region.
+    """
+    cmatrix = ConnectivityMatrix.from_design(design)
+    active = {m.name for m in design.active_modes}
+    regions: list[Region] = []
+    for module in design.modules:
+        mode_names = [m.name for m in module.modes if m.name in active]
+        if not mode_names:
+            continue
+        partitions = tuple(_singleton(design, cmatrix, n) for n in mode_names)
+        regions.append(Region(name=f"R_{module.name}", partitions=partitions))
+
+    cover = {
+        config.name: tuple("{" + m + "}" for m in sorted(config.modes))
+        for config in design.configurations
+    }
+    return PartitioningScheme(
+        design=design,
+        regions=tuple(regions),
+        cover=cover,
+        strategy="modular",
+    )
+
+
+def single_region_scheme(design: PRDesign) -> PartitioningScheme:
+    """All reconfigurable logic in one region; one partition per
+    configuration (duplicate mode-sets collapse to one partition).
+
+    The region is sized for the largest configuration -- the minimum
+    feasible area of any implementation (Sec. IV-A) -- and every
+    transition between configurations with different contents rewrites
+    the whole region.
+    """
+    cmatrix = ConnectivityMatrix.from_design(design)
+    partitions: dict[frozenset[str], BasePartition] = {}
+    cover: dict[str, tuple[str, ...]] = {}
+    for config in design.configurations:
+        modes = frozenset(config.modes)
+        bp = partitions.get(modes)
+        if bp is None:
+            bp = BasePartition(
+                modes=modes,
+                frequency_weight=cmatrix.group_weight(modes),
+                resources=ResourceVector.sum(
+                    design.mode(m).resources for m in modes
+                ),
+                modules=frozenset(design.module_of(m).name for m in modes),
+            )
+            partitions[modes] = bp
+        cover[config.name] = (bp.label,)
+
+    region = Region(name="PRR1", partitions=tuple(partitions.values()))
+    return PartitioningScheme(
+        design=design,
+        regions=(region,),
+        cover=cover,
+        strategy="single-region",
+    )
+
+
+def baseline_schemes(design: PRDesign) -> dict[str, PartitioningScheme]:
+    """All three reference schemes keyed by strategy name."""
+    return {
+        "static": static_scheme(design),
+        "modular": one_module_per_region_scheme(design),
+        "single-region": single_region_scheme(design),
+    }

@@ -1,0 +1,343 @@
+"""The PR design model: modules, modes, configurations, designs.
+
+Terminology follows Sec. III of the paper:
+
+* a **module** is a processing unit of the system (e.g. "Decoder");
+* a **mode** is one mutually-exclusive implementation of a module (e.g.
+  "Viterbi"); at runtime a module is in at most one mode;
+* a **configuration** is a valid combination of modes -- at most one per
+  module, with modules allowed to be absent ("mode 0", Sec. IV-D);
+* a **design** is a set of modules plus the list of valid configurations
+  and an optional static-logic reservation.
+
+Modes are identified by globally unique names (the paper's ``A1``,
+``B2`` ... style).  :class:`PRDesign` validates the whole structure at
+construction so every later stage can assume well-formedness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Mapping, Sequence
+
+from ..arch.resources import ResourceVector
+
+
+class DesignError(ValueError):
+    """Raised when a design description is structurally invalid."""
+
+
+@dataclass(frozen=True, slots=True)
+class Mode:
+    """One implementation alternative of a module.
+
+    ``interface`` names the port-level contract the mode implements;
+    all modes of a module must share it (Sec. III-A: modes have
+    "compatible inputs and outputs"), because partial reconfiguration
+    swaps them behind one fixed wrapper.  The default matches the case
+    study's registered 32-bit streaming bus.
+    """
+
+    name: str
+    module: str
+    resources: ResourceVector
+    interface: str = "stream32"
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise DesignError("mode name must be non-empty")
+        if not self.module:
+            raise DesignError(f"mode {self.name!r} must belong to a module")
+        if not self.interface:
+            raise DesignError(f"mode {self.name!r} must name an interface")
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.name
+
+
+@dataclass(frozen=True)
+class Module:
+    """A processing unit with one or more mutually exclusive modes."""
+
+    name: str
+    modes: tuple[Mode, ...]
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise DesignError("module name must be non-empty")
+        if not self.modes:
+            raise DesignError(f"module {self.name!r} must have at least one mode")
+        seen: set[str] = set()
+        for mode in self.modes:
+            if mode.module != self.name:
+                raise DesignError(
+                    f"mode {mode.name!r} claims module {mode.module!r}, "
+                    f"but is listed under {self.name!r}"
+                )
+            if mode.name in seen:
+                raise DesignError(f"duplicate mode name {mode.name!r} in {self.name!r}")
+            seen.add(mode.name)
+        interfaces = {mode.interface for mode in self.modes}
+        if len(interfaces) > 1:
+            raise DesignError(
+                f"module {self.name!r} mixes interfaces {sorted(interfaces)}: "
+                "modes are swapped behind one wrapper and must share ports"
+            )
+
+    @property
+    def mode_names(self) -> tuple[str, ...]:
+        return tuple(m.name for m in self.modes)
+
+    def mode(self, name: str) -> Mode:
+        for m in self.modes:
+            if m.name == name:
+                return m
+        raise KeyError(f"module {self.name!r} has no mode {name!r}")
+
+    @property
+    def interface(self) -> str:
+        """The shared port contract of this module's modes."""
+        return self.modes[0].interface
+
+    @property
+    def largest_mode(self) -> Mode:
+        """The mode with the dominating footprint per resource type.
+
+        Note this returns the mode maximising the *frame-relevant* envelope
+        is not well defined for incomparable vectors; we return the mode
+        whose CLB count is largest (ties broken by BRAM then DSP), which is
+        only used for reporting.  Sizing uses :meth:`envelope`.
+        """
+        return max(self.modes, key=lambda m: m.resources.as_tuple())
+
+    def envelope(self) -> ResourceVector:
+        """Component-wise maximum footprint over all modes (region sizing)."""
+        return ResourceVector.envelope(m.resources for m in self.modes)
+
+    @classmethod
+    def build(
+        cls, name: str, modes: Mapping[str, ResourceVector] | Sequence[tuple[str, ResourceVector]]
+    ) -> "Module":
+        """Build a module from ``{mode_name: resources}`` style input."""
+        items = modes.items() if isinstance(modes, Mapping) else modes
+        return cls(name=name, modes=tuple(Mode(n, name, r) for n, r in items))
+
+
+@dataclass(frozen=True)
+class Configuration:
+    """A valid combination of modes: at most one mode per module."""
+
+    name: str
+    modes: frozenset[str]
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise DesignError("configuration name must be non-empty")
+
+    def __contains__(self, mode_name: str) -> bool:
+        return mode_name in self.modes
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(sorted(self.modes))
+
+    def __len__(self) -> int:
+        return len(self.modes)
+
+    @classmethod
+    def of(cls, name: str, modes: Iterable[str]) -> "Configuration":
+        return cls(name=name, modes=frozenset(modes))
+
+
+@dataclass(frozen=True)
+class PRDesign:
+    """A complete PR design description (the partitioner's input).
+
+    ``static_resources`` is the footprint reserved for the static region
+    (processor, ICAP controller, interconnect); the partitioner subtracts
+    it from the device capacity before fitting.
+    """
+
+    name: str
+    modules: tuple[Module, ...]
+    configurations: tuple[Configuration, ...]
+    static_resources: ResourceVector = field(default_factory=ResourceVector.zero)
+
+    # ------------------------------------------------------------------
+    # validation
+    # ------------------------------------------------------------------
+    def __post_init__(self) -> None:
+        if not self.modules:
+            raise DesignError(f"design {self.name!r} has no modules")
+        if not self.configurations:
+            raise DesignError(f"design {self.name!r} has no configurations")
+
+        module_names: set[str] = set()
+        mode_owner: dict[str, str] = {}
+        for module in self.modules:
+            if module.name in module_names:
+                raise DesignError(f"duplicate module name {module.name!r}")
+            module_names.add(module.name)
+            for mode in module.modes:
+                if mode.name in mode_owner:
+                    raise DesignError(
+                        f"mode name {mode.name!r} used by both "
+                        f"{mode_owner[mode.name]!r} and {module.name!r}"
+                    )
+                mode_owner[mode.name] = module.name
+
+        config_names: set[str] = set()
+        for config in self.configurations:
+            if config.name in config_names:
+                raise DesignError(f"duplicate configuration name {config.name!r}")
+            config_names.add(config.name)
+            if not config.modes:
+                raise DesignError(f"configuration {config.name!r} is empty")
+            used_modules: set[str] = set()
+            for mode_name in config.modes:
+                owner = mode_owner.get(mode_name)
+                if owner is None:
+                    raise DesignError(
+                        f"configuration {config.name!r} references unknown mode "
+                        f"{mode_name!r}"
+                    )
+                if owner in used_modules:
+                    raise DesignError(
+                        f"configuration {config.name!r} activates two modes of "
+                        f"module {owner!r}"
+                    )
+                used_modules.add(owner)
+
+    # ------------------------------------------------------------------
+    # lookups
+    # ------------------------------------------------------------------
+    def module(self, name: str) -> Module:
+        for module in self.modules:
+            if module.name == name:
+                return module
+        raise KeyError(f"design {self.name!r} has no module {name!r}")
+
+    def mode(self, name: str) -> Mode:
+        for module in self.modules:
+            for mode in module.modes:
+                if mode.name == name:
+                    return mode
+        raise KeyError(f"design {self.name!r} has no mode {name!r}")
+
+    def module_of(self, mode_name: str) -> Module:
+        """The module that owns a mode."""
+        for module in self.modules:
+            for mode in module.modes:
+                if mode.name == mode_name:
+                    return module
+        raise KeyError(f"design {self.name!r} has no mode {mode_name!r}")
+
+    @property
+    def all_modes(self) -> tuple[Mode, ...]:
+        """Every mode of every module, in declaration order."""
+        return tuple(mode for module in self.modules for mode in module.modes)
+
+    @property
+    def active_modes(self) -> tuple[Mode, ...]:
+        """Modes that appear in at least one configuration.
+
+        Modes outside every configuration (Table V's ``D2``) carry no
+        partitioning information; the matrix and clustering stages operate
+        on active modes only.
+        """
+        used = set().union(*(c.modes for c in self.configurations))
+        return tuple(mode for mode in self.all_modes if mode.name in used)
+
+    @property
+    def unused_modes(self) -> tuple[Mode, ...]:
+        """Modes that appear in no configuration (reported, not partitioned)."""
+        used = set().union(*(c.modes for c in self.configurations))
+        return tuple(mode for mode in self.all_modes if mode.name not in used)
+
+    def configuration(self, name: str) -> Configuration:
+        for config in self.configurations:
+            if config.name == name:
+                return config
+        raise KeyError(f"design {self.name!r} has no configuration {name!r}")
+
+    # ------------------------------------------------------------------
+    # aggregate requirements
+    # ------------------------------------------------------------------
+    def configuration_resources(self, config: Configuration) -> ResourceVector:
+        """Summed raw footprint of a configuration's modes."""
+        return ResourceVector.sum(self.mode(m).resources for m in config.modes)
+
+    def largest_configuration(self) -> tuple[Configuration, ResourceVector]:
+        """The configuration with the dominating footprint (per resource).
+
+        Returns the per-component envelope over configurations, together
+        with a configuration achieving the CLB maximum (for reporting).
+        The envelope is the minimum capacity any implementation needs
+        (Sec. IV-A: "the area required for the largest configuration").
+        """
+        envelope = ResourceVector.envelope(
+            self.configuration_resources(c) for c in self.configurations
+        )
+        witness = max(
+            self.configurations,
+            key=lambda c: self.configuration_resources(c).as_tuple(),
+        )
+        return witness, envelope
+
+    def static_requirement(self) -> ResourceVector:
+        """Raw footprint of an all-static implementation (every mode at once)."""
+        return ResourceVector.sum(m.resources for m in self.all_modes)
+
+    # ------------------------------------------------------------------
+    # statistics
+    # ------------------------------------------------------------------
+    @property
+    def mode_count(self) -> int:
+        return len(self.all_modes)
+
+    @property
+    def configuration_count(self) -> int:
+        return len(self.configurations)
+
+    def summary(self) -> str:
+        """One-paragraph description for logs and reports."""
+        parts = [
+            f"design {self.name!r}: {len(self.modules)} modules, "
+            f"{self.mode_count} modes, {self.configuration_count} configurations"
+        ]
+        if not self.static_resources.is_zero:
+            parts.append(f"static reservation {self.static_resources}")
+        return "; ".join(parts)
+
+
+def design_from_tables(
+    name: str,
+    module_table: Mapping[str, Mapping[str, tuple[int, int, int]]],
+    configurations: Sequence[Sequence[str]] | Mapping[str, Sequence[str]],
+    static_resources: ResourceVector | None = None,
+) -> PRDesign:
+    """Convenience builder mirroring the paper's tabular presentation.
+
+    ``module_table`` maps module name to ``{mode_name: (clb, bram, dsp)}``;
+    ``configurations`` is a list of mode-name lists (auto-named ``Conf.N``
+    to match the paper) or a mapping of name to mode list.
+    """
+    modules = tuple(
+        Module.build(
+            mod_name,
+            [(mode_name, ResourceVector(*rv)) for mode_name, rv in modes.items()],
+        )
+        for mod_name, modes in module_table.items()
+    )
+    if isinstance(configurations, Mapping):
+        configs = tuple(Configuration.of(n, modes) for n, modes in configurations.items())
+    else:
+        configs = tuple(
+            Configuration.of(f"Conf.{i + 1}", modes)
+            for i, modes in enumerate(configurations)
+        )
+    return PRDesign(
+        name=name,
+        modules=modules,
+        configurations=configs,
+        static_resources=static_resources or ResourceVector.zero(),
+    )

@@ -1,0 +1,304 @@
+"""Top-level partitioning algorithm (paper Fig. 6) and device selection.
+
+``partition`` runs the full pipeline for a fixed PR budget:
+
+1. feasibility -- the largest configuration (single-region footprint)
+   must fit, otherwise the device is rejected (``InfeasibleError``);
+2. connectivity matrix, weights, base-partition clustering;
+3. the outer loop over candidate partition sets (covering with head
+   removal) with the restarted merge search per set;
+4. the single-region arrangement competes as the minimum-area fallback;
+5. the feasible scheme with minimum total reconfiguration frames wins.
+
+``partition_with_device_selection`` wraps this in the synthetic-benchmark
+protocol of Sec. V: pick the smallest device whose capacity (minus the
+static reservation) fits the single-region footprint; if the search finds
+nothing better than the single-region arrangement, escalate to the next
+larger device and re-partition.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+import numpy as np
+
+from ..arch.device import Device
+from ..arch.library import DeviceLibrary
+from ..arch.resources import ResourceVector
+from .allocation import (
+    AllocationOptions,
+    _MergeCache,
+    groups_to_scheme,
+    search_candidate_set,
+)
+from .baselines import single_region_scheme
+from .clustering import enumerate_base_partitions
+from .cost import (
+    DEFAULT_POLICY,
+    TransitionPolicy,
+    total_reconfiguration_frames,
+    worst_case_frames,
+)
+from .covering import candidate_partition_sets
+from .matrix import ConnectivityMatrix
+from .model import PRDesign
+from .result import PartitioningScheme
+
+
+class InfeasibleError(RuntimeError):
+    """The design cannot fit the given budget even as a single region."""
+
+
+@dataclass
+class PartitionerOptions:
+    """Configuration of the full algorithm.
+
+    ``max_candidate_sets`` bounds the outer covering loop (None follows
+    the paper: iterate until covering fails).  ``allocation`` tunes the
+    inner merge search.  ``include_single_region`` keeps the minimum-area
+    arrangement in the candidate pool (the paper's fallback).
+    """
+
+    policy: TransitionPolicy = DEFAULT_POLICY
+    max_candidate_sets: int | None = None
+    allocation: AllocationOptions = field(default_factory=AllocationOptions)
+    include_single_region: bool = True
+    #: Optional transition probabilities keyed by (config_a, config_b)
+    #: pairs (either order).  When given, the search minimises the
+    #: probability-weighted total (the paper's Sec. V "if some
+    #: statistical information ... is known" extension) instead of the
+    #: unweighted all-pairs sum.  Missing pairs weigh 0.
+    pair_probabilities: Mapping[tuple[str, str], float] | None = None
+
+    def __post_init__(self) -> None:
+        # The inner search must score with the same policy as the outer
+        # selection, otherwise the reported optimum is not the search's.
+        self.allocation.policy = self.policy
+
+    def weight_matrix(self, design: PRDesign) -> "np.ndarray | None":
+        """Pair probabilities as a symmetric matrix in config order."""
+        if self.pair_probabilities is None:
+            return None
+        names = [c.name for c in design.configurations]
+        index = {n: i for i, n in enumerate(names)}
+        W = np.zeros((len(names), len(names)))
+        for (a, b), w in self.pair_probabilities.items():
+            if a not in index or b not in index:
+                raise KeyError(f"unknown configuration in pair {(a, b)}")
+            if w < 0:
+                raise ValueError(f"negative weight for pair {(a, b)}")
+            i, j = index[a], index[b]
+            W[i, j] += w
+            W[j, i] += w
+        return W
+
+
+@dataclass
+class PartitionResult:
+    """Outcome of one fixed-budget partitioning run.
+
+    ``total_frames``/``worst_frames`` are always the unweighted Eq. 7/11
+    values of the selected scheme; ``objective`` is the value the search
+    minimised -- identical to ``total_frames`` unless
+    :attr:`PartitionerOptions.pair_probabilities` switched the objective
+    to the probability-weighted variant.
+    """
+
+    scheme: PartitioningScheme
+    total_frames: int
+    worst_frames: int
+    capacity: ResourceVector
+    candidate_sets_explored: int
+    states_explored: int
+    feasible_states: int
+    only_single_region_feasible: bool
+    objective: float = 0.0
+
+    @property
+    def usage(self) -> ResourceVector:
+        return self.scheme.resource_usage()
+
+
+def partition(
+    design: PRDesign,
+    capacity: ResourceVector,
+    options: PartitionerOptions | None = None,
+) -> PartitionResult:
+    """Find the minimum-total-reconfiguration-time scheme for a PR budget.
+
+    ``capacity`` is the budget available to reconfigurable logic *and*
+    modes the scheme keeps permanently loaded -- i.e. the device capacity
+    net of the design's fixed static region (processor, ICAP, ...).
+    Raises :class:`InfeasibleError` when even the single-region
+    arrangement cannot fit.
+    """
+    options = options or PartitionerOptions()
+    policy = options.policy
+    weights = options.weight_matrix(design)
+    options.allocation.pair_weights = weights
+
+    single = single_region_scheme(design)
+    if not single.fits(capacity):
+        raise InfeasibleError(
+            f"design {design.name!r} needs at least "
+            f"{single.resource_usage()} but the budget is {capacity}"
+        )
+
+    cmatrix = ConnectivityMatrix.from_design(design)
+    base_partitions = enumerate_base_partitions(design, cmatrix)
+
+    best_scheme: PartitioningScheme | None = None
+    best_cost: float | None = None
+    multi_region_feasible = False
+    sets_explored = 0
+    states = 0
+    feasible = 0
+
+    merge_cache = _MergeCache(weights)
+    for cps in candidate_partition_sets(
+        base_partitions, cmatrix, max_sets=options.max_candidate_sets
+    ):
+        sets_explored += 1
+        outcome = search_candidate_set(
+            design, cps, capacity, options.allocation, merge_cache=merge_cache
+        )
+        states += outcome.states_explored
+        feasible += outcome.feasible_states
+        if not outcome.found:
+            continue
+        assert outcome.best_groups is not None and outcome.best_cost is not None
+        if len(outcome.best_groups) > 1:
+            multi_region_feasible = True
+        if best_cost is None or outcome.best_cost < best_cost:
+            best_cost = outcome.best_cost
+            best_scheme = groups_to_scheme(design, cps, outcome.best_groups)
+
+    def scheme_objective(scheme: PartitioningScheme) -> float:
+        if options.pair_probabilities is None:
+            return float(total_reconfiguration_frames(scheme, policy))
+        from .cost import weighted_total_frames
+
+        return weighted_total_frames(scheme, options.pair_probabilities, policy)
+
+    if options.include_single_region:
+        single_cost = scheme_objective(single)
+        states += 1
+        feasible += 1
+        if best_cost is None or single_cost < best_cost:
+            best_cost = single_cost
+            best_scheme = single
+
+    if best_scheme is None or best_cost is None:
+        # No feasible multi-region scheme and the single-region fallback
+        # was disabled: surface the single-region arrangement anyway so the
+        # caller can escalate devices.
+        best_scheme = single
+        best_cost = scheme_objective(single)
+
+    return PartitionResult(
+        scheme=best_scheme,
+        total_frames=total_reconfiguration_frames(best_scheme, policy),
+        worst_frames=worst_case_frames(best_scheme, policy),
+        capacity=capacity,
+        candidate_sets_explored=sets_explored,
+        states_explored=states,
+        feasible_states=feasible,
+        only_single_region_feasible=not multi_region_feasible,
+        objective=float(best_cost),
+    )
+
+
+# ----------------------------------------------------------------------
+# device selection (Sec. V synthetic-benchmark protocol)
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class DevicePartitionResult:
+    """Partitioning outcome together with the device it landed on."""
+
+    result: PartitionResult
+    device: Device
+    initial_device: Device
+    escalations: int
+
+    @property
+    def scheme(self) -> PartitioningScheme:
+        return self.result.scheme
+
+    @property
+    def escalated(self) -> bool:
+        return self.escalations > 0
+
+
+def minimum_footprint(design: PRDesign) -> ResourceVector:
+    """Smallest capacity any implementation needs: single-region footprint
+    plus the design's static reservation."""
+    return single_region_scheme(design).resource_usage() + design.static_resources
+
+
+def select_device(design: PRDesign, library: DeviceLibrary) -> Device:
+    """Smallest library device that can hold the design at all."""
+    need = minimum_footprint(design)
+    device = library.smallest_fitting(need)
+    if device is None:
+        raise InfeasibleError(
+            f"no device in the library can hold design {design.name!r} "
+            f"(needs {need})"
+        )
+    return device
+
+
+def partition_with_device_selection(
+    design: PRDesign,
+    library: DeviceLibrary,
+    options: PartitionerOptions | None = None,
+    max_escalations: int | None = None,
+) -> DevicePartitionResult:
+    """The Sec. V protocol: smallest-fit device, escalate while stuck.
+
+    A device is "stuck" when no arrangement other than the single-region
+    one is feasible on it; the paper then retries on the next larger
+    device.  Escalation stops at the top of the library (the last result
+    is returned) or after ``max_escalations`` steps.
+    """
+    options = options or PartitionerOptions()
+    device = select_device(design, library)
+    initial = device
+    escalations = 0
+    while True:
+        capacity = device.usable_capacity(design.static_resources)
+        result = partition(design, capacity, options)
+        if not result.only_single_region_feasible:
+            return DevicePartitionResult(
+                result=result,
+                device=device,
+                initial_device=initial,
+                escalations=escalations,
+            )
+        bigger = library.next_larger(device)
+        if bigger is None or (
+            max_escalations is not None and escalations >= max_escalations
+        ):
+            return DevicePartitionResult(
+                result=result,
+                device=device,
+                initial_device=initial,
+                escalations=escalations,
+            )
+        device = bigger
+        escalations += 1
+
+
+def smallest_device_for_scheme(
+    scheme: PartitioningScheme, library: DeviceLibrary
+) -> Device | None:
+    """Smallest device holding a given scheme (plus the static reservation).
+
+    Used for the paper's "in 13 cases the proposed algorithm was able to
+    fit the design in a smaller FPGA than ... one module per region".
+    """
+    need = scheme.resource_usage() + scheme.design.static_resources
+    return library.smallest_fitting(need)

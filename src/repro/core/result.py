@@ -1,0 +1,296 @@
+"""Scheme representation: regions, activity tables, feasibility.
+
+A :class:`PartitioningScheme` is the output of the partitioner and of the
+baseline constructors: an assignment of base partitions to reconfigurable
+regions, plus (optionally) modes implemented directly in static logic.
+The scheme knows, for every configuration, which base partition each
+region holds (its *activity table*) -- the input to the cost model
+(Eqs. 7-11) and to the runtime simulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+from ..arch.resources import ResourceVector
+from ..arch.tiles import TileCount, quantised_footprint, tiles_for
+from .clustering import BasePartition
+from .model import PRDesign
+
+
+class SchemeError(ValueError):
+    """Raised when a scheme violates a structural invariant."""
+
+
+@dataclass(frozen=True)
+class Region:
+    """A reconfigurable region hosting one or more base partitions.
+
+    The region must be able to hold any one of its partitions, so its
+    footprint is the component-wise maximum of their footprints (Eq. 2 per
+    resource type), quantised to whole tiles (Eqs. 3-5).
+    """
+
+    name: str
+    partitions: tuple[BasePartition, ...]
+
+    def __post_init__(self) -> None:
+        if not self.partitions:
+            raise SchemeError(f"region {self.name!r} has no partitions")
+        labels = [p.label for p in self.partitions]
+        if len(set(labels)) != len(labels):
+            raise SchemeError(f"region {self.name!r} repeats a partition")
+
+    # ------------------------------------------------------------------
+    @property
+    def requirement(self) -> ResourceVector:
+        """Raw footprint: envelope over the hosted partitions."""
+        return ResourceVector.envelope(p.resources for p in self.partitions)
+
+    @property
+    def tiles(self) -> TileCount:
+        """Tile quantisation of the requirement (Eqs. 3-5)."""
+        return tiles_for(self.requirement)
+
+    @property
+    def frames(self) -> int:
+        """Frames rewritten when this region reconfigures (Eq. 6)."""
+        return self.tiles.frames
+
+    @property
+    def footprint(self) -> ResourceVector:
+        """Primitive capacity consumed once rounded to whole tiles."""
+        return quantised_footprint(self.requirement)
+
+    @property
+    def mode_names(self) -> frozenset[str]:
+        """All modes implementable in this region."""
+        out: set[str] = set()
+        for p in self.partitions:
+            out |= p.modes
+        return frozenset(out)
+
+    @property
+    def labels(self) -> tuple[str, ...]:
+        return tuple(p.label for p in self.partitions)
+
+    def partition_for(self, label: str) -> BasePartition:
+        for p in self.partitions:
+            if p.label == label:
+                return p
+        raise KeyError(f"region {self.name!r} does not host {label!r}")
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.name}[{', '.join(self.labels)}]"
+
+
+@dataclass(frozen=True)
+class PartitioningScheme:
+    """A complete partitioning: regions + optional static implementation.
+
+    ``cover`` maps each configuration name to the labels of the base
+    partitions supplying its modes (the covering assignment).  Modes in
+    ``static_modes`` are implemented in always-on static logic and need no
+    cover.  ``strategy`` tags the construction ("proposed", "modular",
+    "single-region", "static") for reports.
+    """
+
+    design: PRDesign
+    regions: tuple[Region, ...]
+    cover: Mapping[str, tuple[str, ...]]
+    static_modes: frozenset[str] = frozenset()
+    strategy: str = "proposed"
+
+    # Cached activity table {config name: tuple[label | None per region]}.
+    _activity: dict = field(default_factory=dict, repr=False, compare=False)
+
+    # ------------------------------------------------------------------
+    # validation
+    # ------------------------------------------------------------------
+    def __post_init__(self) -> None:
+        label_home: dict[str, str] = {}
+        for region in self.regions:
+            for p in region.partitions:
+                if p.label in label_home:
+                    raise SchemeError(
+                        f"partition {p.label} assigned to both "
+                        f"{label_home[p.label]!r} and {region.name!r}"
+                    )
+                label_home[p.label] = region.name
+
+        known_modes = {m.name for m in self.design.all_modes}
+        for mode in self.static_modes:
+            if mode not in known_modes:
+                raise SchemeError(f"static mode {mode!r} is not in the design")
+
+        for config in self.design.configurations:
+            assigned = self.cover.get(config.name, ())
+            union = set(self.static_modes) & set(config.modes)
+            regions_used: dict[str, str] = {}
+            for label in assigned:
+                home = label_home.get(label)
+                if home is None:
+                    raise SchemeError(
+                        f"cover of {config.name!r} references {label}, which is "
+                        "hosted by no region"
+                    )
+                if home in regions_used:
+                    raise SchemeError(
+                        f"configuration {config.name!r} needs both "
+                        f"{regions_used[home]} and {label} in region {home!r}"
+                    )
+                regions_used[home] = label
+                bp = self._find_partition(label)
+                if not bp.modes <= config.modes:
+                    raise SchemeError(
+                        f"cover of {config.name!r} uses {label}, which is not a "
+                        "subset of the configuration"
+                    )
+                union |= bp.modes
+            if union != set(config.modes):
+                missing = sorted(set(config.modes) - union)
+                raise SchemeError(
+                    f"configuration {config.name!r} is not implementable: "
+                    f"modes {missing} supplied by no region or static logic"
+                )
+
+        self._activity.update(self._build_activity())
+
+    def _find_partition(self, label: str) -> BasePartition:
+        for region in self.regions:
+            for p in region.partitions:
+                if p.label == label:
+                    return p
+        raise KeyError(label)
+
+    def _build_activity(self) -> dict[str, tuple[str | None, ...]]:
+        table: dict[str, tuple[str | None, ...]] = {}
+        for config in self.design.configurations:
+            assigned = set(self.cover.get(config.name, ()))
+            row: list[str | None] = []
+            for region in self.regions:
+                hit = [lbl for lbl in region.labels if lbl in assigned]
+                row.append(hit[0] if hit else None)
+            table[config.name] = tuple(row)
+        return table
+
+    # ------------------------------------------------------------------
+    # activity queries (cost model, runtime simulator)
+    # ------------------------------------------------------------------
+    def activity(self, configuration_name: str) -> tuple[str | None, ...]:
+        """Per-region active partition labels for a configuration."""
+        try:
+            return self._activity[configuration_name]
+        except KeyError:
+            raise KeyError(
+                f"unknown configuration {configuration_name!r}"
+            ) from None
+
+    def active_partition(self, configuration_name: str, region_index: int) -> str | None:
+        return self.activity(configuration_name)[region_index]
+
+    def region_activity(self, region_index: int) -> dict[str, str | None]:
+        """Active label of one region across all configurations."""
+        return {
+            c.name: self.activity(c.name)[region_index]
+            for c in self.design.configurations
+        }
+
+    # ------------------------------------------------------------------
+    # derived properties
+    # ------------------------------------------------------------------
+    @property
+    def region_count(self) -> int:
+        return len(self.regions)
+
+    def static_resources_used(self) -> ResourceVector:
+        """Raw footprint of statically implemented modes (always active)."""
+        return ResourceVector.sum(
+            self.design.mode(m).resources for m in sorted(self.static_modes)
+        )
+
+    def resource_usage(self) -> ResourceVector:
+        """Primitive capacity the scheme consumes (regions quantised).
+
+        Static modes are counted raw -- static logic is placed by the
+        normal flow and does not need whole reconfigurable tiles.
+        The design-level static reservation (processor, ICAP) is *not*
+        included; feasibility checks subtract it from the device instead.
+        """
+        total = self.static_resources_used()
+        for region in self.regions:
+            total = total + region.footprint
+        return total
+
+    def fits(self, capacity: ResourceVector) -> bool:
+        """True when the scheme fits a PR budget (per resource type)."""
+        return self.resource_usage().fits_in(capacity)
+
+    def effectively_static_regions(self) -> tuple[Region, ...]:
+        """Regions whose content never changes across configurations.
+
+        A region with at most one distinct active partition (ignoring
+        configurations that do not use it) is loaded once and never
+        reconfigured -- the mechanism by which the algorithm "moves modes
+        into the static region" (paper Sec. V, Table V).
+        """
+        out = []
+        for idx, region in enumerate(self.regions):
+            actives = {
+                lbl
+                for lbl in self.region_activity(idx).values()
+                if lbl is not None
+            }
+            if len(actives) <= 1:
+                out.append(region)
+        return tuple(out)
+
+    def reconfigurable_regions(self) -> tuple[Region, ...]:
+        """Regions that actually reconfigure at least once."""
+        static = {r.name for r in self.effectively_static_regions()}
+        return tuple(r for r in self.regions if r.name not in static)
+
+    @property
+    def total_region_frames(self) -> int:
+        """Sum of all region frame footprints (full reconfiguration cost)."""
+        return sum(region.frames for region in self.regions)
+
+    # ------------------------------------------------------------------
+    # presentation
+    # ------------------------------------------------------------------
+    def describe(self) -> str:
+        """Multi-line human-readable description (Table III/V style)."""
+        lines = [f"scheme {self.strategy!r} for {self.design.name!r}:"]
+        if self.static_modes:
+            lines.append(f"  static: {', '.join(sorted(self.static_modes))}")
+        static_names = {r.name for r in self.effectively_static_regions()}
+        for region in self.regions:
+            tag = " (never reconfigures)" if region.name in static_names else ""
+            lines.append(
+                f"  {region.name}: {', '.join(region.labels)}"
+                f"  frames={region.frames}{tag}"
+            )
+        usage = self.resource_usage()
+        lines.append(f"  usage: {usage}")
+        return "\n".join(lines)
+
+
+def regions_from_partitions(
+    groups: Sequence[Sequence[BasePartition]], prefix: str = "PRR"
+) -> tuple[Region, ...]:
+    """Name and wrap partition groups as regions (PRR1, PRR2, ...)."""
+    return tuple(
+        Region(name=f"{prefix}{i + 1}", partitions=tuple(group))
+        for i, group in enumerate(groups)
+    )
+
+
+def merge_regions(a: Region, b: Region, name: str) -> Region:
+    """A region hosting everything ``a`` and ``b`` hosted."""
+    return Region(name=name, partitions=a.partitions + b.partitions)
+
+
+def scheme_frames_by_region(scheme: PartitioningScheme) -> dict[str, int]:
+    """Frame footprint per region (reporting helper)."""
+    return {r.name: r.frames for r in scheme.regions}

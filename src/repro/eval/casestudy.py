@@ -1,0 +1,142 @@
+"""The paper's case study: a wireless video receiver chain (Sec. V).
+
+Five reconfigurable modules on a Virtex-5 FX70T with the resource
+utilisation of Table II, evaluated with two configuration sets:
+
+* :func:`casestudy_design` -- the original eight configurations,
+  producing Tables III and IV;
+* :func:`casestudy_design_modified` -- the modified five configurations,
+  producing Table V.
+
+The PR budget is the paper's: 6800 CLBs, 50 BRAMs, 150 DSP slices (the
+rest of the FX70T is reserved for the static region).
+"""
+
+from __future__ import annotations
+
+from ..arch.resources import ResourceVector
+from ..core.model import PRDesign, design_from_tables
+
+#: Table II verbatim: module -> {mode: (slices, bram, dsp)}.
+TABLE2_RESOURCES: dict[str, dict[str, tuple[int, int, int]]] = {
+    "MatchedFilter": {
+        "F1": (818, 0, 28),   # Filter1
+        "F2": (500, 0, 34),   # Filter2
+    },
+    "Recovery": {
+        "R1": (318, 1, 13),   # Fine
+        "R2": (195, 1, 5),    # Coarse1
+        "R3": (123, 0, 8),    # Coarse2
+        "R4": (0, 0, 0),      # None
+    },
+    "Demodulator": {
+        "M1": (50, 0, 2),     # BPSK
+        "M2": (97, 0, 4),     # QPSK
+    },
+    "Decoder": {
+        "D1": (630, 2, 0),    # Viterbi
+        "D2": (748, 15, 4),   # Turbo
+        "D3": (234, 2, 0),    # DPC
+    },
+    "VideoDecoder": {
+        "V1": (4700, 40, 65),  # MPEG4
+        "V2": (4558, 16, 32),  # MPEG2
+        "V3": (2780, 6, 9),    # JPEG
+    },
+}
+
+#: The eight original configurations (Sec. V, first list).
+CASESTUDY_CONFIGURATIONS: tuple[tuple[str, ...], ...] = (
+    ("F1", "R3", "M1", "D1", "V1"),
+    ("F1", "R3", "M1", "D1", "V2"),
+    ("F1", "R3", "M1", "D1", "V3"),
+    ("F2", "R1", "M2", "D3", "V1"),
+    ("F2", "R2", "M1", "D1", "V1"),
+    ("F2", "R2", "M1", "D1", "V2"),
+    ("F2", "R2", "M1", "D1", "V3"),
+    ("F1", "R2", "M1", "D2", "V2"),
+)
+
+#: The five modified configurations (Sec. V, second list).
+CASESTUDY_CONFIGURATIONS_MODIFIED: tuple[tuple[str, ...], ...] = (
+    ("F1", "R3", "M1", "D1", "V1"),
+    ("F1", "R2", "M1", "D1", "V3"),
+    ("F2", "R3", "M1", "D1", "V3"),
+    ("F1", "R1", "M2", "D3", "V1"),
+    ("F2", "R1", "M2", "D3", "V2"),
+)
+
+#: PR budget carved out of the FX70T exactly as printed in Sec. V.
+CASESTUDY_BUDGET_PAPER = ResourceVector(clb=6800, bram=50, dsp=150)
+
+#: PR budget used by this reproduction.  The paper's 50-BRAM budget is
+#: unreachable under architecture-faithful tile quantisation: the
+#: one-module-per-region scheme the paper reports as fitting already
+#: needs 56 BRAMs raw (per-module maxima of Table II) and 60 once each
+#: region's BRAM requirement is rounded to whole 4-BRAM tiles, and even
+#: the paper's own Table III solution needs 64.  We therefore raise the
+#: BRAM budget to 64 (the smallest tile-aligned value that admits the
+#: paper's solution) and keep CLB/DSP as printed.  See EXPERIMENTS.md.
+CASESTUDY_BUDGET = ResourceVector(clb=6800, bram=64, dsp=150)
+
+#: Paper Table IV (scheme -> (clb, bram, dsp, total reconfig frames)).
+TABLE4_PAPER: dict[str, tuple[int, int, int, int]] = {
+    "static": (15053, 68, 202, 0),
+    "modular": (6580, 48, 144, 244872),
+    "proposed": (6600, 48, 140, 235266),
+}
+
+#: Paper Table III: region -> base partitions of the proposed scheme.
+TABLE3_PAPER: dict[str, tuple[str, ...]] = {
+    "PRR1": ("{M2}", "{D2, M1}"),
+    "PRR2": ("{D3}", "{R2}", "{R3}"),
+    "PRR3": ("{D1}", "{R1}"),
+    "PRR4": ("{F1}", "{F2}"),
+    "PRR5": ("{V1}", "{V2}", "{V3}"),
+}
+
+#: Paper Table V: region -> base partitions for the modified configs.
+TABLE5_PAPER: dict[str, tuple[str, ...]] = {
+    "static": ("M1", "D2"),
+    "PRR1": ("{D1}", "{R1}"),
+    "PRR2": ("{M2, R2, R3, D3}",),  # grouping as printed: R2, R3, M2, D3
+    "PRR3": ("{F1}", "{F2}"),
+    "PRR4": ("{V1}", "{V2}", "{V3}"),
+}
+
+#: Paper-reported headline numbers for the modified configuration set.
+TABLE5_USAGE_PAPER = (6500, 48, 144)
+TABLE5_TOTAL_FRAMES_PAPER = 92120
+
+
+def _build(name: str, configurations, drop_unused_none_mode: bool = True) -> PRDesign:
+    table = {
+        module: dict(modes) for module, modes in TABLE2_RESOURCES.items()
+    }
+    if drop_unused_none_mode:
+        # Mode R4 ("None", zero footprint) appears in no configuration of
+        # either set; it is the paper's mode-0 placeholder for "Recovery
+        # absent" and carries no resources.  PRDesign tolerates it either
+        # way; dropping keeps all_modes == active_modes for these designs.
+        used = {m for config in configurations for m in config}
+        if "R4" not in used:
+            table["Recovery"] = {
+                k: v for k, v in table["Recovery"].items() if k != "R4"
+            }
+    return design_from_tables(
+        name=name,
+        module_table=table,
+        configurations=configurations,
+    )
+
+
+def casestudy_design() -> PRDesign:
+    """The wireless receiver with the original eight configurations."""
+    return _build("wireless-video-receiver", CASESTUDY_CONFIGURATIONS)
+
+
+def casestudy_design_modified() -> PRDesign:
+    """The wireless receiver with the modified five configurations."""
+    return _build(
+        "wireless-video-receiver-modified", CASESTUDY_CONFIGURATIONS_MODIFIED
+    )

@@ -1,0 +1,127 @@
+"""The paper's running example (Sec. III / IV): modules A, B, C.
+
+Three reconfigurable modules with modes A1-A3, B1-B2, C1-C3 and five
+valid configurations.  This design drives the connectivity-matrix example
+(Sec. IV-C) and Table I (base partitions with frequency weights).
+
+The paper never gives resource numbers for these modes -- only the
+clustering structure matters -- so we assign small distinct footprints
+(documented below) that make areas unique and keep every covering
+tiebreak deterministic.
+"""
+
+from __future__ import annotations
+
+from ..arch.resources import ResourceVector
+from ..core.model import PRDesign, design_from_tables
+
+#: (clb, bram, dsp) per mode.  Chosen so that no two modes tie on area;
+#: the paper's Table I does not depend on these values.
+_EXAMPLE_RESOURCES: dict[str, dict[str, tuple[int, int, int]]] = {
+    "A": {
+        "A1": (40, 0, 0),
+        "A2": (120, 1, 2),
+        "A3": (60, 0, 1),
+    },
+    "B": {
+        "B1": (200, 2, 4),
+        "B2": (80, 1, 0),
+    },
+    "C": {
+        "C1": (100, 0, 2),
+        "C2": (50, 0, 0),
+        "C3": (140, 3, 6),
+    },
+}
+
+#: The five valid configurations exactly as listed in Sec. III-A.
+EXAMPLE_CONFIGURATIONS: tuple[tuple[str, ...], ...] = (
+    ("A3", "B2", "C3"),  # Conf.1
+    ("A1", "B1", "C1"),  # Conf.2
+    ("A3", "B2", "C1"),  # Conf.3
+    ("A1", "B2", "C2"),  # Conf.4
+    ("A2", "B2", "C3"),  # Conf.5
+)
+
+#: Paper Table I: base partition label -> frequency weight.
+TABLE1_EXPECTED: dict[str, int] = {
+    "{A2}": 1, "{C2}": 1, "{B1}": 1,
+    "{A1}": 2, "{C1}": 2, "{C3}": 2, "{A3}": 2,
+    "{B2}": 4,
+    "{A1, B2}": 1, "{B2, C1}": 1, "{A1, C1}": 1, "{B2, C2}": 1,
+    "{A2, B2}": 1, "{A1, C2}": 1, "{A1, B1}": 1, "{B1, C1}": 1,
+    "{A2, C3}": 1, "{A3, C1}": 1, "{A3, C3}": 1,
+    "{B2, C3}": 2, "{A3, B2}": 2,
+    "{A3, B2, C3}": 1, "{A1, B1, C1}": 1, "{A3, B2, C1}": 1,
+    "{A1, B2, C2}": 1, "{A2, B2, C3}": 1,
+}
+
+#: The connectivity matrix of Sec. IV-C, rows Conf.1-5, columns
+#: A1 A2 A3 B1 B2 C1 C2 C3 (paper layout).
+EXPECTED_MATRIX: tuple[tuple[int, ...], ...] = (
+    (0, 0, 1, 0, 1, 0, 0, 1),
+    (1, 0, 0, 1, 0, 1, 0, 0),
+    (0, 0, 1, 0, 1, 1, 0, 0),
+    (1, 0, 0, 0, 1, 0, 1, 0),
+    (0, 1, 0, 0, 1, 0, 0, 1),
+)
+
+#: Column order of the paper's matrix presentation.
+EXPECTED_MODE_ORDER: tuple[str, ...] = (
+    "A1", "A2", "A3", "B1", "B2", "C1", "C2", "C3",
+)
+
+
+def example_design(static: ResourceVector | None = None) -> PRDesign:
+    """Construct the Sec. III example design."""
+    return design_from_tables(
+        name="paper-example",
+        module_table=_EXAMPLE_RESOURCES,
+        configurations=EXAMPLE_CONFIGURATIONS,
+        static_resources=static,
+    )
+
+
+def hybrid_example_design() -> PRDesign:
+    """The two-module motivating example of Sec. IV-A / Fig. 3.
+
+    Modules A (small mode A1, large mode A2) and B (large B1, small B2)
+    with configurations A1+B1, A2+B2, A1+B2.  Used by tests to exercise
+    the area trade-off narrative (single region sized by {A1, B1}).
+    """
+    return design_from_tables(
+        name="paper-hybrid-example",
+        module_table={
+            "A": {"A1": (60, 0, 0), "A2": (200, 0, 0)},
+            "B": {"B1": (220, 0, 0), "B2": (50, 0, 0)},
+        },
+        configurations=(
+            ("A1", "B1"),
+            ("A2", "B2"),
+            ("A1", "B2"),
+        ),
+    )
+
+
+def single_mode_mix_design() -> PRDesign:
+    """The Sec. IV-D special condition (design example of ref. [7]).
+
+    Five single-mode modules -- CAN controller (C), FIR filter (F),
+    Ethernet controller (E), floating point unit (P), CRC (R) -- and two
+    configurations: {C, F} and {E, P, R}.  Modules absent from a
+    configuration are simply not listed (the paper's "mode 0").
+    """
+    return design_from_tables(
+        name="single-mode-mix",
+        module_table={
+            "CAN": {"C1": (400, 2, 0)},
+            "FIR": {"F1": (300, 0, 12)},
+            "ETH": {"E1": (600, 4, 0)},
+            "FPU": {"P1": (500, 0, 8)},
+            "CRC": {"R1": (120, 0, 0)},
+        },
+        configurations=(
+            ("C1", "F1"),
+            ("E1", "P1", "R1"),
+        ),
+    )

@@ -1,0 +1,126 @@
+"""Sweep-result persistence: JSON round-trips and CSV export.
+
+The 1000-design evaluation takes minutes; persisting its records lets
+figures be regenerated, re-binned and re-analysed without recomputing.
+JSON carries the full :class:`SweepResult`; CSV exports the Fig. 7/8
+series in a plotting-tool-friendly layout.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from dataclasses import asdict, fields
+from pathlib import Path
+
+from .experiments import SweepRecord, SweepResult
+
+#: Schema version embedded in saved files; bumped on field changes.
+FORMAT_VERSION = 1
+
+
+class PersistenceError(ValueError):
+    """Raised for malformed or incompatible saved sweeps."""
+
+
+def sweep_to_json(sweep: SweepResult) -> str:
+    """Serialise a sweep to a JSON document."""
+    return json.dumps(
+        {
+            "format": "repro-sweep",
+            "version": FORMAT_VERSION,
+            "seed": sweep.seed,
+            "skipped": sweep.skipped,
+            "records": [asdict(r) for r in sweep.records],
+        },
+        indent=1,
+    )
+
+
+def sweep_from_json(text: str) -> SweepResult:
+    """Reload a sweep saved by :func:`sweep_to_json`."""
+    try:
+        doc = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise PersistenceError(f"invalid JSON: {exc}") from exc
+    if doc.get("format") != "repro-sweep":
+        raise PersistenceError("not a repro sweep document")
+    if doc.get("version") != FORMAT_VERSION:
+        raise PersistenceError(
+            f"unsupported sweep format version {doc.get('version')!r}"
+        )
+    field_names = {f.name for f in fields(SweepRecord)}
+    records = []
+    for raw in doc.get("records", []):
+        unknown = set(raw) - field_names
+        missing = field_names - set(raw)
+        if unknown or missing:
+            raise PersistenceError(
+                f"record schema mismatch (unknown={sorted(unknown)}, "
+                f"missing={sorted(missing)})"
+            )
+        records.append(SweepRecord(**raw))
+    return SweepResult(
+        records=tuple(records),
+        skipped=int(doc.get("skipped", 0)),
+        seed=int(doc.get("seed", 0)),
+    )
+
+
+def save_sweep(sweep: SweepResult, path: str | Path) -> None:
+    Path(path).write_text(sweep_to_json(sweep), encoding="utf-8")
+
+
+def load_sweep(path: str | Path) -> SweepResult:
+    return sweep_from_json(Path(path).read_text(encoding="utf-8"))
+
+
+def export_series_csv(sweep: SweepResult, path: str | Path) -> None:
+    """Fig. 7/8 series as CSV: one row per design in device order."""
+    ordered = sweep.sorted_by_device()
+    with open(path, "w", newline="", encoding="utf-8") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(
+            [
+                "rank",
+                "design",
+                "circuit_class",
+                "device",
+                "proposed_total",
+                "modular_total",
+                "single_total",
+                "proposed_worst",
+                "modular_worst",
+                "single_worst",
+            ]
+        )
+        for rank, r in enumerate(ordered):
+            writer.writerow(
+                [
+                    rank,
+                    r.design_name,
+                    r.circuit_class,
+                    r.device_name,
+                    r.proposed_total,
+                    r.modular_total,
+                    r.single_total,
+                    r.proposed_worst,
+                    r.modular_worst,
+                    r.single_worst,
+                ]
+            )
+
+
+def export_histograms_csv(sweep: SweepResult, path: str | Path) -> None:
+    """Fig. 9 histograms as CSV: one row per (panel, bin)."""
+    from .stats import FIG9_BIN_EDGES
+
+    with open(path, "w", newline="", encoding="utf-8") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(["panel", "label", "bin_lo", "bin_hi", "count"])
+        for panel, profile in sweep.profiles().items():
+            counts, edges = profile.histogram(FIG9_BIN_EDGES)
+            for i, count in enumerate(counts):
+                writer.writerow(
+                    [panel, profile.label, edges[i], edges[i + 1], int(count)]
+                )

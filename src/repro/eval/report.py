@@ -1,0 +1,114 @@
+"""ASCII rendering shared by benchmarks, examples and the CLI.
+
+Everything the paper presents is a table or an x/y series; these helpers
+render both without any plotting dependency, so benchmark output can be
+eyeballed against the paper directly in a terminal or a log file.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """A boxed, column-aligned ASCII table."""
+    str_rows = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells, expected {len(headers)}"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return "| " + " | ".join(c.ljust(w) for c, w in zip(cells, widths)) + " |"
+
+    rule = "+-" + "-+-".join("-" * w for w in widths) + "-+"
+    out = []
+    if title:
+        out.append(title)
+    out.extend([rule, line(list(headers)), rule])
+    for row in str_rows:
+        out.append(line(row))
+    out.append(rule)
+    return "\n".join(out)
+
+
+def render_series(
+    series: Mapping[str, Sequence[float]],
+    x_label: str = "design",
+    y_label: str = "value",
+    width: int = 72,
+    height: int = 16,
+    title: str | None = None,
+) -> str:
+    """A coarse ASCII scatter of several named series over a shared x.
+
+    Each series gets a marker character; points are bucketed into a
+    width x height character grid (log-free, linear axes).  Good enough
+    to compare the *shape* of Fig. 7/8 against the paper.
+    """
+    if not series:
+        return "(empty series)"
+    markers = "*o+x#@%&"
+    n = max(len(v) for v in series.values())
+    y_max = max((max(v) for v in series.values() if len(v)), default=1.0)
+    y_max = max(y_max, 1e-12)
+    grid = [[" "] * width for _ in range(height)]
+    for k, (name, values) in enumerate(series.items()):
+        marker = markers[k % len(markers)]
+        for i, y in enumerate(values):
+            cx = min(width - 1, int(i * (width - 1) / max(1, n - 1)))
+            cy = min(height - 1, int((1 - y / y_max) * (height - 1)))
+            grid[cy][cx] = marker
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"y: {y_label} (max {y_max:g})")
+    lines.extend("|" + "".join(row) for row in grid)
+    lines.append("+" + "-" * width)
+    lines.append(f"x: {x_label} (n={n})")
+    legend = "  ".join(
+        f"{markers[k % len(markers)]}={name}" for k, name in enumerate(series)
+    )
+    lines.append("legend: " + legend)
+    return "\n".join(lines)
+
+
+def render_histogram(
+    bin_edges: Sequence[float],
+    counts: Sequence[int],
+    title: str | None = None,
+    width: int = 50,
+) -> str:
+    """A horizontal bar chart (Fig. 9 style)."""
+    if len(counts) != len(bin_edges) - 1:
+        raise ValueError("counts must have one entry per bin")
+    peak = max(counts) if counts else 1
+    peak = max(peak, 1)
+    lines = []
+    if title:
+        lines.append(title)
+    for i, count in enumerate(counts):
+        lo, hi = bin_edges[i], bin_edges[i + 1]
+        bar = "#" * int(round(count * width / peak))
+        lines.append(f"[{lo:>6.0f}, {hi:>6.0f})  {count:>5}  {bar}")
+    return "\n".join(lines)
+
+
+def format_percent(value: float, digits: int = 1) -> str:
+    return f"{value:.{digits}f}%"
+
+
+def kv_block(pairs: Mapping[str, object], title: str | None = None) -> str:
+    """Aligned key/value listing for summary statistics."""
+    width = max((len(k) for k in pairs), default=0)
+    lines = [title] if title else []
+    lines.extend(f"{k.ljust(width)} : {v}" for k, v in pairs.items())
+    return "\n".join(lines)

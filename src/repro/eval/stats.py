@@ -1,0 +1,110 @@
+"""Percentage-change profiles and Fig. 9 histogram binning.
+
+Fig. 9 plots histograms of the percentage change of the proposed scheme
+relative to each baseline, for total and worst-case reconfiguration
+time, over the synthetic population.  The paper's x-axis runs from -10%
+to 100% in 10-point bins; we reuse those edges.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+#: The paper's Fig. 9 x-axis bin edges.
+FIG9_BIN_EDGES: tuple[float, ...] = tuple(float(x) for x in range(-10, 101, 10))
+
+
+@dataclass(frozen=True)
+class ImprovementProfile:
+    """Distribution of percentage improvements against one baseline."""
+
+    label: str
+    changes: tuple[float, ...]
+
+    @property
+    def n(self) -> int:
+        return len(self.changes)
+
+    @property
+    def fraction_better(self) -> float:
+        """Share of strictly positive improvements."""
+        if not self.changes:
+            return 0.0
+        return sum(1 for c in self.changes if c > 0) / self.n
+
+    @property
+    def fraction_better_or_equal(self) -> float:
+        if not self.changes:
+            return 0.0
+        return sum(1 for c in self.changes if c >= 0) / self.n
+
+    @property
+    def fraction_worse(self) -> float:
+        if not self.changes:
+            return 0.0
+        return sum(1 for c in self.changes if c < 0) / self.n
+
+    @property
+    def mean(self) -> float:
+        return float(np.mean(self.changes)) if self.changes else 0.0
+
+    @property
+    def median(self) -> float:
+        return float(np.median(self.changes)) if self.changes else 0.0
+
+    def histogram(
+        self, edges: Sequence[float] = FIG9_BIN_EDGES
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """(counts, edges) with out-of-range values clipped to end bins."""
+        edges_arr = np.asarray(edges, dtype=float)
+        data = np.clip(
+            np.asarray(self.changes, dtype=float),
+            edges_arr[0],
+            np.nextafter(edges_arr[-1], -np.inf),
+        )
+        counts, out_edges = np.histogram(data, bins=edges_arr)
+        return counts, out_edges
+
+
+def improvement_profile(
+    label: str,
+    baseline_costs: Sequence[int],
+    proposed_costs: Sequence[int],
+) -> ImprovementProfile:
+    """Percentage improvement per design; zero-baseline pairs are skipped.
+
+    Positive = proposed is better.  A zero baseline with a zero proposal
+    contributes 0%; a zero baseline with a positive proposal is excluded
+    (no meaningful percentage exists -- occurs only for degenerate
+    single-configuration designs where every scheme costs zero anyway).
+    """
+    if len(baseline_costs) != len(proposed_costs):
+        raise ValueError("cost sequences must have equal length")
+    changes: list[float] = []
+    for base, prop in zip(baseline_costs, proposed_costs):
+        if base == 0:
+            if prop == 0:
+                changes.append(0.0)
+            continue
+        changes.append(100.0 * (base - prop) / base)
+    return ImprovementProfile(label=label, changes=tuple(changes))
+
+
+def summarise_profiles(
+    profiles: Sequence[ImprovementProfile],
+) -> dict[str, dict[str, float]]:
+    """Headline numbers per profile (what Sec. V quotes in prose)."""
+    return {
+        p.label: {
+            "n": float(p.n),
+            "better": round(100 * p.fraction_better, 1),
+            "better_or_equal": round(100 * p.fraction_better_or_equal, 1),
+            "worse": round(100 * p.fraction_worse, 1),
+            "mean": round(p.mean, 2),
+            "median": round(p.median, 2),
+        }
+        for p in profiles
+    }

@@ -1,0 +1,118 @@
+"""Bitstream sizing (Fig. 2 step 7): full + partial bitstreams per scheme.
+
+The last flow step produces one full configuration bitstream and one
+partial bitstream per (region, variant).  A partial bitstream's payload
+is the region's frame span times the frame size (41 words), plus a fixed
+command overhead (sync word, FAR/FDRI writes, CRC, desync) that the
+runtime ICAP model accounts for.
+
+Sizes are derived from the analytic region footprint by default, or from
+a :class:`~repro.flow.floorplan.Floorplan` when one is supplied -- placed
+rectangles can sweep more frames than the analytic minimum, which is
+exactly the fidelity gap the paper's future-work feedback loop targets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from ..arch.device import Device
+from ..arch.tiles import BYTES_PER_FRAME, WORDS_PER_FRAME
+from ..core.result import PartitioningScheme
+from .floorplan import Floorplan, placement_frames
+
+#: Configuration-command overhead of one partial bitstream, in words
+#: (sync, NOOPs, ID, FAR, FDRI header, CRC, desync -- UG191 ballpark).
+PARTIAL_OVERHEAD_WORDS = 48
+
+#: Header overhead of a full bitstream (startup sequence included).
+FULL_OVERHEAD_WORDS = 256
+
+
+@dataclass(frozen=True)
+class PartialBitstream:
+    """One partial bitstream: a (region, partition) pair with its size."""
+
+    region: str
+    partition_label: str
+    frames: int
+
+    @property
+    def payload_words(self) -> int:
+        return self.frames * WORDS_PER_FRAME
+
+    @property
+    def total_words(self) -> int:
+        return self.payload_words + PARTIAL_OVERHEAD_WORDS
+
+    @property
+    def total_bytes(self) -> int:
+        return self.total_words * 4
+
+    @property
+    def payload_bytes(self) -> int:
+        return self.frames * BYTES_PER_FRAME
+
+
+@dataclass(frozen=True)
+class BitstreamSet:
+    """All bitstreams of an implemented scheme."""
+
+    full_frames: int
+    partials: tuple[PartialBitstream, ...]
+
+    @property
+    def full_words(self) -> int:
+        return self.full_frames * WORDS_PER_FRAME + FULL_OVERHEAD_WORDS
+
+    @property
+    def full_bytes(self) -> int:
+        return self.full_words * 4
+
+    def partial(self, region: str, partition_label: str) -> PartialBitstream:
+        for p in self.partials:
+            if p.region == region and p.partition_label == partition_label:
+                return p
+        raise KeyError(f"no partial bitstream for {region}/{partition_label}")
+
+    def by_region(self) -> dict[str, list[PartialBitstream]]:
+        out: dict[str, list[PartialBitstream]] = {}
+        for p in self.partials:
+            out.setdefault(p.region, []).append(p)
+        return out
+
+    @property
+    def total_storage_bytes(self) -> int:
+        """External-memory footprint of every bitstream (Fig. 2 output)."""
+        return self.full_bytes + sum(p.total_bytes for p in self.partials)
+
+
+def generate_bitstreams(
+    scheme: PartitioningScheme,
+    device: Device,
+    plan: Floorplan | None = None,
+) -> BitstreamSet:
+    """Size all bitstreams of a scheme.
+
+    With a floorplan, each region's frame count is the frames swept by
+    its placed rectangle; otherwise the analytic tile footprint is used.
+    """
+    frames_of: Mapping[str, int]
+    if plan is not None:
+        frames_of = {
+            r.name: placement_frames(plan, r.name) for r in scheme.regions
+        }
+    else:
+        frames_of = {r.name: r.frames for r in scheme.regions}
+
+    partials = tuple(
+        PartialBitstream(
+            region=region.name,
+            partition_label=p.label,
+            frames=frames_of[region.name],
+        )
+        for region in scheme.regions
+        for p in region.partitions
+    )
+    return BitstreamSet(full_frames=device.total_frames(), partials=partials)

@@ -1,0 +1,112 @@
+"""Floorplanner-to-partitioner feedback loop (the paper's Sec. VI
+future-work item, implemented).
+
+The partitioner deliberately uses *all* resources of the chosen device,
+so its schemes routinely fill >95% of the fabric -- and a scheme that
+fits by aggregate area may still be unplaceable as non-overlapping
+rectangles (fragmentation).  The paper proposes feeding floorplan
+failures back into partitioning; :func:`partition_and_place` does so with
+a two-level strategy:
+
+1. **budget tightening** -- on placement failure, re-partition with a
+   shrunk PR budget (fewer, larger, more mergeable regions pack better
+   and leave slack);
+2. **device escalation** -- when tightening bottoms out, move to the
+   next larger device and start over.
+
+The loop terminates: budgets shrink geometrically down to the
+single-region footprint, and the device ladder is finite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..arch.device import Device
+from ..arch.library import DeviceLibrary
+from ..arch.resources import ResourceVector
+from ..core.model import PRDesign
+from ..core.partitioner import (
+    InfeasibleError,
+    PartitionResult,
+    PartitionerOptions,
+    partition,
+    select_device,
+)
+from .floorplan import Floorplan, FloorplanError, floorplan
+
+
+@dataclass(frozen=True)
+class PlacedPartition:
+    """A partitioning that is proven placeable on a concrete device."""
+
+    result: PartitionResult
+    device: Device
+    plan: Floorplan
+    partition_attempts: int
+    device_escalations: int
+
+    @property
+    def scheme(self):
+        return self.result.scheme
+
+
+def _shrink(budget: ResourceVector, factor: float) -> ResourceVector:
+    return ResourceVector(
+        clb=max(1, int(budget.clb * factor)),
+        bram=int(budget.bram * factor),
+        dsp=int(budget.dsp * factor),
+    )
+
+
+def partition_and_place(
+    design: PRDesign,
+    library: DeviceLibrary,
+    options: PartitionerOptions | None = None,
+    shrink_factor: float = 0.85,
+    max_shrinks_per_device: int = 4,
+) -> PlacedPartition:
+    """Partition with floorplan feedback until a placeable scheme exists.
+
+    Raises :class:`InfeasibleError` when even the largest library device
+    cannot place the design's single-region arrangement.
+    """
+    if not (0 < shrink_factor < 1):
+        raise ValueError("shrink_factor must lie in (0, 1)")
+    if max_shrinks_per_device < 0:
+        raise ValueError("max_shrinks_per_device must be non-negative")
+
+    device: Device | None = select_device(design, library)
+    attempts = 0
+    escalations = 0
+    last_error: Exception | None = None
+
+    while device is not None:
+        budget = device.usable_capacity(design.static_resources)
+        for _ in range(max_shrinks_per_device + 1):
+            attempts += 1
+            try:
+                result = partition(design, budget, options)
+            except InfeasibleError as exc:
+                last_error = exc
+                break  # budget shrunk below the single-region floor
+            try:
+                plan = floorplan(result.scheme, device)
+            except FloorplanError as exc:
+                last_error = exc
+                budget = _shrink(budget, shrink_factor)
+                continue
+            return PlacedPartition(
+                result=result,
+                device=device,
+                plan=plan,
+                partition_attempts=attempts,
+                device_escalations=escalations,
+            )
+        device = library.next_larger(device)
+        escalations += 1
+
+    raise InfeasibleError(
+        f"design {design.name!r} could not be placed on any library device"
+        + (f" (last error: {last_error})" if last_error else "")
+    )

@@ -1,0 +1,215 @@
+"""Column-aware rectangular floorplanner (substitute for ref. [11]).
+
+Fig. 2 step 5: after partitioning, every region must be placed on the
+device as a rectangle of whole tiles satisfying three Xilinx constraints
+(Sec. IV-B): regions are rectangular, never overlap, and never share a
+tile.  The authors use their ARC'12 architecture-aware floorplanner; this
+module implements the same contract on the synthesised column grid of
+:class:`repro.arch.device.Device`:
+
+* regions are placed largest-frames-first (hardest first);
+* for each region every (row-span x column-span) window is scanned
+  left-to-right, bottom-to-top, and the first window that (a) contains
+  enough tiles of every required type and (b) does not overlap earlier
+  placements is taken;
+* windows grow row-wise first (PR regions prefer full-row-height shapes
+  on Virtex-5 because a frame spans a full row).
+
+The result either assigns every region a :class:`Placement` or raises
+:class:`FloorplanError` -- the feedback path the paper's future-work
+section wants from the floorplanner back to the partitioner.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from ..arch.device import Device
+from ..arch.resources import ResourceType, ResourceVector
+from ..arch.tiles import PRIMITIVES_PER_TILE
+from ..core.result import PartitioningScheme, Region
+
+
+class FloorplanError(RuntimeError):
+    """No legal placement exists for one of the regions."""
+
+
+@dataclass(frozen=True)
+class Placement:
+    """A placed region: a rectangle of whole tiles on the device grid.
+
+    ``col_lo``/``col_hi`` and ``row_lo``/``row_hi`` are inclusive column
+    and row bounds in grid coordinates.
+    """
+
+    region_name: str
+    col_lo: int
+    col_hi: int
+    row_lo: int
+    row_hi: int
+
+    def __post_init__(self) -> None:
+        if self.col_lo > self.col_hi or self.row_lo > self.row_hi:
+            raise ValueError(f"degenerate placement for {self.region_name!r}")
+
+    @property
+    def n_rows(self) -> int:
+        return self.row_hi - self.row_lo + 1
+
+    @property
+    def n_cols(self) -> int:
+        return self.col_hi - self.col_lo + 1
+
+    def overlaps(self, other: "Placement") -> bool:
+        return not (
+            self.col_hi < other.col_lo
+            or other.col_hi < self.col_lo
+            or self.row_hi < other.row_lo
+            or other.row_hi < self.row_lo
+        )
+
+    def tiles(self) -> Iterable[tuple[int, int]]:
+        """All (row, col) tiles covered by the rectangle."""
+        for row in range(self.row_lo, self.row_hi + 1):
+            for col in range(self.col_lo, self.col_hi + 1):
+                yield row, col
+
+
+@dataclass(frozen=True)
+class Floorplan:
+    """A complete placement of a scheme's regions on a device."""
+
+    device: Device
+    placements: tuple[Placement, ...]
+
+    def placement_of(self, region_name: str) -> Placement:
+        for p in self.placements:
+            if p.region_name == region_name:
+                return p
+        raise KeyError(f"region {region_name!r} is not placed")
+
+    def validate(self, scheme: PartitioningScheme) -> None:
+        """Re-check all three Xilinx constraints plus capacity per region."""
+        for i in range(len(self.placements)):
+            for j in range(i + 1, len(self.placements)):
+                if self.placements[i].overlaps(self.placements[j]):
+                    raise FloorplanError(
+                        f"regions {self.placements[i].region_name!r} and "
+                        f"{self.placements[j].region_name!r} overlap"
+                    )
+        by_name = {r.name: r for r in scheme.regions}
+        for p in self.placements:
+            region = by_name.get(p.region_name)
+            if region is None:
+                raise FloorplanError(f"placement for unknown region {p.region_name!r}")
+            provided = _window_capacity(
+                self.device, p.col_lo, p.col_hi, p.n_rows
+            )
+            if not region.requirement.fits_in(provided):
+                raise FloorplanError(
+                    f"placement of {p.region_name!r} provides {provided}, "
+                    f"needs {region.requirement}"
+                )
+
+
+def _window_capacity(
+    device: Device, col_lo: int, col_hi: int, n_rows: int
+) -> ResourceVector:
+    """Primitives provided by a window spanning ``n_rows`` rows."""
+    counts = {rtype: 0 for rtype in ResourceType}
+    for col in device.columns[col_lo : col_hi + 1]:
+        counts[col.rtype] += n_rows * PRIMITIVES_PER_TILE[col.rtype]
+    return ResourceVector(
+        clb=counts[ResourceType.CLB],
+        bram=counts[ResourceType.BRAM],
+        dsp=counts[ResourceType.DSP],
+    )
+
+
+def _place_one(
+    device: Device,
+    region: Region,
+    occupied: list[list[bool]],  # [row][col]
+) -> Placement | None:
+    """First-fit scan for one region over all window shapes."""
+    need = region.requirement
+    n_cols_total = device.column_count
+    n_rows_total = device.rows
+    for n_rows in range(1, n_rows_total + 1):
+        for width in range(1, n_cols_total + 1):
+            for col_lo in range(0, n_cols_total - width + 1):
+                col_hi = col_lo + width - 1
+                capacity = _window_capacity(device, col_lo, col_hi, n_rows)
+                if not need.fits_in(capacity):
+                    # Widening can only help; taller windows come later.
+                    continue
+                for row_lo in range(0, n_rows_total - n_rows + 1):
+                    row_hi = row_lo + n_rows - 1
+                    if _window_free(occupied, row_lo, row_hi, col_lo, col_hi):
+                        return Placement(
+                            region_name=region.name,
+                            col_lo=col_lo,
+                            col_hi=col_hi,
+                            row_lo=row_lo,
+                            row_hi=row_hi,
+                        )
+    return None
+
+
+def _window_free(
+    occupied: list[list[bool]], row_lo: int, row_hi: int, col_lo: int, col_hi: int
+) -> bool:
+    for row in range(row_lo, row_hi + 1):
+        row_mask = occupied[row]
+        for col in range(col_lo, col_hi + 1):
+            if row_mask[col]:
+                return False
+    return True
+
+
+def floorplan(scheme: PartitioningScheme, device: Device) -> Floorplan:
+    """Place every region of a scheme on the device grid.
+
+    Regions are placed hardest-first: first those needing the most
+    distinct resource types (a region mixing CLB+BRAM+DSP must straddle
+    scarce hard-block columns, so it gets first pick), then by descending
+    frame footprint.  Raises :class:`FloorplanError` when some region
+    cannot be placed -- the signal that should feed back into
+    partitioning (paper Sec. VI).
+    """
+    occupied = [[False] * device.column_count for _ in range(device.rows)]
+    placements: list[Placement] = []
+
+    def hardness(region: Region) -> tuple[int, int]:
+        need = region.requirement
+        kinds = sum(1 for v in need.as_tuple() if v > 0)
+        return (-kinds, -region.frames)
+
+    for region in sorted(scheme.regions, key=hardness):
+        placement = _place_one(device, region, occupied)
+        if placement is None:
+            raise FloorplanError(
+                f"cannot place region {region.name!r} "
+                f"(needs {region.requirement}) on {device.name}"
+            )
+        for row, col in placement.tiles():
+            occupied[row][col] = True
+        placements.append(placement)
+    plan = Floorplan(device=device, placements=tuple(placements))
+    plan.validate(scheme)
+    return plan
+
+
+def placement_frames(plan: Floorplan, region_name: str) -> int:
+    """Frames actually spanned by a placed rectangle.
+
+    A placed region may span more frames than its analytic requirement
+    (the rectangle can sweep columns of types the region barely uses);
+    the runtime ICAP model uses this value for placed designs.
+    """
+    p = plan.placement_of(region_name)
+    frames = 0
+    for col in plan.device.columns[p.col_lo : p.col_hi + 1]:
+        frames += col.frames * p.n_rows
+    return frames

@@ -1,0 +1,193 @@
+"""Wrapper-module and per-region netlist generation model (Fig. 2 steps 3-4).
+
+After partitioning, the flow creates a *wrapper* per region: an HDL shell
+with the region's streaming-bus ports that instantiates exactly one base
+partition at a time.  One netlist variant is produced per (region, base
+partition) pair -- these are the units PlanAhead later implements and the
+bitstream generator turns into partial bitstreams.
+
+We model netlists symbolically (no real synthesis offline): a
+:class:`RegionNetlist` records the wrapper's port list and the variants'
+contents, and :func:`emit_wrapper_hdl` renders a legal Verilog shell so
+examples can show the complete artefact chain the paper's tool flow
+promises.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..core.result import PartitioningScheme
+
+#: The registered streaming-bus interface of the case study (Sec. V).
+STREAM_PORTS: tuple[tuple[str, str, int], ...] = (
+    ("clk", "input", 1),
+    ("rst", "input", 1),
+    ("s_data", "input", 32),
+    ("s_valid", "input", 1),
+    ("s_ready", "output", 1),
+    ("m_data", "output", 32),
+    ("m_valid", "output", 1),
+    ("m_ready", "input", 1),
+)
+
+#: Known interface contracts; a region's wrapper uses the interface the
+#: hosted modes declare.  Register new ones with
+#: :func:`register_interface`.
+INTERFACES: dict[str, tuple[tuple[str, str, int], ...]] = {
+    "stream32": STREAM_PORTS,
+    "stream64": (
+        ("clk", "input", 1),
+        ("rst", "input", 1),
+        ("s_data", "input", 64),
+        ("s_valid", "input", 1),
+        ("s_ready", "output", 1),
+        ("m_data", "output", 64),
+        ("m_valid", "output", 1),
+        ("m_ready", "input", 1),
+    ),
+    "memmap32": (
+        ("clk", "input", 1),
+        ("rst", "input", 1),
+        ("addr", "input", 32),
+        ("wdata", "input", 32),
+        ("rdata", "output", 32),
+        ("we", "input", 1),
+        ("req", "input", 1),
+        ("ack", "output", 1),
+    ),
+}
+
+
+def register_interface(
+    name: str, ports: tuple[tuple[str, str, int], ...]
+) -> None:
+    """Add a custom interface contract (idempotent for identical ports)."""
+    existing = INTERFACES.get(name)
+    if existing is not None and existing != ports:
+        raise ValueError(f"interface {name!r} already registered differently")
+    for port_name, direction, width in ports:
+        if direction not in ("input", "output") or width < 1 or not port_name:
+            raise ValueError(f"invalid port spec {(port_name, direction, width)}")
+    INTERFACES[name] = ports
+
+
+def ports_for_region(scheme, region) -> tuple[tuple[str, str, int], ...]:
+    """The wrapper ports of a region: the union interface of its modes.
+
+    A region can only host modes whose modules share an interface when
+    they time-share the same wrapper; when a region mixes interfaces
+    (modes from different modules), the wrapper exposes each interface's
+    ports prefixed by the interface name.
+    """
+    interfaces = sorted(
+        {
+            scheme.design.mode(m).interface
+            for p in region.partitions
+            for m in p.modes
+        }
+    )
+    unknown = [i for i in interfaces if i not in INTERFACES]
+    if unknown:
+        raise KeyError(f"unregistered interfaces {unknown} in {region.name!r}")
+    if len(interfaces) == 1:
+        return INTERFACES[interfaces[0]]
+    merged: list[tuple[str, str, int]] = []
+    for iface in interfaces:
+        for port_name, direction, width in INTERFACES[iface]:
+            if port_name in ("clk", "rst"):
+                continue
+            merged.append((f"{iface}_{port_name}", direction, width))
+    return (("clk", "input", 1), ("rst", "input", 1), *merged)
+
+
+@dataclass(frozen=True)
+class NetlistVariant:
+    """One implementable content of a region: a base partition."""
+
+    region: str
+    partition_label: str
+    modes: tuple[str, ...]
+
+    @property
+    def identifier(self) -> str:
+        """Filesystem/HDL-safe variant name."""
+        inner = "_".join(self.modes)
+        return f"{self.region}_{inner}".replace(".", "_")
+
+
+@dataclass(frozen=True)
+class RegionNetlist:
+    """The wrapper for one region plus all its variants."""
+
+    region: str
+    ports: tuple[tuple[str, str, int], ...]
+    variants: tuple[NetlistVariant, ...]
+
+    def variant_for(self, partition_label: str) -> NetlistVariant:
+        for v in self.variants:
+            if v.partition_label == partition_label:
+                return v
+        raise KeyError(
+            f"region {self.region!r} has no variant for {partition_label!r}"
+        )
+
+
+def build_netlists(scheme: PartitioningScheme) -> dict[str, RegionNetlist]:
+    """One wrapper netlist per region, keyed by region name.
+
+    Each wrapper's port list follows the interfaces of the hosted modes
+    (:func:`ports_for_region`).
+    """
+    out: dict[str, RegionNetlist] = {}
+    for region in scheme.regions:
+        variants = tuple(
+            NetlistVariant(
+                region=region.name,
+                partition_label=p.label,
+                modes=tuple(sorted(p.modes)),
+            )
+            for p in region.partitions
+        )
+        out[region.name] = RegionNetlist(
+            region=region.name,
+            ports=ports_for_region(scheme, region),
+            variants=variants,
+        )
+    return out
+
+
+def emit_wrapper_hdl(netlist: RegionNetlist) -> str:
+    """Render the Verilog wrapper shell for a region.
+
+    The wrapper exposes the streaming bus and instantiates a blackbox
+    whose implementation is swapped by partial reconfiguration; one
+    commented instantiation per variant documents the alternatives.
+    """
+    ports = ",\n".join(
+        f"    {direction} {'[%d:0] ' % (width - 1) if width > 1 else ''}{name}"
+        for name, direction, width in netlist.ports
+    )
+    connections = ",\n".join(
+        f"        .{name}({name})" for name, _, _ in netlist.ports
+    )
+    variant_docs = "\n".join(
+        f"// variant: {v.identifier}  (partition {v.partition_label})"
+        for v in netlist.variants
+    )
+    return (
+        f"// Wrapper for reconfigurable region {netlist.region}\n"
+        f"// Generated by repro-pr; contents replaced at runtime via ICAP.\n"
+        f"{variant_docs}\n"
+        f"module {netlist.region}_wrapper (\n{ports}\n);\n\n"
+        f"    // Reconfigurable partition: blackbox replaced per variant.\n"
+        f"    {netlist.region}_rp rp_inst (\n{connections}\n    );\n\n"
+        f"endmodule\n"
+    )
+
+
+def variant_count(netlists: Sequence[RegionNetlist] | dict[str, RegionNetlist]) -> int:
+    """Total number of netlist variants (== partial bitstreams to build)."""
+    values = netlists.values() if isinstance(netlists, dict) else netlists
+    return sum(len(n.variants) for n in values)

@@ -1,0 +1,148 @@
+"""Synthesis-estimate substrate (stand-in for Xilinx XST, Fig. 2 step 1).
+
+The real flow synthesises each mode's RTL to learn its (CLB, BRAM, DSP)
+footprint.  Offline we model a mode as a bag of abstract operations -- a
+:class:`ModuleSpec` -- and estimate resources with a deterministic cost
+model calibrated to Virtex-5 primitive capacities:
+
+* a CLB (paper unit; one Virtex-5 slice) packs 4 LUT6 + 4 FFs;
+* an 18x18 multiply maps to one DSP48E; wider products cascade;
+* memory up to 64 bits/LUT uses distributed RAM, beyond that Block RAM
+  (36 Kb each);
+* FSMs, adders and comparators consume LUT/FF pairs by width.
+
+The estimator is monotone in every operation count, which is the only
+property the partitioner relies on.  The case study bypasses it entirely
+(Table II gives measured footprints), so headline results never depend
+on this model; it exists so end-to-end examples can start from a design
+description rather than a resource table, like the paper's tool flow.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..arch.resources import ResourceVector
+
+#: Virtex-5 packing constants used by the cost model.
+LUTS_PER_CLB = 4
+FFS_PER_CLB = 4
+DISTRIBUTED_RAM_BITS_PER_LUT = 64
+BRAM_BITS = 36 * 1024
+DSP_MULT_WIDTH = 18
+
+
+@dataclass(frozen=True)
+class ModeSpec:
+    """Abstract operation counts of one mode's datapath.
+
+    ``luts``/``ffs`` count raw logic, ``mult_ops`` lists multiplier
+    operand widths, ``memory_bits`` is total storage, ``fsm_states`` adds
+    control logic, ``dist_ram_fraction`` is the share of memory the tool
+    may place in LUT RAM (0 forces everything to Block RAM).
+    """
+
+    name: str
+    luts: int = 0
+    ffs: int = 0
+    mult_ops: tuple[tuple[int, int], ...] = ()
+    memory_bits: int = 0
+    fsm_states: int = 0
+    dist_ram_fraction: float = 0.25
+
+    def __post_init__(self) -> None:
+        if self.luts < 0 or self.ffs < 0 or self.memory_bits < 0 or self.fsm_states < 0:
+            raise ValueError(f"mode spec {self.name!r} has negative counts")
+        if not (0.0 <= self.dist_ram_fraction <= 1.0):
+            raise ValueError("dist_ram_fraction must lie in [0, 1]")
+        for a, b in self.mult_ops:
+            if a < 1 or b < 1:
+                raise ValueError(f"invalid multiplier widths ({a}, {b})")
+
+
+@dataclass(frozen=True)
+class ModuleSpec:
+    """A module as a set of mode specs (the XML front end produces these)."""
+
+    name: str
+    modes: tuple[ModeSpec, ...]
+
+    def __post_init__(self) -> None:
+        if not self.modes:
+            raise ValueError(f"module spec {self.name!r} has no modes")
+
+
+@dataclass(frozen=True)
+class SynthesisReport:
+    """Per-mode estimate plus the contributing terms (for inspection)."""
+
+    mode: str
+    resources: ResourceVector
+    logic_luts: int
+    ram_luts: int
+    fsm_luts: int
+    dsp_blocks: int
+    bram_blocks: int
+
+
+def _dsp_for_multiplier(width_a: int, width_b: int) -> int:
+    """DSP48E blocks for an (a x b) product: ceil on each 18-bit axis."""
+    return math.ceil(width_a / DSP_MULT_WIDTH) * math.ceil(width_b / DSP_MULT_WIDTH)
+
+
+def _fsm_logic(states: int) -> tuple[int, int]:
+    """(luts, ffs) for a one-hot FSM with ``states`` states."""
+    if states <= 1:
+        return (0, 0)
+    bits = states  # one-hot encoding
+    luts = 2 * states  # next-state + output decode, one LUT pair per state
+    return (luts, bits)
+
+
+def estimate_mode(spec: ModeSpec) -> SynthesisReport:
+    """Estimate the resource footprint of one mode."""
+    dsp = sum(_dsp_for_multiplier(a, b) for a, b in spec.mult_ops)
+
+    dist_bits = int(spec.memory_bits * spec.dist_ram_fraction)
+    bram_bits = spec.memory_bits - dist_bits
+    ram_luts = math.ceil(dist_bits / DISTRIBUTED_RAM_BITS_PER_LUT)
+    bram = math.ceil(bram_bits / BRAM_BITS) if bram_bits else 0
+
+    fsm_luts, fsm_ffs = _fsm_logic(spec.fsm_states)
+
+    total_luts = spec.luts + ram_luts + fsm_luts
+    total_ffs = spec.ffs + fsm_ffs
+    clb = max(
+        math.ceil(total_luts / LUTS_PER_CLB),
+        math.ceil(total_ffs / FFS_PER_CLB),
+    )
+    return SynthesisReport(
+        mode=spec.name,
+        resources=ResourceVector(clb=clb, bram=bram, dsp=dsp),
+        logic_luts=spec.luts,
+        ram_luts=ram_luts,
+        fsm_luts=fsm_luts,
+        dsp_blocks=dsp,
+        bram_blocks=bram,
+    )
+
+
+def synthesise_module(spec: ModuleSpec) -> dict[str, SynthesisReport]:
+    """Estimate every mode of a module, keyed by mode name."""
+    reports = {}
+    for mode in spec.modes:
+        if mode.name in reports:
+            raise ValueError(f"duplicate mode {mode.name!r} in {spec.name!r}")
+        reports[mode.name] = estimate_mode(mode)
+    return reports
+
+
+def synthesise(specs: "list[ModuleSpec] | tuple[ModuleSpec, ...]") -> dict[str, dict[str, SynthesisReport]]:
+    """Run the estimator over a set of module specs (Fig. 2 step 1)."""
+    out: dict[str, dict[str, SynthesisReport]] = {}
+    for spec in specs:
+        if spec.name in out:
+            raise ValueError(f"duplicate module {spec.name!r}")
+        out[spec.name] = synthesise_module(spec)
+    return out

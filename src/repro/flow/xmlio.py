@@ -1,0 +1,219 @@
+"""XML design-description front end (Fig. 2: "design files ... in XML").
+
+The paper's tool consumes an XML description carrying the module/mode
+structure, the valid configurations, the target device and optional
+constraints.  The exact schema is unpublished; we define a small explicit
+one that captures everything the flow needs:
+
+.. code-block:: xml
+
+    <prdesign name="receiver" device="FX70T">
+      <static clb="90" bram="8" dsp="0"/>
+      <module name="Decoder">
+        <mode name="D1" clb="630" bram="2" dsp="0"/>
+        <mode name="D2" clb="748" bram="15" dsp="4"/>
+      </module>
+      ...
+      <configuration name="Conf.1">
+        <use mode="D1"/> <use mode="F1"/> ...
+      </configuration>
+      <constraints>
+        <budget clb="6800" bram="64" dsp="150"/>
+      </constraints>
+    </prdesign>
+
+Modes may give resources directly (``clb``/``bram``/``dsp``) or a
+synthesis spec (``luts``/``ffs``/``memory_bits``/``fsm_states`` and
+nested ``<mult a=".." b=".."/>`` elements), in which case the estimator
+of :mod:`repro.flow.synthesis` fills in the footprint -- mirroring the
+paper's "Xilinx XST is used to synthesise all the modes" step.
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+from dataclasses import dataclass
+from pathlib import Path
+
+from ..arch.resources import ResourceVector
+from ..core.model import Configuration, Mode, Module, PRDesign
+from .synthesis import ModeSpec, estimate_mode
+
+
+class DesignXMLError(ValueError):
+    """Raised for malformed design XML."""
+
+
+@dataclass(frozen=True)
+class DesignDocument:
+    """Parsed XML: the design plus flow-level metadata."""
+
+    design: PRDesign
+    device_name: str | None
+    budget: ResourceVector | None
+
+
+def _vector_from_attrs(elem: ET.Element, default_zero: bool = True) -> ResourceVector:
+    def attr(name: str) -> int:
+        raw = elem.get(name)
+        if raw is None:
+            if default_zero:
+                return 0
+            raise DesignXMLError(f"<{elem.tag}> is missing attribute {name!r}")
+        try:
+            value = int(raw)
+        except ValueError:
+            raise DesignXMLError(
+                f"<{elem.tag}> attribute {name!r} is not an integer: {raw!r}"
+            ) from None
+        return value
+
+    return ResourceVector(clb=attr("clb"), bram=attr("bram"), dsp=attr("dsp"))
+
+
+def _mode_from_element(elem: ET.Element, module_name: str) -> Mode:
+    name = elem.get("name")
+    if not name:
+        raise DesignXMLError(f"<mode> under {module_name!r} is missing a name")
+    interface = elem.get("interface", "stream32")
+    if elem.get("clb") is not None:
+        resources = _vector_from_attrs(elem)
+    else:
+        # Synthesis-spec form: estimate the footprint.
+        mults = tuple(
+            (int(m.get("a", "0")), int(m.get("b", "0")))
+            for m in elem.findall("mult")
+        )
+        spec = ModeSpec(
+            name=name,
+            luts=int(elem.get("luts", "0")),
+            ffs=int(elem.get("ffs", "0")),
+            mult_ops=mults,
+            memory_bits=int(elem.get("memory_bits", "0")),
+            fsm_states=int(elem.get("fsm_states", "0")),
+            dist_ram_fraction=float(elem.get("dist_ram_fraction", "0.25")),
+        )
+        resources = estimate_mode(spec).resources
+    return Mode(
+        name=name, module=module_name, resources=resources, interface=interface
+    )
+
+
+def parse_design(text: str) -> DesignDocument:
+    """Parse a design description from an XML string."""
+    try:
+        root = ET.fromstring(text)
+    except ET.ParseError as exc:
+        raise DesignXMLError(f"invalid XML: {exc}") from exc
+    if root.tag != "prdesign":
+        raise DesignXMLError(f"expected <prdesign> root, found <{root.tag}>")
+    name = root.get("name")
+    if not name:
+        raise DesignXMLError("<prdesign> must carry a name")
+
+    static = ResourceVector.zero()
+    static_elem = root.find("static")
+    if static_elem is not None:
+        static = _vector_from_attrs(static_elem)
+
+    modules: list[Module] = []
+    for module_elem in root.findall("module"):
+        module_name = module_elem.get("name")
+        if not module_name:
+            raise DesignXMLError("<module> is missing a name")
+        modes = tuple(
+            _mode_from_element(mode_elem, module_name)
+            for mode_elem in module_elem.findall("mode")
+        )
+        if not modes:
+            raise DesignXMLError(f"module {module_name!r} declares no modes")
+        modules.append(Module(name=module_name, modes=modes))
+
+    configurations: list[Configuration] = []
+    for i, config_elem in enumerate(root.findall("configuration")):
+        cname = config_elem.get("name") or f"Conf.{i + 1}"
+        uses = [u.get("mode") for u in config_elem.findall("use")]
+        if any(u is None for u in uses):
+            raise DesignXMLError(f"configuration {cname!r} has <use> without mode")
+        configurations.append(Configuration.of(cname, [u for u in uses if u]))
+
+    budget: ResourceVector | None = None
+    constraints = root.find("constraints")
+    if constraints is not None:
+        budget_elem = constraints.find("budget")
+        if budget_elem is not None:
+            budget = _vector_from_attrs(budget_elem, default_zero=False)
+
+    design = PRDesign(
+        name=name,
+        modules=tuple(modules),
+        configurations=tuple(configurations),
+        static_resources=static,
+    )
+    return DesignDocument(
+        design=design,
+        device_name=root.get("device"),
+        budget=budget,
+    )
+
+
+def load_design(path: str | Path) -> DesignDocument:
+    """Parse a design description from a file."""
+    return parse_design(Path(path).read_text(encoding="utf-8"))
+
+
+def design_to_xml(
+    design: PRDesign,
+    device_name: str | None = None,
+    budget: ResourceVector | None = None,
+) -> str:
+    """Serialise a design back to the XML format (round-trips with parse)."""
+    root = ET.Element("prdesign", name=design.name)
+    if device_name:
+        root.set("device", device_name)
+    if not design.static_resources.is_zero:
+        s = design.static_resources
+        ET.SubElement(
+            root, "static", clb=str(s.clb), bram=str(s.bram), dsp=str(s.dsp)
+        )
+    for module in design.modules:
+        m = ET.SubElement(root, "module", name=module.name)
+        for mode in module.modes:
+            r = mode.resources
+            attrs = dict(
+                name=mode.name,
+                clb=str(r.clb),
+                bram=str(r.bram),
+                dsp=str(r.dsp),
+            )
+            if mode.interface != "stream32":
+                attrs["interface"] = mode.interface
+            ET.SubElement(m, "mode", **attrs)
+    for config in design.configurations:
+        c = ET.SubElement(root, "configuration", name=config.name)
+        for mode_name in config:
+            ET.SubElement(c, "use", mode=mode_name)
+    if budget is not None:
+        constraints = ET.SubElement(root, "constraints")
+        ET.SubElement(
+            constraints,
+            "budget",
+            clb=str(budget.clb),
+            bram=str(budget.bram),
+            dsp=str(budget.dsp),
+        )
+    ET.indent(root)
+    return ET.tostring(root, encoding="unicode")
+
+
+def save_design(
+    design: PRDesign,
+    path: str | Path,
+    device_name: str | None = None,
+    budget: ResourceVector | None = None,
+) -> None:
+    """Serialise a design description to a file."""
+    Path(path).write_text(
+        design_to_xml(design, device_name=device_name, budget=budget),
+        encoding="utf-8",
+    )

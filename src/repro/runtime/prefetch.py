@@ -1,0 +1,188 @@
+"""Speculative configuration prefetching.
+
+The paper's related work (ref. [4], Li & Hauck) hides reconfiguration
+latency by *prefetching* likely-next bitstreams; the paper itself cannot
+schedule (adaptive systems have no task graph) but a probabilistic
+environment model enables probabilistic prefetch: while the system sits
+in configuration *c*, regions that *c* does not use are dead weight --
+they can be speculatively loaded with the content the most probable next
+configuration will need.
+
+:class:`PrefetchingManager` wraps the plain
+:class:`~repro.runtime.manager.ConfigurationManager` semantics with that
+policy.  Prefetches are free at transition time (they happen during
+dwell); a *hit* means the next transition finds the region already
+loaded.  A *miss* wastes nothing: the region would have been rewritten
+anyway.  The stats expose demand frames (charged) and prefetched frames
+(hidden), so examples can report how much latency a predictor of a given
+quality hides.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Mapping, Sequence
+
+from ..core.result import PartitioningScheme
+from .icap import CUSTOM_DMA_CONTROLLER, IcapModel
+from .manager import RuntimeStats, TraceError, TransitionRecord
+
+
+@dataclass
+class PrefetchStats(RuntimeStats):
+    """Runtime stats plus prefetch accounting."""
+
+    prefetched_frames: int = 0
+    prefetch_hits: int = 0
+    prefetch_wasted: int = 0
+
+
+class PrefetchingManager:
+    """A configuration manager that speculatively preloads idle regions.
+
+    ``predictor(current) -> next_configuration`` supplies the guess; a
+    Markov environment's argmax row is the natural choice
+    (:func:`markov_predictor`).  Only regions *unused* by the current
+    configuration are eligible -- rewriting an active region would
+    corrupt the running system.
+    """
+
+    def __init__(
+        self,
+        scheme: PartitioningScheme,
+        predictor: Callable[[str], str | None],
+        icap: IcapModel = CUSTOM_DMA_CONTROLLER,
+    ):
+        self._scheme = scheme
+        self._predictor = predictor
+        self._icap = icap
+        self._loaded: list[str | None] = [None] * len(scheme.regions)
+        self._speculative: set[int] = set()
+        self._current: str | None = None
+        self._step = 0
+        self.stats = PrefetchStats()
+        self.history: list[TransitionRecord] = []
+        self._config_names = {c.name for c in scheme.design.configurations}
+
+    @property
+    def current_configuration(self) -> str | None:
+        return self._current
+
+    # ------------------------------------------------------------------
+    def _prefetch(self) -> None:
+        """Speculatively load idle regions for the predicted successor."""
+        if self._current is None:
+            return
+        guess = self._predictor(self._current)
+        if guess is None or guess == self._current:
+            return
+        if guess not in self._config_names:
+            raise TraceError(f"predictor returned unknown configuration {guess!r}")
+        current_needs = self._scheme.activity(self._current)
+        guess_needs = self._scheme.activity(guess)
+        for idx, (now, then) in enumerate(zip(current_needs, guess_needs)):
+            if now is not None:
+                continue  # region busy serving the current configuration
+            if then is None or self._loaded[idx] == then:
+                continue
+            if self._loaded[idx] is not None and idx in self._speculative:
+                # Overwriting an unconsumed speculation: count the waste.
+                self.stats.prefetch_wasted += self._scheme.regions[idx].frames
+            self._loaded[idx] = then
+            self._speculative.add(idx)
+            self.stats.prefetched_frames += self._scheme.regions[idx].frames
+
+    # ------------------------------------------------------------------
+    def goto(self, configuration_name: str) -> TransitionRecord:
+        if configuration_name not in self._config_names:
+            raise TraceError(f"unknown configuration {configuration_name!r}")
+        required = self._scheme.activity(configuration_name)
+        rewritten: list[str] = []
+        frames = 0
+        initial = self._current is None
+        for idx, (region, need) in enumerate(
+            zip(self._scheme.regions, required)
+        ):
+            if need is None:
+                continue
+            if self._loaded[idx] == need:
+                if idx in self._speculative:
+                    self.stats.prefetch_hits += 1
+                    self._speculative.discard(idx)
+                continue
+            self._loaded[idx] = need
+            self._speculative.discard(idx)
+            if initial:
+                continue
+            rewritten.append(region.name)
+            frames += region.frames
+
+        seconds = sum(
+            self._icap.time_for_frames(r.frames)
+            for r in self._scheme.regions
+            if r.name in rewritten
+        )
+        record = TransitionRecord(
+            step=self._step,
+            from_configuration=self._current,
+            to_configuration=configuration_name,
+            regions_rewritten=tuple(rewritten),
+            frames=frames,
+            seconds=seconds,
+        )
+        self._step += 1
+        if not initial:
+            self.stats.record(record)
+        self.history.append(record)
+        self._current = configuration_name
+        # Speculation happens during the dwell that follows.
+        self._prefetch()
+        return record
+
+    def run(self, trace: Sequence[str]) -> PrefetchStats:
+        for name in trace:
+            self.goto(name)
+        return self.stats
+
+
+def markov_predictor(matrix: Mapping[str, Mapping[str, float]]):
+    """Most-probable-successor predictor from a transition matrix.
+
+    Self-transitions are skipped (prefetching the current configuration
+    is a no-op); ties break deterministically by name.
+    """
+
+    def predict(current: str) -> str | None:
+        row = matrix.get(current)
+        if not row:
+            return None
+        candidates = sorted(
+            ((p, dst) for dst, p in row.items() if dst != current),
+            key=lambda t: (-t[0], t[1]),
+        )
+        return candidates[0][1] if candidates else None
+
+    return predict
+
+
+def oracle_predictor(trace: Sequence[str]):
+    """A perfect predictor for upper-bound studies: peeks at the trace."""
+    lookup: dict[int, str] = {i: name for i, name in enumerate(trace)}
+    state = {"i": 0}
+
+    def predict(current: str) -> str | None:
+        # Called right after arriving at trace position i.
+        state["i"] += 1
+        return lookup.get(state["i"])
+
+    return predict
+
+
+def replay_with_prefetch(
+    scheme: PartitioningScheme,
+    trace: Sequence[str],
+    predictor: Callable[[str], str | None],
+    icap: IcapModel = CUSTOM_DMA_CONTROLLER,
+) -> PrefetchStats:
+    """One-shot prefetching replay."""
+    return PrefetchingManager(scheme, predictor, icap=icap).run(trace)

@@ -1,0 +1,107 @@
+"""Trace profiling: estimate transition statistics from observed runs.
+
+Closes the adaptive loop the paper sketches: an adaptive system that
+has been running for a while *knows* its empirical transition behaviour,
+and that knowledge can re-enter the partitioner as pair probabilities
+(``PartitionerOptions(pair_probabilities=...)``).  This module turns
+configuration traces into exactly that input:
+
+* :func:`pair_frequencies` -- unordered-pair transition frequencies;
+* :func:`transition_counts` -- the raw ordered counts (for inspection);
+* :func:`estimate_markov` -- a row-stochastic chain fitted to the trace
+  (Laplace-smoothed), usable with
+  :class:`~repro.runtime.adaptive.MarkovEnvironment`.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Sequence
+
+from ..core.model import PRDesign
+
+
+def transition_counts(trace: Sequence[str]) -> dict[tuple[str, str], int]:
+    """Ordered (from, to) counts over consecutive trace steps.
+
+    Self-transitions are kept (they carry dwell information for
+    :func:`estimate_markov`) -- the pair-frequency view drops them,
+    since they trigger no reconfiguration.
+    """
+    counts: Counter[tuple[str, str]] = Counter()
+    for a, b in zip(trace, trace[1:]):
+        counts[(a, b)] += 1
+    return dict(counts)
+
+
+def pair_frequencies(trace: Sequence[str]) -> dict[tuple[str, str], float]:
+    """Unordered-pair switching frequencies, normalised to sum to 1.
+
+    Exactly the shape :class:`~repro.core.partitioner.PartitionerOptions`
+    expects for the probability-weighted objective.  Self-transitions are
+    excluded; an all-dwell trace yields an empty mapping.
+    """
+    pairs: Counter[tuple[str, str]] = Counter()
+    for (a, b), n in transition_counts(trace).items():
+        if a == b:
+            continue
+        key = (a, b) if a < b else (b, a)
+        pairs[key] += n
+    total = sum(pairs.values())
+    if total == 0:
+        return {}
+    return {k: v / total for k, v in pairs.items()}
+
+
+def estimate_markov(
+    design: PRDesign,
+    trace: Sequence[str],
+    smoothing: float = 1e-3,
+) -> dict[str, dict[str, float]]:
+    """Fit a row-stochastic transition matrix to an observed trace.
+
+    Laplace smoothing (``smoothing`` pseudo-counts on every edge,
+    including unseen ones) keeps the chain irreducible so that
+    :meth:`MarkovEnvironment.pair_probabilities` stays well defined.
+    Configurations of the design never visited by the trace still get
+    (uniform) rows.
+    """
+    if smoothing < 0:
+        raise ValueError("smoothing must be non-negative")
+    names = [c.name for c in design.configurations]
+    unknown = set(trace) - set(names)
+    if unknown:
+        raise ValueError(f"trace contains unknown configurations {sorted(unknown)}")
+
+    counts = transition_counts(trace)
+    matrix: dict[str, dict[str, float]] = {}
+    for src in names:
+        row = {dst: counts.get((src, dst), 0) + smoothing for dst in names}
+        total = sum(row.values())
+        if total == 0:
+            # smoothing == 0 and never visited: fall back to uniform.
+            row = {dst: 1.0 for dst in names}
+            total = float(len(names))
+        matrix[src] = {dst: v / total for dst, v in row.items()}
+    return matrix
+
+
+def reoptimise_from_trace(
+    design: PRDesign,
+    trace: Sequence[str],
+    capacity,
+    options=None,
+):
+    """One-call adaptive re-optimisation: trace -> weights -> partition.
+
+    Returns the :class:`~repro.core.partitioner.PartitionResult` of the
+    probability-weighted search using the trace's empirical pair
+    frequencies.  Falls back to the unweighted objective when the trace
+    contains no switches.
+    """
+    from ..core.partitioner import PartitionerOptions, partition
+
+    weights = pair_frequencies(trace)
+    options = options or PartitionerOptions()
+    options.pair_probabilities = weights or None
+    return partition(design, capacity, options)

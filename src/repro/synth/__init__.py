@@ -1,0 +1,33 @@
+"""Synthetic design generation for the Sec. V evaluation."""
+
+from .generator import (
+    STATIC_REGION,
+    GeneratorConfig,
+    generate_design,
+    generate_population,
+    population_summary,
+)
+from .profiles import (
+    CIRCUIT_CLASSES,
+    MAX_MODE_CLB,
+    MIN_MODE_CLB,
+    PROFILES,
+    CircuitClass,
+    ResourceProfile,
+    profile_for,
+)
+
+__all__ = [
+    "CIRCUIT_CLASSES",
+    "CircuitClass",
+    "GeneratorConfig",
+    "MAX_MODE_CLB",
+    "MIN_MODE_CLB",
+    "PROFILES",
+    "ResourceProfile",
+    "STATIC_REGION",
+    "generate_design",
+    "generate_population",
+    "population_summary",
+    "profile_for",
+]

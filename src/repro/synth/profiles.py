@@ -1,0 +1,94 @@
+"""Resource profiles for synthetic circuit generation (paper Sec. V).
+
+The paper generates equal numbers of *logic-intensive*,
+*memory-intensive*, *DSP-intensive* and *DSP-and-memory-intensive*
+designs.  Each mode draws a CLB count from 25-4000 and "the number of
+other resources is chosen from a range determined by the number of CLBs
+and the type of the circuit".  The exact ranges are unpublished; the
+ratios below are calibrated to Table II (real modules span 0-0.02
+BRAM/CLB and 0-0.07 DSP/CLB) so the synthetic population brackets the
+case-study densities.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..arch.resources import ResourceVector
+
+
+class CircuitClass(enum.Enum):
+    """The four synthetic circuit families of Sec. V."""
+
+    LOGIC = "logic"
+    MEMORY = "memory"
+    DSP = "dsp"
+    DSP_MEMORY = "dsp-memory"
+
+
+#: Generation order; the generator round-robins to get equal counts.
+CIRCUIT_CLASSES: tuple[CircuitClass, ...] = (
+    CircuitClass.LOGIC,
+    CircuitClass.MEMORY,
+    CircuitClass.DSP,
+    CircuitClass.DSP_MEMORY,
+)
+
+#: Mode CLB range from the paper.
+MIN_MODE_CLB = 25
+MAX_MODE_CLB = 4000
+
+
+@dataclass(frozen=True)
+class ResourceProfile:
+    """Density ranges (per CLB) for the non-CLB resources of a class.
+
+    A mode with ``c`` CLBs draws ``bram ~ U(bram_lo*c, bram_hi*c)`` and
+    ``dsp ~ U(dsp_lo*c, dsp_hi*c)`` (rounded, clamped at 0).
+    """
+
+    circuit_class: CircuitClass
+    bram_lo: float
+    bram_hi: float
+    dsp_lo: float
+    dsp_hi: float
+
+    def sample(self, clb: int, rng: np.random.Generator) -> ResourceVector:
+        """Draw a full resource vector for a mode of ``clb`` CLBs."""
+        if not (MIN_MODE_CLB <= clb <= MAX_MODE_CLB):
+            raise ValueError(
+                f"mode CLB count {clb} outside paper range "
+                f"[{MIN_MODE_CLB}, {MAX_MODE_CLB}]"
+            )
+        bram = int(round(rng.uniform(self.bram_lo, self.bram_hi) * clb))
+        dsp = int(round(rng.uniform(self.dsp_lo, self.dsp_hi) * clb))
+        return ResourceVector(clb=clb, bram=max(0, bram), dsp=max(0, dsp))
+
+
+#: Calibrated to the Table II density envelope (see module docstring),
+#: with the intensive-class upper bounds chosen so that even a worst-case
+#: configuration (six 4000-CLB modes active at once) stays within the
+#: largest ladder device (FX200T: 456 BRAM, 384 DSP) -- the paper reports
+#: no unimplementable designs among its 1000.
+PROFILES: dict[CircuitClass, ResourceProfile] = {
+    CircuitClass.LOGIC: ResourceProfile(
+        CircuitClass.LOGIC, bram_lo=0.0, bram_hi=0.001, dsp_lo=0.0, dsp_hi=0.001
+    ),
+    CircuitClass.MEMORY: ResourceProfile(
+        CircuitClass.MEMORY, bram_lo=0.004, bram_hi=0.014, dsp_lo=0.0, dsp_hi=0.001
+    ),
+    CircuitClass.DSP: ResourceProfile(
+        CircuitClass.DSP, bram_lo=0.0, bram_hi=0.001, dsp_lo=0.004, dsp_hi=0.012
+    ),
+    CircuitClass.DSP_MEMORY: ResourceProfile(
+        CircuitClass.DSP_MEMORY, bram_lo=0.004, bram_hi=0.012, dsp_lo=0.004, dsp_hi=0.01
+    ),
+}
+
+
+def profile_for(circuit_class: CircuitClass) -> ResourceProfile:
+    """Lookup with a defensive copy of nothing -- profiles are frozen."""
+    return PROFILES[circuit_class]

@@ -1,0 +1,6 @@
+"""Small shared utilities."""
+
+from .ordering import argsort_by, stable_unique
+from .validation import require, require_positive
+
+__all__ = ["argsort_by", "require", "require_positive", "stable_unique"]

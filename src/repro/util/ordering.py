@@ -1,0 +1,23 @@
+"""Ordering helpers used by reports and deterministic tie-breaking."""
+
+from __future__ import annotations
+
+from typing import Callable, Hashable, Iterable, Sequence, TypeVar
+
+T = TypeVar("T")
+
+
+def argsort_by(items: Sequence[T], key: Callable[[T], object]) -> list[int]:
+    """Indices that sort ``items`` by ``key`` (stable)."""
+    return sorted(range(len(items)), key=lambda i: key(items[i]))  # type: ignore[arg-type]
+
+
+def stable_unique(items: Iterable[T]) -> list[T]:
+    """Deduplicate preserving first-seen order (items must be hashable)."""
+    seen: set[Hashable] = set()
+    out: list[T] = []
+    for item in items:
+        if item not in seen:
+            seen.add(item)  # type: ignore[arg-type]
+            out.append(item)
+    return out

@@ -1,0 +1,19 @@
+"""Tiny argument-validation helpers with consistent error messages."""
+
+from __future__ import annotations
+
+from typing import TypeVar
+
+T = TypeVar("T")
+
+
+def require(condition: bool, message: str) -> None:
+    """Raise ``ValueError(message)`` when the condition fails."""
+    if not condition:
+        raise ValueError(message)
+
+
+def require_positive(value: int | float, name: str) -> None:
+    """Raise when ``value`` is not strictly positive."""
+    if value <= 0:
+        raise ValueError(f"{name} must be positive, got {value}")

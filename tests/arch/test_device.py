@@ -1,0 +1,124 @@
+"""Device-model and column-synthesis tests."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.arch.device import (
+    Column,
+    Device,
+    iter_tiles,
+    make_device,
+    synthesise_columns,
+)
+from repro.arch.resources import ResourceType, ResourceVector
+
+
+class TestColumn:
+    def test_primitives_per_row(self):
+        assert Column(0, ResourceType.CLB).primitives_per_row == 20
+        assert Column(0, ResourceType.BRAM).primitives_per_row == 4
+        assert Column(0, ResourceType.DSP).primitives_per_row == 8
+
+    def test_frames(self):
+        assert Column(0, ResourceType.CLB).frames == 36
+
+
+class TestSynthesiseColumns:
+    def test_counts_cover_capacity(self):
+        cap = ResourceVector(clb=400, bram=8, dsp=16)
+        cols = synthesise_columns(cap, rows=2)
+        clb_cols = sum(1 for c in cols if c.rtype is ResourceType.CLB)
+        bram_cols = sum(1 for c in cols if c.rtype is ResourceType.BRAM)
+        dsp_cols = sum(1 for c in cols if c.rtype is ResourceType.DSP)
+        assert clb_cols * 2 * 20 >= 400
+        assert bram_cols * 2 * 4 >= 8
+        assert dsp_cols * 2 * 8 >= 16
+
+    def test_no_clb_rejected(self):
+        with pytest.raises(ValueError):
+            synthesise_columns(ResourceVector(clb=0, bram=4, dsp=0), rows=1)
+
+    def test_indices_sequential(self):
+        cols = synthesise_columns(ResourceVector(400, 8, 16), rows=2)
+        assert [c.index for c in cols] == list(range(len(cols)))
+
+    def test_pure_logic_device(self):
+        cols = synthesise_columns(ResourceVector(100, 0, 0), rows=1)
+        assert all(c.rtype is ResourceType.CLB for c in cols)
+
+    def test_specials_interleaved_not_clumped(self):
+        cols = synthesise_columns(ResourceVector(4000, 40, 40), rows=2)
+        special_positions = [
+            c.index for c in cols if c.rtype is not ResourceType.CLB
+        ]
+        # No special column at the extreme left edge and they are spread
+        # over more than half the device width.
+        assert special_positions[0] > 0
+        assert special_positions[-1] - special_positions[0] > len(cols) // 2
+
+    @given(
+        clb=st.integers(20, 30_000),
+        bram=st.integers(0, 400),
+        dsp=st.integers(0, 600),
+        rows=st.integers(1, 12),
+    )
+    def test_grid_always_covers_capacity(self, clb, bram, dsp, rows):
+        device = make_device("t", clb=clb, bram=bram, dsp=dsp, rows=rows)
+        assert device.capacity.fits_in(device.grid_capacity())
+
+
+class TestDevice:
+    def test_make_device(self):
+        d = make_device("x", clb=400, bram=8, dsp=16, rows=2)
+        assert d.name == "x"
+        assert d.capacity == ResourceVector(400, 8, 16)
+        assert d.rows == 2
+
+    def test_invalid_rows(self):
+        with pytest.raises(ValueError):
+            Device(name="x", capacity=ResourceVector(1, 0, 0), rows=0)
+
+    def test_empty_capacity(self):
+        with pytest.raises(ValueError):
+            Device(name="x", capacity=ResourceVector.zero(), rows=1)
+
+    def test_columns_of(self):
+        d = make_device("x", clb=400, bram=8, dsp=16, rows=2)
+        assert all(
+            c.rtype is ResourceType.BRAM for c in d.columns_of(ResourceType.BRAM)
+        )
+
+    def test_total_frames_positive(self):
+        d = make_device("x", clb=400, bram=8, dsp=16, rows=2)
+        assert d.total_frames() > 0
+        # CLB columns alone contribute rows * 36 each.
+        clb_cols = len(d.columns_of(ResourceType.CLB))
+        assert d.total_frames() >= clb_cols * 2 * 36
+
+    def test_fits(self):
+        d = make_device("x", clb=400, bram=8, dsp=16, rows=2)
+        assert d.fits(ResourceVector(400, 8, 16))
+        assert not d.fits(ResourceVector(401, 0, 0))
+
+    def test_usable_capacity(self):
+        d = make_device("x", clb=400, bram=8, dsp=16, rows=2)
+        assert d.usable_capacity(ResourceVector(100, 8, 0)) == ResourceVector(300, 0, 16)
+
+    def test_usable_capacity_saturates(self):
+        d = make_device("x", clb=400, bram=8, dsp=16, rows=2)
+        assert d.usable_capacity(ResourceVector(500, 0, 0)).clb == 0
+
+    def test_iter_tiles_count(self):
+        d = make_device("x", clb=400, bram=8, dsp=16, rows=3)
+        tiles = list(iter_tiles(d))
+        assert len(tiles) == 3 * d.column_count
+
+    def test_tile_capacity_matches_columns(self):
+        d = make_device("x", clb=400, bram=8, dsp=16, rows=3)
+        tc = d.tile_capacity()
+        assert tc.clb == len(d.columns_of(ResourceType.CLB)) * 3
+        assert tc.bram == len(d.columns_of(ResourceType.BRAM)) * 3
+        assert tc.dsp == len(d.columns_of(ResourceType.DSP)) * 3

@@ -1,0 +1,86 @@
+"""Frame addressing and bitstream-size tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.arch.device import make_device
+from repro.arch.frames import (
+    BitstreamSize,
+    FrameAddress,
+    frames_in_tile,
+    full_bitstream,
+)
+from repro.arch.resources import ResourceType
+from repro.arch.tiles import FRAMES_PER_TILE
+
+
+@pytest.fixture
+def device():
+    return make_device("t", clb=400, bram=8, dsp=16, rows=2)
+
+
+class TestFrameAddress:
+    def test_pack_fields(self):
+        addr = FrameAddress(block_type=1, row=3, major=17, minor=5)
+        packed = addr.pack()
+        assert (packed >> 21) & 0x7 == 1
+        assert (packed >> 15) & 0x1F == 3
+        assert (packed >> 7) & 0xFF == 17
+        assert packed & 0x7F == 5
+
+    def test_pack_range_check(self):
+        with pytest.raises(ValueError):
+            FrameAddress(block_type=0, row=40, major=0, minor=0).pack()
+        with pytest.raises(ValueError):
+            FrameAddress(block_type=0, row=0, major=300, minor=0).pack()
+        with pytest.raises(ValueError):
+            FrameAddress(block_type=0, row=0, major=0, minor=200).pack()
+
+    def test_distinct_addresses_pack_distinct(self):
+        a = FrameAddress(0, 0, 1, 2).pack()
+        b = FrameAddress(0, 0, 2, 1).pack()
+        assert a != b
+
+
+class TestFramesInTile:
+    def test_count_matches_tile_type(self, device):
+        for major, column in enumerate(device.columns):
+            addrs = list(frames_in_tile(device, 0, major))
+            assert len(addrs) == FRAMES_PER_TILE[column.rtype]
+            assert all(a.major == major and a.row == 0 for a in addrs)
+            break
+
+    def test_all_columns_enumerable(self, device):
+        total = sum(
+            len(list(frames_in_tile(device, row, major)))
+            for row in range(device.rows)
+            for major in range(device.column_count)
+        )
+        assert total == device.total_frames()
+
+    def test_out_of_range(self, device):
+        with pytest.raises(ValueError):
+            list(frames_in_tile(device, device.rows, 0))
+        with pytest.raises(ValueError):
+            list(frames_in_tile(device, 0, device.column_count))
+
+
+class TestBitstreamSize:
+    def test_words_and_bytes(self):
+        b = BitstreamSize(frames=10)
+        assert b.words == 410
+        assert b.data_bytes == 1640
+
+    def test_overhead(self):
+        b = BitstreamSize(frames=1)
+        assert b.total_bytes(overhead_bytes=100) == 164 + 100
+        with pytest.raises(ValueError):
+            b.total_bytes(overhead_bytes=-1)
+
+    def test_negative_frames(self):
+        with pytest.raises(ValueError):
+            BitstreamSize(frames=-1)
+
+    def test_full_bitstream(self, device):
+        assert full_bitstream(device).frames == device.total_frames()

@@ -1,0 +1,112 @@
+"""Device-library tests: the Fig. 7/8 ladder and selection helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.arch.library import (
+    VIRTEX5_LADDER,
+    DeviceLibrary,
+    get_device,
+    ladder_names,
+    virtex5_full,
+    virtex5_ladder,
+)
+from repro.arch.device import make_device
+from repro.arch.resources import ResourceVector
+
+
+class TestLadder:
+    def test_paper_axis_names(self):
+        assert VIRTEX5_LADDER == (
+            "LX20T", "LX30", "FX30T", "SX35T", "FX50T",
+            "SX70T", "FX95T", "FX130T", "FX200T",
+        )
+        assert tuple(ladder_names()) == VIRTEX5_LADDER
+
+    def test_ladder_monotone_in_clb(self):
+        lib = virtex5_ladder()
+        clbs = [d.capacity.clb for d in lib]
+        assert clbs == sorted(clbs)
+        assert len(set(clbs)) == len(clbs)
+
+    def test_library_order_matches_axis(self):
+        lib = virtex5_ladder()
+        assert lib.names == VIRTEX5_LADDER
+
+    def test_index_of(self):
+        lib = virtex5_ladder()
+        assert lib.index_of("LX20T") == 0
+        assert lib.index_of("FX200T") == len(lib) - 1
+        with pytest.raises(KeyError):
+            lib.index_of("nope")
+
+    def test_full_contains_fx70t(self):
+        lib = virtex5_full()
+        assert "FX70T" in lib
+        assert lib.get("FX70T").capacity.clb == 11200
+
+    def test_get_device_helper(self):
+        assert get_device("LX30").name == "LX30"
+
+    def test_get_unknown_raises_with_names(self):
+        with pytest.raises(KeyError, match="LX20T"):
+            virtex5_ladder().get("XYZ")
+
+
+class TestSelection:
+    def test_smallest_fitting_picks_first(self):
+        lib = virtex5_ladder()
+        d = lib.smallest_fitting(ResourceVector(3000, 20, 20))
+        assert d is not None and d.name == "LX20T"
+
+    def test_smallest_fitting_respects_all_axes(self):
+        lib = virtex5_ladder()
+        # 3000 CLBs fits LX20T, but 100 DSPs does not (24); SX35T is the
+        # first with >= 100 DSPs among devices with >= 3000 CLBs... FX30T
+        # has 64; SX35T has 192.
+        d = lib.smallest_fitting(ResourceVector(3000, 20, 100))
+        assert d is not None and d.name == "SX35T"
+
+    def test_smallest_fitting_none(self):
+        lib = virtex5_ladder()
+        assert lib.smallest_fitting(ResourceVector(10**6, 0, 0)) is None
+
+    def test_larger_than(self):
+        lib = virtex5_ladder()
+        bigger = lib.larger_than(lib.get("FX130T"))
+        assert [d.name for d in bigger] == ["FX200T"]
+
+    def test_larger_than_top_is_empty(self):
+        lib = virtex5_ladder()
+        assert lib.larger_than(lib.get("FX200T")) == []
+
+    def test_larger_than_unknown_device(self):
+        lib = virtex5_ladder()
+        alien = make_device("alien", clb=100, bram=4, dsp=8, rows=1)
+        with pytest.raises(KeyError):
+            lib.larger_than(alien)
+
+    def test_next_larger(self):
+        lib = virtex5_ladder()
+        assert lib.next_larger(lib.get("LX20T")).name == "LX30"
+        assert lib.next_larger(lib.get("FX200T")) is None
+
+
+class TestConstruction:
+    def test_duplicate_names_rejected(self):
+        d1 = make_device("dup", clb=100, bram=4, dsp=8, rows=1)
+        d2 = make_device("dup", clb=200, bram=4, dsp=8, rows=1)
+        with pytest.raises(ValueError):
+            DeviceLibrary([d1, d2])
+
+    def test_sorted_regardless_of_input_order(self):
+        small = make_device("s", clb=100, bram=4, dsp=8, rows=1)
+        big = make_device("b", clb=200, bram=4, dsp=8, rows=1)
+        lib = DeviceLibrary([big, small])
+        assert lib.names == ("s", "b")
+
+    def test_len_and_contains(self):
+        lib = virtex5_ladder()
+        assert len(lib) == 9
+        assert "LX30" in lib and "XC7Z020" not in lib

@@ -1,0 +1,171 @@
+"""Unit and property tests for ResourceVector."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.arch.resources import RESOURCE_TYPES, ResourceType, ResourceVector
+
+vectors = st.builds(
+    ResourceVector,
+    clb=st.integers(0, 10_000),
+    bram=st.integers(0, 500),
+    dsp=st.integers(0, 800),
+)
+
+
+class TestConstruction:
+    def test_defaults_to_zero(self):
+        assert ResourceVector() == ResourceVector(0, 0, 0)
+
+    def test_zero_is_singletonish(self):
+        assert ResourceVector.zero().is_zero
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            ResourceVector(clb=-1)
+
+    def test_non_int_rejected(self):
+        with pytest.raises(TypeError):
+            ResourceVector(clb=1.5)  # type: ignore[arg-type]
+
+    def test_from_mapping_by_enum(self):
+        v = ResourceVector.from_mapping({ResourceType.CLB: 5, ResourceType.DSP: 2})
+        assert v == ResourceVector(5, 0, 2)
+
+    def test_from_mapping_by_name(self):
+        v = ResourceVector.from_mapping({"clb": 1, "BRAM": 2})
+        assert v == ResourceVector(1, 2, 0)
+
+    def test_from_mapping_unknown_key(self):
+        with pytest.raises(KeyError):
+            ResourceVector.from_mapping({"luts": 3})
+
+
+class TestAccessors:
+    def test_get(self):
+        v = ResourceVector(1, 2, 3)
+        assert [v.get(t) for t in RESOURCE_TYPES] == [1, 2, 3]
+
+    def test_as_tuple_and_iter(self):
+        v = ResourceVector(7, 8, 9)
+        assert v.as_tuple() == (7, 8, 9)
+        assert tuple(v) == (7, 8, 9)
+
+    def test_str(self):
+        assert "clb=1" in str(ResourceVector(1, 0, 0))
+
+
+class TestArithmetic:
+    def test_add(self):
+        assert ResourceVector(1, 2, 3) + ResourceVector(4, 5, 6) == ResourceVector(5, 7, 9)
+
+    def test_sub(self):
+        assert ResourceVector(4, 5, 6) - ResourceVector(1, 2, 3) == ResourceVector(3, 3, 3)
+
+    def test_sub_negative_raises(self):
+        with pytest.raises(ValueError):
+            ResourceVector(1, 0, 0) - ResourceVector(2, 0, 0)
+
+    def test_saturating_sub_clamps(self):
+        assert ResourceVector(1, 5, 0).saturating_sub(
+            ResourceVector(2, 1, 0)
+        ) == ResourceVector(0, 4, 0)
+
+    def test_or_is_componentwise_max(self):
+        assert (ResourceVector(1, 9, 3) | ResourceVector(5, 2, 3)) == ResourceVector(5, 9, 3)
+
+    def test_mul(self):
+        assert ResourceVector(1, 2, 3) * 3 == ResourceVector(3, 6, 9)
+        assert 2 * ResourceVector(1, 0, 0) == ResourceVector(2, 0, 0)
+
+    def test_mul_negative_raises(self):
+        with pytest.raises(ValueError):
+            ResourceVector(1, 0, 0) * -1
+
+    def test_sum(self):
+        vs = [ResourceVector(1, 0, 0), ResourceVector(0, 2, 0), ResourceVector(0, 0, 3)]
+        assert ResourceVector.sum(vs) == ResourceVector(1, 2, 3)
+
+    def test_sum_empty(self):
+        assert ResourceVector.sum([]) == ResourceVector.zero()
+
+    def test_envelope(self):
+        vs = [ResourceVector(5, 1, 0), ResourceVector(2, 9, 4)]
+        assert ResourceVector.envelope(vs) == ResourceVector(5, 9, 4)
+
+    def test_envelope_empty(self):
+        assert ResourceVector.envelope([]) == ResourceVector.zero()
+
+
+class TestOrdering:
+    def test_fits_in(self):
+        assert ResourceVector(1, 1, 1).fits_in(ResourceVector(2, 1, 1))
+        assert not ResourceVector(3, 1, 1).fits_in(ResourceVector(2, 9, 9))
+
+    def test_partial_order_incomparable(self):
+        a, b = ResourceVector(3, 0, 0), ResourceVector(0, 3, 0)
+        assert not a <= b and not b <= a
+
+    def test_strict_comparisons(self):
+        assert ResourceVector(1, 1, 1) < ResourceVector(2, 1, 1)
+        assert not ResourceVector(1, 1, 1) < ResourceVector(1, 1, 1)
+        assert ResourceVector(2, 1, 1) > ResourceVector(1, 1, 1)
+
+    def test_dominates(self):
+        assert ResourceVector(2, 2, 2).dominates(ResourceVector(2, 1, 0))
+
+
+class TestCeilDiv:
+    def test_rounds_up(self):
+        assert ResourceVector(21, 5, 9).ceil_div(
+            ResourceVector(20, 4, 8)
+        ) == ResourceVector(2, 2, 2)
+
+    def test_exact_division(self):
+        assert ResourceVector(40, 8, 16).ceil_div(
+            ResourceVector(20, 4, 8)
+        ) == ResourceVector(2, 2, 2)
+
+    def test_zero_by_zero_is_zero(self):
+        assert ResourceVector(5, 0, 0).ceil_div(
+            ResourceVector(5, 0, 8)
+        ) == ResourceVector(1, 0, 0)
+
+    def test_nonzero_by_zero_raises(self):
+        with pytest.raises(ZeroDivisionError):
+            ResourceVector(0, 1, 0).ceil_div(ResourceVector(1, 0, 1))
+
+
+class TestProperties:
+    @given(vectors, vectors)
+    def test_envelope_dominates_both(self, a, b):
+        env = a | b
+        assert a.fits_in(env) and b.fits_in(env)
+
+    @given(vectors, vectors)
+    def test_sum_dominates_envelope(self, a, b):
+        assert (a | b).fits_in(a + b)
+
+    @given(vectors, vectors, vectors)
+    def test_add_associative(self, a, b, c):
+        assert (a + b) + c == a + (b + c)
+
+    @given(vectors, vectors)
+    def test_or_commutative(self, a, b):
+        assert (a | b) == (b | a)
+
+    @given(vectors)
+    def test_or_idempotent(self, a):
+        assert (a | a) == a
+
+    @given(vectors, vectors)
+    def test_fits_antisymmetric(self, a, b):
+        if a.fits_in(b) and b.fits_in(a):
+            assert a == b
+
+    @given(vectors)
+    def test_saturating_sub_self_is_zero(self, a):
+        assert a.saturating_sub(a).is_zero

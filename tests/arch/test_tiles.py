@@ -1,0 +1,147 @@
+"""Tile geometry and area-math tests (paper Sec. IV-B constants)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.arch.resources import ResourceType, ResourceVector
+from repro.arch.tiles import (
+    BITS_PER_FRAME,
+    BYTES_PER_FRAME,
+    FRAMES_PER_TILE,
+    PRIMITIVES_PER_TILE,
+    WORDS_PER_FRAME,
+    TileCount,
+    describe_tile_constants,
+    frames_for,
+    frames_to_bytes,
+    frames_to_words,
+    quantised_footprint,
+    region_frames,
+    tiles_for,
+)
+
+vectors = st.builds(
+    ResourceVector,
+    clb=st.integers(0, 10_000),
+    bram=st.integers(0, 500),
+    dsp=st.integers(0, 800),
+)
+
+
+class TestPaperConstants:
+    """Sec. IV-B numbers, verbatim."""
+
+    def test_primitives_per_tile(self):
+        assert PRIMITIVES_PER_TILE[ResourceType.CLB] == 20
+        assert PRIMITIVES_PER_TILE[ResourceType.DSP] == 8
+        assert PRIMITIVES_PER_TILE[ResourceType.BRAM] == 4
+
+    def test_frames_per_tile(self):
+        assert FRAMES_PER_TILE[ResourceType.CLB] == 36
+        assert FRAMES_PER_TILE[ResourceType.DSP] == 28
+        assert FRAMES_PER_TILE[ResourceType.BRAM] == 30
+
+    def test_frame_size(self):
+        assert WORDS_PER_FRAME == 41
+        assert BITS_PER_FRAME == 1312
+        assert BYTES_PER_FRAME == 164
+        assert WORDS_PER_FRAME * 32 == BITS_PER_FRAME
+
+    def test_allocation_inlined_constants_in_sync(self):
+        """The hot loop in repro.core.allocation inlines these numbers."""
+        from repro.core import allocation as A
+
+        assert (A._CLB_PER_TILE, A._BRAM_PER_TILE, A._DSP_PER_TILE) == (20, 4, 8)
+        assert (A._CLB_FRAMES, A._BRAM_FRAMES, A._DSP_FRAMES) == (36, 30, 28)
+
+
+class TestTilesFor:
+    def test_exact_multiples(self):
+        t = tiles_for(ResourceVector(40, 8, 16))
+        assert (t.clb_tiles, t.bram_tiles, t.dsp_tiles) == (2, 2, 2)
+
+    def test_rounds_up_per_type(self):
+        t = tiles_for(ResourceVector(21, 1, 9))
+        assert (t.clb_tiles, t.bram_tiles, t.dsp_tiles) == (2, 1, 2)
+
+    def test_zero(self):
+        t = tiles_for(ResourceVector.zero())
+        assert t.total_tiles == 0 and t.frames == 0
+
+    def test_frames_formula(self):
+        # Eq. 6 by hand: 2 CLB tiles + 1 BRAM tile + 3 DSP tiles.
+        t = TileCount(clb_tiles=2, bram_tiles=1, dsp_tiles=3)
+        assert t.frames == 2 * 36 + 1 * 30 + 3 * 28
+
+    def test_primitives(self):
+        t = TileCount(clb_tiles=2, bram_tiles=1, dsp_tiles=3)
+        assert t.primitives() == ResourceVector(40, 4, 24)
+
+    def test_as_vector(self):
+        assert TileCount(1, 2, 3).as_vector() == ResourceVector(1, 2, 3)
+
+
+class TestFramesFor:
+    def test_paper_mode_f1(self):
+        # Matched filter mode F1: 818 CLBs, 0 BRAM, 28 DSP
+        # -> 41 CLB tiles (1476 frames) + 4 DSP tiles (112) = 1588... but
+        # 28 DSP = ceil(28/8) = 4 tiles -> 4*28 = 112; 41*36 = 1476.
+        assert frames_for(ResourceVector(818, 0, 28)) == 41 * 36 + 4 * 28
+
+    def test_single_clb(self):
+        assert frames_for(ResourceVector(1, 0, 0)) == 36
+
+    def test_region_frames_envelope(self):
+        a = ResourceVector(30, 0, 0)
+        b = ResourceVector(10, 4, 0)
+        # envelope (30, 4, 0) -> 2 CLB tiles + 1 BRAM tile
+        assert region_frames([a, b]) == 2 * 36 + 30
+
+    def test_region_frames_empty(self):
+        assert region_frames([]) == 0
+
+
+class TestConversions:
+    def test_frames_to_bytes(self):
+        assert frames_to_bytes(10) == 1640
+
+    def test_frames_to_words(self):
+        assert frames_to_words(10) == 410
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            frames_to_bytes(-1)
+        with pytest.raises(ValueError):
+            frames_to_words(-1)
+
+    def test_describe_mentions_all_types(self):
+        text = describe_tile_constants()
+        for token in ("CLB", "BRAM", "DSP", "41"):
+            assert token in text
+
+
+class TestProperties:
+    @given(vectors)
+    def test_quantised_footprint_dominates(self, v):
+        assert v.fits_in(quantised_footprint(v))
+
+    @given(vectors)
+    def test_quantisation_idempotent(self, v):
+        q = quantised_footprint(v)
+        assert quantised_footprint(q) == q
+
+    @given(vectors, vectors)
+    def test_frames_monotone(self, a, b):
+        assert frames_for(a) <= frames_for(a + b)
+
+    @given(vectors, vectors)
+    def test_region_frames_at_most_sum(self, a, b):
+        """Sharing a region never costs more frames than separate regions."""
+        assert region_frames([a, b]) <= frames_for(a) + frames_for(b)
+
+    @given(vectors)
+    def test_frames_zero_iff_zero(self, v):
+        assert (frames_for(v) == 0) == v.is_zero

@@ -1,0 +1,100 @@
+"""Shared fixtures: paper designs, devices, small helper builders."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.arch import ResourceVector, get_device, virtex5_full, virtex5_ladder
+from repro.eval.casestudy import (
+    CASESTUDY_BUDGET,
+    casestudy_design,
+    casestudy_design_modified,
+)
+from repro.eval.example_design import (
+    example_design,
+    hybrid_example_design,
+    single_mode_mix_design,
+)
+
+
+@pytest.fixture
+def paper_example():
+    """The Sec. III running example (A/B/C modules, 5 configurations)."""
+    return example_design()
+
+
+@pytest.fixture
+def hybrid_example():
+    """The Sec. IV-A two-module example (Fig. 3)."""
+    return hybrid_example_design()
+
+
+@pytest.fixture
+def single_mode_mix():
+    """The Sec. IV-D special-condition design (single-mode modules)."""
+    return single_mode_mix_design()
+
+
+@pytest.fixture
+def receiver():
+    """Case-study design, original eight configurations."""
+    return casestudy_design()
+
+
+@pytest.fixture
+def receiver_modified():
+    """Case-study design, modified five configurations."""
+    return casestudy_design_modified()
+
+
+@pytest.fixture
+def budget():
+    """The case-study PR budget."""
+    return CASESTUDY_BUDGET
+
+
+@pytest.fixture
+def ladder():
+    """The nine-device Fig. 7/8 ladder."""
+    return virtex5_ladder()
+
+
+@pytest.fixture
+def full_library():
+    return virtex5_full()
+
+
+@pytest.fixture
+def fx70t():
+    return get_device("FX70T")
+
+
+def make_design(modules, configurations, static=(0, 0, 0), name="t"):
+    """Terse builder used across the core tests.
+
+    ``modules`` maps module name to {mode: (clb, bram, dsp)};
+    ``configurations`` is a list of mode-name tuples.
+    """
+    from repro.core.model import design_from_tables
+
+    return design_from_tables(
+        name=name,
+        module_table={
+            m: {k: tuple(v) for k, v in modes.items()}
+            for m, modes in modules.items()
+        },
+        configurations=configurations,
+        static_resources=ResourceVector(*static),
+    )
+
+
+@pytest.fixture
+def tiny_design():
+    """Two modules, two modes each, three configurations (fits anywhere)."""
+    return make_design(
+        {
+            "A": {"A1": (40, 0, 0), "A2": (200, 0, 0)},
+            "B": {"B1": (220, 0, 0), "B2": (50, 0, 0)},
+        },
+        [("A1", "B1"), ("A2", "B2"), ("A1", "B2")],
+    )

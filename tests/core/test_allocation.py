@@ -1,0 +1,284 @@
+"""Merge-search tests: internal counts, cache, and end-to-end optimality."""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.arch.resources import ResourceVector
+from repro.core.allocation import (
+    AllocationOptions,
+    _MergeCache,
+    _initial_groups,
+    _mergeable,
+    _quantise,
+    _switch_pair_counts,
+    groups_to_scheme,
+    search_candidate_set,
+)
+from repro.core.clustering import enumerate_base_partitions
+from repro.core.cost import (
+    TransitionPolicy,
+    total_reconfiguration_frames,
+)
+from repro.core.covering import cover
+from repro.core.matrix import ConnectivityMatrix
+from repro.core.result import PartitioningScheme, regions_from_partitions
+
+from ..conftest import make_design
+
+
+def first_cps(design):
+    cm = ConnectivityMatrix.from_design(design)
+    return cover(enumerate_base_partitions(design, cm), cm)
+
+
+class TestSwitchPairCounts:
+    def brute(self, activity):
+        strict = lenient = 0
+        for a, b in itertools.combinations(activity, 2):
+            if a != b:
+                strict += 1
+                if a is not None and b is not None:
+                    lenient += 1
+        return strict, lenient
+
+    @pytest.mark.parametrize(
+        "activity",
+        [
+            (),
+            ("x",),
+            (None, None),
+            ("x", "x", "x"),
+            ("x", "y", None),
+            ("x", None, "x", "y", None, "y", "z"),
+            (None,) * 5 + ("a",) * 3 + ("b",) * 2,
+        ],
+    )
+    def test_matches_brute_force(self, activity):
+        assert _switch_pair_counts(activity) == self.brute(activity)
+
+
+class TestQuantise:
+    def test_matches_tiles_module(self):
+        from repro.arch.tiles import frames_for, quantised_footprint
+
+        for req in [(0, 0, 0), (1, 1, 1), (818, 0, 28), (4700, 40, 65)]:
+            footprint, frames = _quantise(req)
+            v = ResourceVector(*req)
+            assert footprint == quantised_footprint(v).as_tuple()
+            assert frames == frames_for(v)
+
+
+class TestInitialGroups:
+    def test_one_group_per_partition(self, paper_example):
+        cps = first_cps(paper_example)
+        groups = _initial_groups(paper_example, cps)
+        assert len(groups) == len(cps.partitions)
+
+    def test_activity_matches_cover(self, paper_example):
+        cps = first_cps(paper_example)
+        groups = _initial_groups(paper_example, cps)
+        names = [c.name for c in paper_example.configurations]
+        for bp, group in zip(cps.partitions, groups):
+            for cname, active in zip(names, group.activity):
+                assert (active == bp.label) == (bp.label in cps.cover[cname])
+
+    def test_usage_mask(self, paper_example):
+        cps = first_cps(paper_example)
+        groups = _initial_groups(paper_example, cps)
+        b2 = next(g for g in groups if g.signature == frozenset({"{B2}"}))
+        # B2 occurs in Conf.1, 3, 4, 5 -> bits 0, 2, 3, 4.
+        assert b2.usage == 0b11101
+
+    def test_mergeable_iff_disjoint_usage(self, paper_example):
+        cps = first_cps(paper_example)
+        groups = _initial_groups(paper_example, cps)
+        by_sig = {next(iter(g.signature)): g for g in groups}
+        assert _mergeable(by_sig["{A1}"], by_sig["{A2}"])
+        assert not _mergeable(by_sig["{A1}"], by_sig["{B1}"])
+
+
+class TestMergeCache:
+    def test_same_object_returned(self, paper_example):
+        cps = first_cps(paper_example)
+        groups = _initial_groups(paper_example, cps)
+        cache = _MergeCache()
+        a, b = groups[0], groups[1]
+        if not _mergeable(a, b):
+            a, b = next(
+                (x, y)
+                for x, y in itertools.combinations(groups, 2)
+                if _mergeable(x, y)
+            )
+        m1 = cache.merge(a, b)
+        m2 = cache.merge(b, a)
+        assert m1 is m2
+
+    def test_merged_activity_combines(self, paper_example):
+        cps = first_cps(paper_example)
+        groups = _initial_groups(paper_example, cps)
+        a, b = next(
+            (x, y)
+            for x, y in itertools.combinations(groups, 2)
+            if _mergeable(x, y)
+        )
+        merged = _MergeCache().merge(a, b)
+        for x, y, z in zip(a.activity, b.activity, merged.activity):
+            assert z == (x if x is not None else y)
+        assert merged.usage == a.usage | b.usage
+
+    def test_merged_frames_is_envelope_quantised(self, paper_example):
+        cps = first_cps(paper_example)
+        groups = _initial_groups(paper_example, cps)
+        a, b = next(
+            (x, y)
+            for x, y in itertools.combinations(groups, 2)
+            if _mergeable(x, y)
+        )
+        merged = _MergeCache().merge(a, b)
+        req = tuple(max(x, y) for x, y in zip(a.requirement, b.requirement))
+        assert merged.requirement == req
+        assert merged.frames == _quantise(req)[1]
+
+
+class TestSearch:
+    def test_search_result_cost_matches_scheme_cost(self, paper_example):
+        cps = first_cps(paper_example)
+        capacity = ResourceVector(10_000, 100, 100)
+        outcome = search_candidate_set(paper_example, cps, capacity)
+        assert outcome.found
+        scheme = groups_to_scheme(paper_example, cps, outcome.best_groups)
+        assert outcome.best_cost == total_reconfiguration_frames(scheme)
+
+    def test_unconstrained_budget_keeps_everything_separate(self, paper_example):
+        # With infinite area the all-separate start (cost 0 under LENIENT:
+        # every singleton region has a single activity value) is optimal.
+        cps = first_cps(paper_example)
+        capacity = ResourceVector(10**6, 10**4, 10**4)
+        outcome = search_candidate_set(paper_example, cps, capacity)
+        assert outcome.best_cost == 0
+        assert len(outcome.best_groups) == len(cps.partitions)
+
+    def test_infeasible_budget_returns_nothing(self, paper_example):
+        cps = first_cps(paper_example)
+        outcome = search_candidate_set(
+            paper_example, cps, ResourceVector(1, 0, 0)
+        )
+        assert not outcome.found
+        assert outcome.feasible_states == 0
+
+    def test_tight_budget_forces_merging(self, tiny_design):
+        cps = first_cps(tiny_design)
+        # all-separate: A1(40->2 tiles) + A2(200->10) + B1(220->11) +
+        # B2(50->3) = 26 tiles = 520 CLBs.  The only compatible merges are
+        # {A2,B1}, {A2,A1} and {B1,B2} (A1/B2 co-occur with the others),
+        # so the smallest reachable footprint is {A2,B1}+{A1}+{B2} =
+        # 220+40+60 = 320 CLBs.
+        outcome = search_candidate_set(
+            tiny_design, cps, ResourceVector(340, 0, 0)
+        )
+        assert outcome.found
+        assert len(outcome.best_groups) < len(cps.partitions)
+
+    def test_matches_brute_force_on_tiny_design(self, tiny_design):
+        """Exhaustive check over all compatible group partitions."""
+        cps = first_cps(tiny_design)
+        capacity = ResourceVector(340, 0, 0)
+        groups = _initial_groups(tiny_design, cps)
+
+        best = None
+
+        def partitions_of(items):
+            if not items:
+                yield []
+                return
+            head, *rest = items
+            for sub in partitions_of(rest):
+                # head alone
+                yield [[head]] + sub
+                # head joined to an existing block
+                for i in range(len(sub)):
+                    yield sub[:i] + [sub[i] + [head]] + sub[i + 1 :]
+
+        cache = _MergeCache()
+        for blocks in partitions_of(list(range(len(groups)))):
+            merged = []
+            ok = True
+            for block in blocks:
+                g = groups[block[0]]
+                for idx in block[1:]:
+                    if not _mergeable(g, groups[idx]):
+                        ok = False
+                        break
+                    g = cache.merge(g, groups[idx])
+                if not ok:
+                    break
+                merged.append(g)
+            if not ok:
+                continue
+            usage = [sum(g.footprint[i] for g in merged) for i in range(3)]
+            if usage[0] > capacity.clb:
+                continue
+            cost = sum(
+                g.frames * g.switch_pairs_lenient for g in merged
+            )
+            if best is None or cost < best:
+                best = cost
+
+        outcome = search_candidate_set(tiny_design, cps, capacity)
+        assert outcome.found
+        assert outcome.best_cost == best
+
+    def test_max_initial_pairs_cap(self, paper_example):
+        cps = first_cps(paper_example)
+        capacity = ResourceVector(10_000, 100, 100)
+        capped = search_candidate_set(
+            paper_example,
+            cps,
+            capacity,
+            AllocationOptions(max_initial_pairs=1),
+        )
+        full = search_candidate_set(paper_example, cps, capacity)
+        assert capped.states_explored <= full.states_explored
+
+    def test_policy_option_respected(self, tiny_design):
+        cps = first_cps(tiny_design)
+        capacity = ResourceVector(340, 0, 0)
+        strict = search_candidate_set(
+            tiny_design,
+            cps,
+            capacity,
+            AllocationOptions(policy=TransitionPolicy.STRICT),
+        )
+        lenient = search_candidate_set(tiny_design, cps, capacity)
+        assert strict.found and lenient.found
+        assert lenient.best_cost <= strict.best_cost
+
+    def test_options_validation(self):
+        with pytest.raises(ValueError):
+            AllocationOptions(max_initial_pairs=0)
+        with pytest.raises(ValueError):
+            AllocationOptions(max_descent_steps=0)
+
+
+class TestGroupsToScheme:
+    def test_materialised_scheme_valid_and_deterministic(self, paper_example):
+        cps = first_cps(paper_example)
+        capacity = ResourceVector(10_000, 100, 100)
+        outcome = search_candidate_set(paper_example, cps, capacity)
+        s1 = groups_to_scheme(paper_example, cps, outcome.best_groups)
+        s2 = groups_to_scheme(paper_example, cps, outcome.best_groups)
+        assert isinstance(s1, PartitioningScheme)
+        assert [r.labels for r in s1.regions] == [r.labels for r in s2.regions]
+
+    def test_strategy_tag(self, paper_example):
+        cps = first_cps(paper_example)
+        outcome = search_candidate_set(
+            paper_example, cps, ResourceVector(10_000, 100, 100)
+        )
+        scheme = groups_to_scheme(
+            paper_example, cps, outcome.best_groups, strategy="custom"
+        )
+        assert scheme.strategy == "custom"

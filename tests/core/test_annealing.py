@@ -1,0 +1,112 @@
+"""Simulated-annealing comparator tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.arch.resources import ResourceVector
+from repro.core.annealing import (
+    AnnealingOptions,
+    anneal_candidate_set,
+    partition_annealing,
+)
+from repro.core.clustering import enumerate_base_partitions
+from repro.core.cost import total_reconfiguration_frames
+from repro.core.covering import cover
+from repro.core.matrix import ConnectivityMatrix
+from repro.core.partitioner import InfeasibleError, partition
+
+
+class TestOptionsValidation:
+    def test_bounds(self):
+        with pytest.raises(ValueError):
+            AnnealingOptions(initial_temperature=0)
+        with pytest.raises(ValueError):
+            AnnealingOptions(cooling=1.0)
+        with pytest.raises(ValueError):
+            AnnealingOptions(steps=0)
+        with pytest.raises(ValueError):
+            AnnealingOptions(area_penalty=0)
+
+
+class TestAnnealCandidateSet:
+    def test_unconstrained_budget_finds_zero(self, paper_example):
+        cm = ConnectivityMatrix.from_design(paper_example)
+        cps = cover(enumerate_base_partitions(paper_example, cm), cm)
+        groups, cost = anneal_candidate_set(
+            paper_example,
+            cps,
+            ResourceVector(10**5, 10**3, 10**3),
+            options=AnnealingOptions(steps=500, seed=0),
+        )
+        assert groups is not None
+        assert cost == 0  # the all-separate start is already optimal
+
+    def test_infeasible_budget(self, paper_example):
+        cm = ConnectivityMatrix.from_design(paper_example)
+        cps = cover(enumerate_base_partitions(paper_example, cm), cm)
+        groups, cost = anneal_candidate_set(
+            paper_example,
+            cps,
+            ResourceVector(1, 0, 0),
+            options=AnnealingOptions(steps=200, seed=0),
+        )
+        assert groups is None and cost is None
+
+    def test_groups_stay_compatible(self, paper_example):
+        from repro.core.compatibility import are_compatible
+
+        cm = ConnectivityMatrix.from_design(paper_example)
+        cps = cover(enumerate_base_partitions(paper_example, cm), cm)
+        groups, _ = anneal_candidate_set(
+            paper_example,
+            cps,
+            ResourceVector(520, 16, 16),
+            options=AnnealingOptions(steps=2000, seed=3),
+        )
+        assert groups is not None
+        for g in groups:
+            for i in range(len(g.members)):
+                for j in range(i + 1, len(g.members)):
+                    assert are_compatible(
+                        g.members[i], g.members[j], paper_example
+                    )
+
+
+class TestPartitionAnnealing:
+    def test_matches_greedy_on_running_example(self, paper_example):
+        budget = ResourceVector(520, 16, 16)
+        greedy = partition(paper_example, budget)
+        best_sa = min(
+            total_reconfiguration_frames(
+                partition_annealing(
+                    paper_example,
+                    budget,
+                    options=AnnealingOptions(steps=4000, seed=seed),
+                )
+            )
+            for seed in (0, 1)
+        )
+        assert best_sa == greedy.total_frames
+
+    def test_never_worse_than_single_region(self, paper_example):
+        from repro.core.baselines import single_region_scheme
+
+        budget = ResourceVector(400, 16, 16)
+        sa = partition_annealing(
+            paper_example, budget, options=AnnealingOptions(steps=800, seed=0)
+        )
+        assert total_reconfiguration_frames(sa) <= total_reconfiguration_frames(
+            single_region_scheme(paper_example)
+        )
+
+    def test_infeasible_raises(self, paper_example):
+        with pytest.raises(InfeasibleError):
+            partition_annealing(paper_example, ResourceVector(10, 0, 0))
+
+    def test_deterministic_per_seed(self, paper_example):
+        budget = ResourceVector(520, 16, 16)
+        opts = AnnealingOptions(steps=1000, seed=9)
+        a = partition_annealing(paper_example, budget, options=opts)
+        b = partition_annealing(paper_example, budget, options=opts)
+        assert total_reconfiguration_frames(a) == total_reconfiguration_frames(b)

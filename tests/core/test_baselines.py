@@ -1,0 +1,149 @@
+"""Baseline-scheme tests against the paper's Sec. IV-A narrative."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.arch.resources import ResourceVector
+from repro.core.baselines import (
+    baseline_schemes,
+    one_module_per_region_scheme,
+    single_region_scheme,
+    static_scheme,
+)
+from repro.core.cost import (
+    TransitionPolicy,
+    total_reconfiguration_frames,
+    worst_case_frames,
+)
+
+from ..conftest import make_design
+
+
+class TestStatic:
+    def test_zero_cost_max_area(self, paper_example):
+        scheme = static_scheme(paper_example)
+        assert scheme.region_count == 0
+        assert total_reconfiguration_frames(scheme) == 0
+        assert scheme.resource_usage() == paper_example.static_requirement()
+
+    def test_includes_unused_modes(self):
+        d = make_design(
+            {"A": {"a1": (10, 0, 0), "ghost": (7, 0, 0)}},
+            [("a1",)],
+        )
+        scheme = static_scheme(d)
+        assert scheme.resource_usage().clb == 17
+
+    def test_case_study_exceeds_budget(self, receiver, budget):
+        # Paper: the static implementation "exceeds the capacity of the
+        # target device".
+        assert not static_scheme(receiver).fits(budget)
+
+
+class TestModular:
+    def test_one_region_per_module(self, receiver):
+        scheme = one_module_per_region_scheme(receiver)
+        assert scheme.region_count == len(receiver.modules)
+        for region in scheme.regions:
+            modules = {p.modules for p in region.partitions}
+            assert all(len(m) == 1 for m in modules)
+
+    def test_region_sized_by_envelope(self, receiver):
+        scheme = one_module_per_region_scheme(receiver)
+        v_region = next(r for r in scheme.regions if r.name == "R_VideoDecoder")
+        assert v_region.requirement == ResourceVector(4700, 40, 65)
+
+    def test_skips_fully_unused_modules(self):
+        d = make_design(
+            {
+                "A": {"a1": (10, 0, 0)},
+                "B": {"b1": (10, 0, 0)},
+                "GHOST": {"g1": (10, 0, 0)},
+            },
+            [("a1", "b1"), ("a1",)],
+        )
+        scheme = one_module_per_region_scheme(d)
+        assert {r.name for r in scheme.regions} == {"R_A", "R_B"}
+
+    def test_unused_mode_not_in_region(self):
+        d = make_design(
+            {"A": {"a1": (10, 0, 0), "ghost": (999, 0, 0)}, "B": {"b1": (5, 0, 0)}},
+            [("a1", "b1")],
+        )
+        scheme = one_module_per_region_scheme(d)
+        region_a = next(r for r in scheme.regions if r.name == "R_A")
+        assert region_a.requirement.clb == 10
+
+    def test_worst_case_is_all_modules_switching(self, tiny_design):
+        # Conf.1 (A1+B1) -> Conf.2 (A2+B2) switches both regions.
+        scheme = one_module_per_region_scheme(tiny_design)
+        frames_a = next(r for r in scheme.regions if r.name == "R_A").frames
+        frames_b = next(r for r in scheme.regions if r.name == "R_B").frames
+        assert worst_case_frames(scheme) == frames_a + frames_b
+
+
+class TestSingleRegion:
+    def test_sized_for_largest_configuration(self, tiny_design):
+        scheme = single_region_scheme(tiny_design)
+        # Largest config: A1+B1 = 260 CLB -> 13 tiles.
+        assert scheme.regions[0].requirement == ResourceVector(260, 0, 0)
+
+    def test_minimum_area_property(self, receiver):
+        # Sec. IV-A: single region gives the lowest resource requirement.
+        single = single_region_scheme(receiver)
+        modular = one_module_per_region_scheme(receiver)
+        assert single.resource_usage().fits_in(modular.resource_usage())
+
+    def test_every_transition_rewrites_everything(self, tiny_design):
+        scheme = single_region_scheme(tiny_design)
+        frames = scheme.regions[0].frames
+        n = tiny_design.configuration_count
+        assert total_reconfiguration_frames(scheme) == frames * n * (n - 1) // 2
+
+    def test_duplicate_configurations_collapse(self):
+        d = make_design(
+            {"A": {"a1": (10, 0, 0), "a2": (20, 0, 0)}},
+            [("a1",), ("a2",), ("a1",)],
+        )
+        scheme = single_region_scheme(d)
+        assert len(scheme.regions[0].partitions) == 2
+        # Transitions between the two identical configurations are free.
+        assert (
+            total_reconfiguration_frames(scheme, TransitionPolicy.STRICT)
+            == 2 * scheme.regions[0].frames
+        )
+
+    def test_worst_case_constant(self, receiver):
+        # Paper Fig. 8 discussion: single-region worst case equals the
+        # (single) region size for every transition.
+        scheme = single_region_scheme(receiver)
+        assert worst_case_frames(scheme) == scheme.regions[0].frames
+
+
+class TestBaselineBundle:
+    def test_all_three_present(self, paper_example):
+        schemes = baseline_schemes(paper_example)
+        assert set(schemes) == {"static", "modular", "single-region"}
+        assert schemes["static"].strategy == "static"
+        assert schemes["modular"].strategy == "modular"
+        assert schemes["single-region"].strategy == "single-region"
+
+    def test_area_ordering_holds(self, receiver):
+        # Sec. IV-A: static >= modular >= single-region in area.
+        schemes = baseline_schemes(receiver)
+        static = schemes["static"].resource_usage()
+        modular = schemes["modular"].resource_usage()
+        single = schemes["single-region"].resource_usage()
+        assert single.fits_in(modular)
+        assert modular.fits_in(static) or modular.clb <= static.clb
+
+    def test_time_ordering_holds(self, receiver):
+        # static (0) <= modular <= single-region in total time for the
+        # case study (Table IV shape).
+        schemes = baseline_schemes(receiver)
+        t_static = total_reconfiguration_frames(schemes["static"])
+        t_modular = total_reconfiguration_frames(schemes["modular"])
+        t_single = total_reconfiguration_frames(schemes["single-region"])
+        assert t_static == 0
+        assert t_modular < t_single

@@ -1,0 +1,191 @@
+"""Cost-model tests (Eqs. 7-11): hand-computed cases and both policies."""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.core.baselines import single_region_scheme, static_scheme
+from repro.core.clustering import enumerate_base_partitions, partitions_by_label
+from repro.core.cost import (
+    SchemeCost,
+    TransitionPolicy,
+    evaluate,
+    percentage_change,
+    total_reconfiguration_frames,
+    transition_frames,
+    transition_matrix,
+    weighted_total_frames,
+    worst_case_frames,
+)
+from repro.core.result import PartitioningScheme, regions_from_partitions
+
+from ..conftest import make_design
+
+
+@pytest.fixture
+def two_region_design():
+    """Modules X (x1/x2) and Y (y1), 3 configs; easy to hand-compute.
+
+    Conf.1: x1+y1, Conf.2: x2+y1, Conf.3: x1 alone.
+    """
+    return make_design(
+        {
+            "X": {"x1": (20, 0, 0), "x2": (40, 0, 0)},
+            "Y": {"y1": (20, 0, 0)},
+        },
+        [("x1", "y1"), ("x2", "y1"), ("x1",)],
+    )
+
+
+@pytest.fixture
+def two_region_scheme(two_region_design):
+    bps = partitions_by_label(enumerate_base_partitions(two_region_design))
+    regions = regions_from_partitions(
+        [[bps["{x1}"], bps["{x2}"]], [bps["{y1}"]]]
+    )
+    cover = {
+        "Conf.1": ("{x1}", "{y1}"),
+        "Conf.2": ("{x2}", "{y1}"),
+        "Conf.3": ("{x1}",),
+    }
+    return PartitioningScheme(
+        design=two_region_design, regions=regions, cover=cover
+    )
+
+
+class TestHandComputed:
+    """Region X: frames(40 clb) = 2 tiles = 72; region Y = 36 frames."""
+
+    def test_region_frames(self, two_region_scheme):
+        frames = {r.name: r.frames for r in two_region_scheme.regions}
+        assert frames == {"PRR1": 72, "PRR2": 36}
+
+    def test_transition_lenient(self, two_region_scheme):
+        # Conf.1 -> Conf.2: X switches x1->x2 (72), Y keeps y1 (0) = 72.
+        assert transition_frames(two_region_scheme, "Conf.1", "Conf.2") == 72
+        # Conf.1 -> Conf.3: X keeps x1; Y unused in Conf.3 -> free.
+        assert transition_frames(two_region_scheme, "Conf.1", "Conf.3") == 0
+        # Conf.2 -> Conf.3: X switches (72); Y side unused -> 72.
+        assert transition_frames(two_region_scheme, "Conf.2", "Conf.3") == 72
+
+    def test_transition_strict(self, two_region_scheme):
+        strict = TransitionPolicy.STRICT
+        assert transition_frames(two_region_scheme, "Conf.1", "Conf.2", strict) == 72
+        # Conf.1 -> Conf.3: Y goes active->inactive: charged under STRICT.
+        assert transition_frames(two_region_scheme, "Conf.1", "Conf.3", strict) == 36
+        assert transition_frames(two_region_scheme, "Conf.2", "Conf.3", strict) == 72 + 36
+
+    def test_totals(self, two_region_scheme):
+        assert total_reconfiguration_frames(two_region_scheme) == 144
+        assert (
+            total_reconfiguration_frames(two_region_scheme, TransitionPolicy.STRICT)
+            == 72 + 36 + 108
+        )
+
+    def test_worst_case(self, two_region_scheme):
+        assert worst_case_frames(two_region_scheme) == 72
+        assert worst_case_frames(two_region_scheme, TransitionPolicy.STRICT) == 108
+
+
+class TestSymmetry:
+    def test_transition_symmetric_both_policies(self, two_region_scheme):
+        names = [c.name for c in two_region_scheme.design.configurations]
+        for policy in TransitionPolicy:
+            for a, b in itertools.permutations(names, 2):
+                assert transition_frames(
+                    two_region_scheme, a, b, policy
+                ) == transition_frames(two_region_scheme, b, a, policy)
+
+    def test_self_transition_free(self, two_region_scheme):
+        for policy in TransitionPolicy:
+            assert transition_frames(
+                two_region_scheme, "Conf.1", "Conf.1", policy
+            ) == 0
+
+    def test_lenient_never_exceeds_strict(self, two_region_scheme):
+        assert total_reconfiguration_frames(
+            two_region_scheme, TransitionPolicy.LENIENT
+        ) <= total_reconfiguration_frames(two_region_scheme, TransitionPolicy.STRICT)
+
+
+class TestTransitionMatrix:
+    def test_keys_are_ordered_pairs(self, two_region_scheme):
+        tm = transition_matrix(two_region_scheme)
+        assert set(tm) == {
+            ("Conf.1", "Conf.2"),
+            ("Conf.1", "Conf.3"),
+            ("Conf.2", "Conf.3"),
+        }
+
+    def test_sum_matches_total(self, two_region_scheme):
+        tm = transition_matrix(two_region_scheme)
+        assert sum(tm.values()) == total_reconfiguration_frames(two_region_scheme)
+
+
+class TestWeightedTotal:
+    def test_uniform_weights_recover_total(self, two_region_scheme):
+        tm = transition_matrix(two_region_scheme)
+        weights = {k: 1.0 for k in tm}
+        assert weighted_total_frames(two_region_scheme, weights) == pytest.approx(
+            total_reconfiguration_frames(two_region_scheme)
+        )
+
+    def test_missing_pairs_default_zero(self, two_region_scheme):
+        assert weighted_total_frames(two_region_scheme, {}) == 0.0
+
+    def test_reversed_keys_found(self, two_region_scheme):
+        w = {("Conf.2", "Conf.1"): 1.0}
+        assert weighted_total_frames(two_region_scheme, w) == 72.0
+
+    def test_negative_weight_rejected(self, two_region_scheme):
+        with pytest.raises(ValueError):
+            weighted_total_frames(two_region_scheme, {("Conf.1", "Conf.2"): -1.0})
+
+
+class TestStaticAndSingleRegion:
+    def test_static_scheme_costs_zero(self, paper_example):
+        scheme = static_scheme(paper_example)
+        assert total_reconfiguration_frames(scheme) == 0
+        assert worst_case_frames(scheme) == 0
+
+    def test_single_region_every_transition_full(self, paper_example):
+        scheme = single_region_scheme(paper_example)
+        frames = scheme.regions[0].frames
+        n = paper_example.configuration_count
+        # All configuration contents differ, so every pair pays the full
+        # region, under both policies.
+        for policy in TransitionPolicy:
+            assert total_reconfiguration_frames(scheme, policy) == (
+                frames * n * (n - 1) // 2
+            )
+            assert worst_case_frames(scheme, policy) == frames
+
+
+class TestSchemeCost:
+    def test_evaluate_fields(self, two_region_scheme):
+        cost = evaluate(two_region_scheme, two_region_scheme.resource_usage())
+        assert isinstance(cost, SchemeCost)
+        assert cost.total_frames == 144
+        assert cost.worst_frames == 72
+        assert cost.region_count == 2
+        assert cost.feasible
+
+    def test_evaluate_without_capacity(self, two_region_scheme):
+        assert evaluate(two_region_scheme, None).feasible
+
+
+class TestPercentageChange:
+    def test_improvement(self):
+        assert percentage_change(200, 100) == 50.0
+
+    def test_regression_negative(self):
+        assert percentage_change(100, 110) == -10.0
+
+    def test_zero_zero(self):
+        assert percentage_change(0, 0) == 0.0
+
+    def test_zero_baseline_nonzero_proposal(self):
+        with pytest.raises(ZeroDivisionError):
+            percentage_change(0, 5)

@@ -1,0 +1,231 @@
+"""Design-model validation and lookup tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.arch.resources import ResourceVector
+from repro.core.model import (
+    Configuration,
+    DesignError,
+    Mode,
+    Module,
+    PRDesign,
+    design_from_tables,
+)
+
+from ..conftest import make_design
+
+
+def _mode(name, module="M", clb=10):
+    return Mode(name=name, module=module, resources=ResourceVector(clb, 0, 0))
+
+
+class TestMode:
+    def test_requires_name_and_module(self):
+        with pytest.raises(DesignError):
+            Mode(name="", module="M", resources=ResourceVector.zero())
+        with pytest.raises(DesignError):
+            Mode(name="a", module="", resources=ResourceVector.zero())
+
+    def test_str(self):
+        assert str(_mode("A1")) == "A1"
+
+
+class TestModule:
+    def test_requires_modes(self):
+        with pytest.raises(DesignError):
+            Module(name="M", modes=())
+
+    def test_rejects_foreign_mode(self):
+        with pytest.raises(DesignError):
+            Module(name="M", modes=(_mode("a", module="other"),))
+
+    def test_rejects_duplicate_mode_names(self):
+        with pytest.raises(DesignError):
+            Module(name="M", modes=(_mode("a"), _mode("a")))
+
+    def test_mode_lookup(self):
+        m = Module(name="M", modes=(_mode("a"), _mode("b")))
+        assert m.mode("a").name == "a"
+        with pytest.raises(KeyError):
+            m.mode("c")
+
+    def test_envelope(self):
+        m = Module.build(
+            "M",
+            {"a": ResourceVector(10, 5, 0), "b": ResourceVector(20, 1, 3)},
+        )
+        assert m.envelope() == ResourceVector(20, 5, 3)
+
+    def test_largest_mode_by_clb(self):
+        m = Module.build(
+            "M", {"a": ResourceVector(10, 9, 9), "b": ResourceVector(20, 0, 0)}
+        )
+        assert m.largest_mode.name == "b"
+
+    def test_mode_names(self):
+        m = Module(name="M", modes=(_mode("a"), _mode("b")))
+        assert m.mode_names == ("a", "b")
+
+
+class TestConfiguration:
+    def test_of(self):
+        c = Configuration.of("c1", ["x", "y"])
+        assert "x" in c and "z" not in c
+        assert len(c) == 2
+        assert list(c) == ["x", "y"]
+
+    def test_requires_name(self):
+        with pytest.raises(DesignError):
+            Configuration.of("", ["x"])
+
+
+class TestPRDesignValidation:
+    def test_needs_modules_and_configs(self):
+        mod = Module(name="M", modes=(_mode("a"),))
+        with pytest.raises(DesignError):
+            PRDesign(name="d", modules=(), configurations=(Configuration.of("c", ["a"]),))
+        with pytest.raises(DesignError):
+            PRDesign(name="d", modules=(mod,), configurations=())
+
+    def test_duplicate_module_names(self):
+        m1 = Module(name="M", modes=(_mode("a"),))
+        m2 = Module(name="M", modes=(_mode("b"),))
+        with pytest.raises(DesignError, match="duplicate module"):
+            PRDesign(
+                name="d",
+                modules=(m1, m2),
+                configurations=(Configuration.of("c", ["a"]),),
+            )
+
+    def test_mode_name_shared_across_modules(self):
+        m1 = Module(name="M1", modes=(Mode("x", "M1", ResourceVector(1, 0, 0)),))
+        m2 = Module(name="M2", modes=(Mode("x", "M2", ResourceVector(1, 0, 0)),))
+        with pytest.raises(DesignError, match="used by both"):
+            PRDesign(
+                name="d",
+                modules=(m1, m2),
+                configurations=(Configuration.of("c", ["x"]),),
+            )
+
+    def test_config_with_unknown_mode(self):
+        m = Module(name="M", modes=(_mode("a"),))
+        with pytest.raises(DesignError, match="unknown mode"):
+            PRDesign(
+                name="d",
+                modules=(m,),
+                configurations=(Configuration.of("c", ["zz"]),),
+            )
+
+    def test_config_with_two_modes_of_one_module(self):
+        m = Module(name="M", modes=(_mode("a"), _mode("b")))
+        with pytest.raises(DesignError, match="two modes"):
+            PRDesign(
+                name="d",
+                modules=(m,),
+                configurations=(Configuration.of("c", ["a", "b"]),),
+            )
+
+    def test_empty_configuration(self):
+        m = Module(name="M", modes=(_mode("a"),))
+        with pytest.raises(DesignError, match="empty"):
+            PRDesign(
+                name="d",
+                modules=(m,),
+                configurations=(Configuration.of("c", []),),
+            )
+
+    def test_duplicate_configuration_names(self):
+        m = Module(name="M", modes=(_mode("a"),))
+        with pytest.raises(DesignError, match="duplicate configuration"):
+            PRDesign(
+                name="d",
+                modules=(m,),
+                configurations=(
+                    Configuration.of("c", ["a"]),
+                    Configuration.of("c", ["a"]),
+                ),
+            )
+
+
+class TestPRDesignQueries:
+    def test_lookups(self, paper_example):
+        assert paper_example.module("A").name == "A"
+        assert paper_example.mode("B2").module == "B"
+        assert paper_example.module_of("C3").name == "C"
+        with pytest.raises(KeyError):
+            paper_example.module("Z")
+        with pytest.raises(KeyError):
+            paper_example.mode("Z9")
+        with pytest.raises(KeyError):
+            paper_example.module_of("Z9")
+        with pytest.raises(KeyError):
+            paper_example.configuration("Conf.99")
+
+    def test_all_modes_order(self, paper_example):
+        names = [m.name for m in paper_example.all_modes]
+        assert names == ["A1", "A2", "A3", "B1", "B2", "C1", "C2", "C3"]
+
+    def test_counts(self, paper_example):
+        assert paper_example.mode_count == 8
+        assert paper_example.configuration_count == 5
+
+    def test_active_vs_unused_modes(self):
+        d = make_design(
+            {"A": {"a1": (10, 0, 0), "a2": (20, 0, 0), "ghost": (5, 0, 0)}},
+            [("a1",), ("a2",)],
+        )
+        assert [m.name for m in d.active_modes] == ["a1", "a2"]
+        assert [m.name for m in d.unused_modes] == ["ghost"]
+
+    def test_configuration_resources(self, tiny_design):
+        c = tiny_design.configuration("Conf.1")  # A1 + B1
+        assert tiny_design.configuration_resources(c) == ResourceVector(260, 0, 0)
+
+    def test_largest_configuration_envelope(self, tiny_design):
+        # configs: A1+B1 = 260, A2+B2 = 250, A1+B2 = 90 -> envelope 260.
+        witness, envelope = tiny_design.largest_configuration()
+        assert envelope == ResourceVector(260, 0, 0)
+        assert witness.name == "Conf.1"
+
+    def test_largest_configuration_is_componentwise(self):
+        d = make_design(
+            {
+                "A": {"a1": (100, 0, 0), "a2": (10, 9, 0)},
+            },
+            [("a1",), ("a2",)],
+        )
+        _, envelope = d.largest_configuration()
+        # CLB max from a1, BRAM max from a2: the envelope mixes configs.
+        assert envelope == ResourceVector(100, 9, 0)
+
+    def test_static_requirement_sums_everything(self, tiny_design):
+        assert tiny_design.static_requirement() == ResourceVector(510, 0, 0)
+
+    def test_summary_mentions_counts(self, paper_example):
+        s = paper_example.summary()
+        assert "3 modules" in s and "8 modes" in s and "5 configurations" in s
+
+    def test_summary_mentions_static(self):
+        d = make_design(
+            {"A": {"a": (10, 0, 0)}}, [("a",)], static=(90, 8, 0)
+        )
+        assert "static reservation" in d.summary()
+
+
+class TestDesignFromTables:
+    def test_auto_config_names(self, tiny_design):
+        assert [c.name for c in tiny_design.configurations] == [
+            "Conf.1",
+            "Conf.2",
+            "Conf.3",
+        ]
+
+    def test_mapping_config_names(self):
+        d = design_from_tables(
+            "t",
+            {"A": {"a": (1, 0, 0)}},
+            {"boot": ["a"]},
+        )
+        assert d.configurations[0].name == "boot"

@@ -1,0 +1,240 @@
+"""Region/PartitioningScheme structural tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.arch.resources import ResourceVector
+from repro.core.baselines import one_module_per_region_scheme, single_region_scheme
+from repro.core.clustering import enumerate_base_partitions, partitions_by_label
+from repro.core.result import (
+    PartitioningScheme,
+    Region,
+    SchemeError,
+    merge_regions,
+    regions_from_partitions,
+    scheme_frames_by_region,
+)
+
+
+@pytest.fixture
+def bps(paper_example):
+    return partitions_by_label(enumerate_base_partitions(paper_example))
+
+
+def scheme_from(design, region_groups, cover, **kw):
+    return PartitioningScheme(
+        design=design,
+        regions=regions_from_partitions(region_groups),
+        cover=cover,
+        **kw,
+    )
+
+
+@pytest.fixture
+def singleton_cover(paper_example):
+    return {
+        c.name: tuple("{" + m + "}" for m in sorted(c.modes))
+        for c in paper_example.configurations
+    }
+
+
+@pytest.fixture
+def singleton_scheme(paper_example, bps, singleton_cover):
+    groups = [[bps["{" + m.name + "}"]] for m in paper_example.active_modes]
+    return scheme_from(paper_example, groups, singleton_cover)
+
+
+class TestRegion:
+    def test_requires_partitions(self):
+        with pytest.raises(SchemeError):
+            Region(name="r", partitions=())
+
+    def test_rejects_duplicates(self, bps):
+        with pytest.raises(SchemeError):
+            Region(name="r", partitions=(bps["{A1}"], bps["{A1}"]))
+
+    def test_requirement_is_envelope(self, bps, paper_example):
+        r = Region(name="r", partitions=(bps["{A1}"], bps["{A2}"]))
+        a1 = paper_example.mode("A1").resources
+        a2 = paper_example.mode("A2").resources
+        assert r.requirement == (a1 | a2)
+
+    def test_frames_quantised(self, bps):
+        r = Region(name="r", partitions=(bps["{A2}"],))
+        # A2 = (120, 1, 2): 6 CLB tiles + 1 BRAM tile + 1 DSP tile.
+        assert r.frames == 6 * 36 + 30 + 28
+
+    def test_footprint_dominates_requirement(self, bps):
+        r = Region(name="r", partitions=(bps["{A2}"],))
+        assert r.requirement.fits_in(r.footprint)
+
+    def test_mode_names_union(self, bps):
+        r = Region(name="r", partitions=(bps["{A1, B2}"], bps["{C1}"]))
+        assert r.mode_names == {"A1", "B2", "C1"}
+
+    def test_partition_for(self, bps):
+        r = Region(name="r", partitions=(bps["{A1}"],))
+        assert r.partition_for("{A1}") is bps["{A1}"]
+        with pytest.raises(KeyError):
+            r.partition_for("{B1}")
+
+    def test_merge_regions(self, bps):
+        a = Region(name="a", partitions=(bps["{A1}"],))
+        b = Region(name="b", partitions=(bps["{A2}"],))
+        merged = merge_regions(a, b, "ab")
+        assert merged.labels == ("{A1}", "{A2}")
+
+
+class TestSchemeValidation:
+    def test_singleton_scheme_valid(self, singleton_scheme):
+        assert singleton_scheme.region_count == 8
+
+    def test_partition_in_two_regions_rejected(
+        self, paper_example, bps, singleton_cover
+    ):
+        groups = [[bps["{A1}"]], [bps["{A1}"]]]
+        with pytest.raises(SchemeError, match="assigned to both"):
+            scheme_from(paper_example, groups, {"Conf.1": ()})
+
+    def test_cover_referencing_unhosted_partition(self, paper_example, bps):
+        groups = [[bps["{A1}"]]]
+        cover = {c.name: () for c in paper_example.configurations}
+        cover["Conf.1"] = ("{B2}",)  # {B2} is hosted by no region
+        with pytest.raises(SchemeError, match="hosted by no region"):
+            scheme_from(paper_example, groups, cover)
+
+    def test_uncovered_configuration_rejected(self, paper_example, bps):
+        groups = [[bps["{A1}"]]]
+        cover = {c.name: () for c in paper_example.configurations}
+        with pytest.raises(SchemeError, match="not implementable"):
+            scheme_from(paper_example, groups, cover)
+
+    def test_two_partitions_of_one_region_needed_together(
+        self, paper_example, bps, singleton_cover
+    ):
+        # A1 and B1 co-occur in Conf.2; putting them in one region makes
+        # Conf.2 unimplementable.
+        groups = [[bps["{A1}"], bps["{B1}"]]] + [
+            [bps["{" + m.name + "}"]]
+            for m in paper_example.active_modes
+            if m.name not in ("A1", "B1")
+        ]
+        with pytest.raises(SchemeError, match="needs both"):
+            scheme_from(paper_example, groups, singleton_cover)
+
+    def test_cover_not_subset_rejected(self, paper_example, bps):
+        groups = [[bps["{" + m.name + "}"]] for m in paper_example.active_modes]
+        cover = {
+            c.name: tuple("{" + m + "}" for m in sorted(c.modes))
+            for c in paper_example.configurations
+        }
+        cover["Conf.1"] = cover["Conf.1"] + ("{A1}",)  # A1 not in Conf.1
+        with pytest.raises(SchemeError, match="not a subset"):
+            scheme_from(paper_example, groups, cover)
+
+    def test_unknown_static_mode_rejected(self, paper_example, bps, singleton_cover):
+        groups = [[bps["{" + m.name + "}"]] for m in paper_example.active_modes]
+        with pytest.raises(SchemeError, match="not in the design"):
+            scheme_from(
+                paper_example,
+                groups,
+                singleton_cover,
+                static_modes=frozenset({"Z9"}),
+            )
+
+    def test_static_modes_cover_without_regions(self, paper_example):
+        scheme = PartitioningScheme(
+            design=paper_example,
+            regions=(),
+            cover={c.name: () for c in paper_example.configurations},
+            static_modes=frozenset(m.name for m in paper_example.all_modes),
+        )
+        assert scheme.region_count == 0
+
+
+class TestActivity:
+    def test_activity_matches_cover(self, singleton_scheme, paper_example):
+        act = singleton_scheme.activity("Conf.1")  # A3, B2, C3 active
+        active_labels = {a for a in act if a is not None}
+        assert active_labels == {"{A3}", "{B2}", "{C3}"}
+
+    def test_unknown_configuration(self, singleton_scheme):
+        with pytest.raises(KeyError):
+            singleton_scheme.activity("Conf.99")
+
+    def test_region_activity(self, singleton_scheme, paper_example):
+        # Find the region hosting {B2}: active in Conf.1, 3, 4, 5.
+        idx = next(
+            i
+            for i, r in enumerate(singleton_scheme.regions)
+            if r.labels == ("{B2}",)
+        )
+        activity = singleton_scheme.region_activity(idx)
+        active_in = {k for k, v in activity.items() if v is not None}
+        assert active_in == {"Conf.1", "Conf.3", "Conf.4", "Conf.5"}
+
+
+class TestDerived:
+    def test_resource_usage_sums_quantised_regions(self, singleton_scheme):
+        expected = ResourceVector.sum(r.footprint for r in singleton_scheme.regions)
+        assert singleton_scheme.resource_usage() == expected
+
+    def test_fits(self, singleton_scheme):
+        usage = singleton_scheme.resource_usage()
+        assert singleton_scheme.fits(usage)
+        assert not singleton_scheme.fits(usage - ResourceVector(1, 0, 0))
+
+    def test_effectively_static_regions_for_single_activity(self, paper_example, bps):
+        # Region hosting only {A2} is active only in Conf.5 -> static.
+        groups = [[bps["{" + m.name + "}"]] for m in paper_example.active_modes]
+        cover = {
+            c.name: tuple("{" + m + "}" for m in sorted(c.modes))
+            for c in paper_example.configurations
+        }
+        scheme = scheme_from(paper_example, groups, cover)
+        static_names = {r.name for r in scheme.effectively_static_regions()}
+        # Every singleton region never changes content -> all static.
+        assert len(static_names) == scheme.region_count
+        assert scheme.reconfigurable_regions() == ()
+
+    def test_multi_partition_region_not_static(self, paper_example, bps):
+        groups = [[bps["{A1}"], bps["{A2}"]]] + [
+            [bps["{" + m.name + "}"]]
+            for m in paper_example.active_modes
+            if m.name not in ("A1", "A2")
+        ]
+        cover = {
+            c.name: tuple("{" + m + "}" for m in sorted(c.modes))
+            for c in paper_example.configurations
+        }
+        scheme = scheme_from(paper_example, groups, cover)
+        non_static = scheme.reconfigurable_regions()
+        assert len(non_static) == 1
+        assert set(non_static[0].labels) == {"{A1}", "{A2}"}
+
+    def test_total_region_frames(self, singleton_scheme):
+        assert singleton_scheme.total_region_frames == sum(
+            r.frames for r in singleton_scheme.regions
+        )
+
+    def test_describe_mentions_regions_and_usage(self, singleton_scheme):
+        text = singleton_scheme.describe()
+        assert "PRR1" in text and "usage" in text
+
+    def test_scheme_frames_by_region(self, singleton_scheme):
+        frames = scheme_frames_by_region(singleton_scheme)
+        assert set(frames) == {r.name for r in singleton_scheme.regions}
+
+
+class TestBaselineSchemesAreValid:
+    """Baselines exercise the same validation machinery."""
+
+    def test_modular_case_study(self, receiver):
+        scheme = one_module_per_region_scheme(receiver)
+        assert scheme.region_count == 5
+
+    def test_single_region_case_study(self, receiver):
+        scheme = single_region_scheme(receiver)
+        assert scheme.region_count == 1
+        assert len(scheme.regions[0].partitions) == 8

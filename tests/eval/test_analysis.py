@@ -1,0 +1,75 @@
+"""Sweep-analysis tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.eval import experiments as E
+from repro.eval.analysis import (
+    by_circuit_class,
+    correlation_with_structure,
+    render_analysis,
+    render_class_breakdown,
+    worst_case_trade,
+)
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    return E.run_sweep(count=24, seed=11)
+
+
+class TestClassBreakdown:
+    def test_all_classes_present(self, sweep):
+        breakdown = by_circuit_class(sweep)
+        assert {b.circuit_class for b in breakdown} == {
+            "logic", "memory", "dsp", "dsp-memory",
+        }
+
+    def test_counts_sum(self, sweep):
+        breakdown = by_circuit_class(sweep)
+        assert sum(b.n for b in breakdown) == sweep.n
+
+    def test_sorted_by_class(self, sweep):
+        names = [b.circuit_class for b in by_circuit_class(sweep)]
+        assert names == sorted(names)
+
+    def test_render(self, sweep):
+        text = render_class_breakdown(sweep)
+        assert "dsp-memory" in text and "%" in text
+
+
+class TestCorrelations:
+    def test_keys_and_range(self, sweep):
+        corr = correlation_with_structure(sweep)
+        assert set(corr) == {"modes", "configurations", "device_index"}
+        for v in corr.values():
+            assert -1.0 <= v <= 1.0
+
+    def test_too_few_records(self):
+        small = E.run_sweep(count=2, seed=1)
+        assert correlation_with_structure(small) in ({}, correlation_with_structure(small))
+
+
+class TestWorstCaseTrade:
+    def test_fields(self, sweep):
+        trade = worst_case_trade(sweep)
+        assert set(trade) == {
+            "designs", "mean_total_gain_pct", "mean_worst_loss_pct",
+        }
+        assert trade["designs"] >= 0
+
+    def test_gain_positive_when_designs_exist(self, sweep):
+        trade = worst_case_trade(sweep)
+        if trade["designs"]:
+            # Sacrificing the worst case must buy total time (that is
+            # why the optimiser made the trade).
+            assert trade["mean_total_gain_pct"] > 0
+
+
+class TestRenderAnalysis:
+    def test_contains_all_blocks(self, sweep):
+        text = render_analysis(sweep)
+        assert "per-circuit-class" in text
+        assert "structure correlations" in text
+        assert "Fig. 8 trade" in text

@@ -1,0 +1,86 @@
+"""Sweep persistence tests: JSON round trips and CSV exports."""
+
+from __future__ import annotations
+
+import csv
+
+import pytest
+
+from repro.eval import experiments as E
+from repro.eval.persistence import (
+    PersistenceError,
+    export_histograms_csv,
+    export_series_csv,
+    load_sweep,
+    save_sweep,
+    sweep_from_json,
+    sweep_to_json,
+)
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    return E.run_sweep(count=8, seed=21)
+
+
+class TestJsonRoundTrip:
+    def test_identity(self, sweep):
+        back = sweep_from_json(sweep_to_json(sweep))
+        assert back == sweep
+
+    def test_file_round_trip(self, sweep, tmp_path):
+        path = tmp_path / "sweep.json"
+        save_sweep(sweep, path)
+        assert load_sweep(path) == sweep
+
+    def test_figures_identical_after_reload(self, sweep):
+        back = sweep_from_json(sweep_to_json(sweep))
+        assert back.total_time_series() == sweep.total_time_series()
+        assert back.headline_counts() == sweep.headline_counts()
+
+    def test_rejects_garbage(self):
+        with pytest.raises(PersistenceError):
+            sweep_from_json("not json at all")
+        with pytest.raises(PersistenceError):
+            sweep_from_json('{"format": "something-else"}')
+
+    def test_rejects_wrong_version(self, sweep):
+        import json
+
+        doc = json.loads(sweep_to_json(sweep))
+        doc["version"] = 999
+        with pytest.raises(PersistenceError, match="version"):
+            sweep_from_json(json.dumps(doc))
+
+    def test_rejects_schema_drift(self, sweep):
+        import json
+
+        doc = json.loads(sweep_to_json(sweep))
+        doc["records"][0]["surprise_field"] = 1
+        with pytest.raises(PersistenceError, match="schema"):
+            sweep_from_json(json.dumps(doc))
+
+
+class TestCsvExports:
+    def test_series_csv(self, sweep, tmp_path):
+        path = tmp_path / "series.csv"
+        export_series_csv(sweep, path)
+        with open(path, newline="") as fh:
+            rows = list(csv.DictReader(fh))
+        assert len(rows) == sweep.n
+        ordered = sweep.sorted_by_device()
+        assert int(rows[0]["proposed_total"]) == ordered[0].proposed_total
+        assert rows[0]["device"] == ordered[0].device_name
+
+    def test_histograms_csv(self, sweep, tmp_path):
+        path = tmp_path / "hist.csv"
+        export_histograms_csv(sweep, path)
+        with open(path, newline="") as fh:
+            rows = list(csv.DictReader(fh))
+        panels = {r["panel"] for r in rows}
+        assert panels == {"a", "b", "c", "d"}
+        # 11 bins per panel.
+        assert len(rows) == 4 * 11
+        # Counts per panel sum to the profile size.
+        total_a = sum(int(r["count"]) for r in rows if r["panel"] == "a")
+        assert total_a == sweep.profiles()["a"].n

@@ -1,0 +1,137 @@
+"""Report-rendering and Fig. 9 statistics tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.eval.report import (
+    format_percent,
+    kv_block,
+    render_histogram,
+    render_series,
+    render_table,
+)
+from repro.eval.stats import (
+    FIG9_BIN_EDGES,
+    improvement_profile,
+    summarise_profiles,
+)
+
+
+class TestRenderTable:
+    def test_alignment_and_borders(self):
+        text = render_table(("a", "bb"), [(1, 2), (33, 4)], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        widths = {len(l) for l in lines[1:]}
+        assert len(widths) == 1  # all rows equal width
+
+    def test_row_length_mismatch(self):
+        with pytest.raises(ValueError):
+            render_table(("a", "b"), [(1,)])
+
+    def test_cells_stringified(self):
+        text = render_table(("x",), [(None,)])
+        assert "None" in text
+
+
+class TestRenderSeries:
+    def test_contains_legend_and_axes(self):
+        text = render_series(
+            {"s1": [1, 2, 3], "s2": [3, 2, 1]}, x_label="xx", y_label="yy"
+        )
+        assert "legend" in text and "s1" in text and "s2" in text
+        assert "xx" in text and "yy" in text
+
+    def test_empty(self):
+        assert "empty" in render_series({})
+
+    def test_handles_single_point(self):
+        text = render_series({"s": [5.0]})
+        assert "max 5" in text
+
+
+class TestRenderHistogram:
+    def test_bars_scale(self):
+        text = render_histogram([0, 10, 20], [1, 5], title="H")
+        lines = text.splitlines()
+        assert lines[0] == "H"
+        assert lines[2].count("#") > lines[1].count("#")
+
+    def test_count_mismatch(self):
+        with pytest.raises(ValueError):
+            render_histogram([0, 10], [1, 2])
+
+    def test_zero_counts(self):
+        text = render_histogram([0, 10], [0])
+        assert "#" not in text
+
+
+class TestSmallHelpers:
+    def test_format_percent(self):
+        assert format_percent(12.345) == "12.3%"
+
+    def test_kv_block_aligned(self):
+        text = kv_block({"a": 1, "long-key": 2}, title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert lines[1].index(":") == lines[2].index(":")
+
+
+class TestImprovementProfile:
+    def test_basic_changes(self):
+        p = improvement_profile("x", [100, 200, 100], [50, 200, 110])
+        assert p.changes == (50.0, 0.0, -10.0)
+        assert p.fraction_better == pytest.approx(1 / 3)
+        assert p.fraction_better_or_equal == pytest.approx(2 / 3)
+        assert p.fraction_worse == pytest.approx(1 / 3)
+
+    def test_zero_baseline_zero_proposal_is_zero_change(self):
+        p = improvement_profile("x", [0], [0])
+        assert p.changes == (0.0,)
+
+    def test_zero_baseline_positive_proposal_skipped(self):
+        p = improvement_profile("x", [0, 100], [5, 50])
+        assert p.changes == (50.0,)
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            improvement_profile("x", [1], [1, 2])
+
+    def test_mean_median(self):
+        p = improvement_profile("x", [100, 100], [90, 50])
+        assert p.mean == pytest.approx(30.0)
+        assert p.median == pytest.approx(30.0)
+
+    def test_empty_profile(self):
+        p = improvement_profile("x", [], [])
+        assert p.fraction_better == 0.0
+        assert p.mean == 0.0
+
+
+class TestHistogramBinning:
+    def test_paper_bin_edges(self):
+        assert FIG9_BIN_EDGES[0] == -10.0
+        assert FIG9_BIN_EDGES[-1] == 100.0
+        assert len(FIG9_BIN_EDGES) == 12
+
+    def test_counts_sum_to_n(self):
+        p = improvement_profile(
+            "x", [100] * 6, [110, 95, 50, 10, 0, 1]
+        )
+        counts, edges = p.histogram()
+        assert counts.sum() == p.n
+
+    def test_out_of_range_clipped(self):
+        p = improvement_profile("x", [100, 100], [400, 0])
+        counts, edges = p.histogram()
+        # -300% clipped into the first bin; +100% into the last.
+        assert counts[0] == 1
+        assert counts[-1] == 1
+
+    def test_summary_keys(self):
+        p = improvement_profile("total vs modular", [100], [50])
+        s = summarise_profiles([p])
+        assert set(s) == {"total vs modular"}
+        assert s["total vs modular"]["better"] == 100.0

@@ -1,0 +1,122 @@
+"""Bitstream writer/parser tests: structural framing and round-trips."""
+
+from __future__ import annotations
+
+import struct
+
+import pytest
+
+from repro.arch.tiles import WORDS_PER_FRAME
+from repro.core.baselines import one_module_per_region_scheme
+from repro.flow.bitgen import (
+    DEFAULT_IDCODE,
+    SYNC_WORD,
+    BitstreamFormatError,
+    BitstreamInfo,
+    build_partial_bitstream,
+    parse_bitstream,
+    write_scheme_bitstreams,
+)
+from repro.flow.floorplan import floorplan
+
+
+@pytest.fixture
+def info():
+    return BitstreamInfo(
+        design="demo",
+        region="PRR1",
+        partition_label="{A1, B2}",
+        frame_address=0x00002480,
+        frames=4,
+    )
+
+
+class TestRoundTrip:
+    def test_metadata_recovered(self, info):
+        assert parse_bitstream(build_partial_bitstream(info)) == info
+
+    def test_long_form_payload(self):
+        # > 2047 words forces the Type-1+Type-2 FDRI form.
+        info = BitstreamInfo(
+            design="d", region="R", partition_label="{X}", frame_address=1,
+            frames=60,
+        )
+        assert parse_bitstream(build_partial_bitstream(info)) == info
+
+    def test_payload_word_count(self, info):
+        data = build_partial_bitstream(info)
+        recovered = parse_bitstream(data)
+        assert recovered.payload_words == info.frames * WORDS_PER_FRAME
+
+    def test_deterministic(self, info):
+        assert build_partial_bitstream(info) == build_partial_bitstream(info)
+
+    def test_different_regions_differ(self, info):
+        other = BitstreamInfo(
+            design=info.design,
+            region="PRR2",
+            partition_label=info.partition_label,
+            frame_address=info.frame_address,
+            frames=info.frames,
+        )
+        assert build_partial_bitstream(info) != build_partial_bitstream(other)
+
+
+class TestFraming:
+    def test_contains_sync_word(self, info):
+        data = build_partial_bitstream(info)
+        assert struct.pack(">I", SYNC_WORD) in data
+
+    def test_corrupted_payload_fails_crc(self, info):
+        data = bytearray(build_partial_bitstream(info))
+        sync = data.index(struct.pack(">I", SYNC_WORD))
+        data[sync + 60] ^= 0xFF  # flip a payload byte
+        with pytest.raises(BitstreamFormatError, match="CRC"):
+            parse_bitstream(bytes(data))
+
+    def test_truncated_body(self, info):
+        data = build_partial_bitstream(info)
+        with pytest.raises(BitstreamFormatError):
+            parse_bitstream(data[: len(data) // 2])
+
+    def test_garbage_rejected(self):
+        with pytest.raises(BitstreamFormatError):
+            parse_bitstream(b"not a bitstream at all")
+
+    def test_missing_sync(self, info):
+        data = build_partial_bitstream(info)
+        broken = data.replace(struct.pack(">I", SYNC_WORD), struct.pack(">I", 0))
+        with pytest.raises(BitstreamFormatError, match="sync"):
+            parse_bitstream(broken)
+
+
+class TestSchemeEmission:
+    def test_one_file_per_variant(self, receiver, fx70t, tmp_path):
+        scheme = one_module_per_region_scheme(receiver)
+        plan = floorplan(scheme, fx70t)
+        paths = write_scheme_bitstreams(scheme, plan, tmp_path)
+        expected = sum(len(r.partitions) for r in scheme.regions)
+        assert len(paths) == expected
+        assert all(p.suffix == ".bit" and p.exists() for p in paths)
+
+    def test_files_parse_back_with_placement_far(self, receiver, fx70t, tmp_path):
+        scheme = one_module_per_region_scheme(receiver)
+        plan = floorplan(scheme, fx70t)
+        paths = write_scheme_bitstreams(scheme, plan, tmp_path)
+        regions = {r.name for r in scheme.regions}
+        for path in paths:
+            info = parse_bitstream(path.read_bytes())
+            assert info.design == receiver.name
+            assert info.region in regions
+            assert info.idcode == DEFAULT_IDCODE
+            assert info.frames > 0
+
+    def test_sizes_match_placed_frames(self, receiver, fx70t, tmp_path):
+        from repro.flow.floorplan import placement_frames
+
+        scheme = one_module_per_region_scheme(receiver)
+        plan = floorplan(scheme, fx70t)
+        paths = write_scheme_bitstreams(scheme, plan, tmp_path)
+        for path in paths:
+            info = parse_bitstream(path.read_bytes())
+            assert info.frames == placement_frames(plan, info.region)

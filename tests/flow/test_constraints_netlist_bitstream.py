@@ -1,0 +1,160 @@
+"""UCF emission, netlist/wrapper generation, bitstream sizing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.arch.tiles import WORDS_PER_FRAME
+from repro.core.baselines import one_module_per_region_scheme
+from repro.flow.bitstream import (
+    FULL_OVERHEAD_WORDS,
+    PARTIAL_OVERHEAD_WORDS,
+    generate_bitstreams,
+)
+from repro.flow.constraints import TimingConstraint, emit_ucf, parse_ranges
+from repro.flow.floorplan import floorplan
+from repro.flow.netlist import (
+    STREAM_PORTS,
+    build_netlists,
+    emit_wrapper_hdl,
+    variant_count,
+)
+
+
+@pytest.fixture
+def placed(receiver, fx70t):
+    scheme = one_module_per_region_scheme(receiver)
+    plan = floorplan(scheme, fx70t)
+    return scheme, plan, fx70t
+
+
+class TestUcf:
+    def test_area_group_per_region(self, placed):
+        scheme, plan, _ = placed
+        ucf = emit_ucf(scheme, plan)
+        for region in scheme.regions:
+            assert f'AREA_GROUP "pblock_{region.name}"' in ucf
+            assert f'INST "{region.name}_wrapper"' in ucf
+
+    def test_reconfig_mode_flag(self, placed):
+        scheme, plan, _ = placed
+        ucf = emit_ucf(scheme, plan)
+        assert ucf.count("MODE = RECONFIG") == len(scheme.regions)
+
+    def test_ranges_parse_back(self, placed):
+        scheme, plan, _ = placed
+        groups = parse_ranges(emit_ucf(scheme, plan))
+        assert set(groups) == {f"pblock_{r.name}" for r in scheme.regions}
+        for ranges in groups.values():
+            assert ranges, "every region needs at least one RANGE"
+            for rng in ranges:
+                assert rng.startswith(("SLICE", "RAMB36", "DSP48"))
+
+    def test_slice_range_format(self, placed):
+        scheme, plan, _ = placed
+        groups = parse_ranges(emit_ucf(scheme, plan))
+        some_range = next(iter(groups.values()))[0]
+        # e.g. SLICE_X0Y0:SLICE_X4Y39
+        lo, hi = some_range.split(":")
+        assert "_X" in lo and "Y" in lo and "_X" in hi
+
+    def test_timing_constraints_rendered(self, placed):
+        scheme, plan, _ = placed
+        ucf = emit_ucf(
+            scheme, plan, timing=[TimingConstraint(clock="clk100", period_ns=10.0)]
+        )
+        assert 'PERIOD "clk100" 10.0 ns' in ucf
+        assert 'TNM_NET = "clk100"' in ucf
+
+    def test_invalid_period(self):
+        with pytest.raises(ValueError):
+            TimingConstraint(clock="clk", period_ns=0)
+
+
+class TestNetlist:
+    def test_one_netlist_per_region(self, placed):
+        scheme, _, _ = placed
+        netlists = build_netlists(scheme)
+        assert set(netlists) == {r.name for r in scheme.regions}
+
+    def test_one_variant_per_partition(self, placed):
+        scheme, _, _ = placed
+        netlists = build_netlists(scheme)
+        assert variant_count(netlists) == sum(
+            len(r.partitions) for r in scheme.regions
+        )
+
+    def test_variant_lookup(self, placed):
+        scheme, _, _ = placed
+        netlists = build_netlists(scheme)
+        region = scheme.regions[0]
+        nl = netlists[region.name]
+        v = nl.variant_for(region.partitions[0].label)
+        assert v.region == region.name
+        with pytest.raises(KeyError):
+            nl.variant_for("{nonexistent}")
+
+    def test_wrapper_hdl_well_formed(self, placed):
+        scheme, _, _ = placed
+        netlists = build_netlists(scheme)
+        hdl = emit_wrapper_hdl(next(iter(netlists.values())))
+        assert hdl.startswith("//")
+        assert "module " in hdl and "endmodule" in hdl
+        for name, _, _ in STREAM_PORTS:
+            assert name in hdl
+
+    def test_variant_identifier_hdl_safe(self, placed):
+        scheme, _, _ = placed
+        netlists = build_netlists(scheme)
+        for nl in netlists.values():
+            for v in nl.variants:
+                assert "." not in v.identifier
+                assert "{" not in v.identifier
+
+
+class TestBitstreams:
+    def test_partial_per_variant(self, placed):
+        scheme, plan, device = placed
+        bits = generate_bitstreams(scheme, device, plan)
+        assert len(bits.partials) == sum(
+            len(r.partitions) for r in scheme.regions
+        )
+
+    def test_full_matches_device(self, placed):
+        scheme, plan, device = placed
+        bits = generate_bitstreams(scheme, device, plan)
+        assert bits.full_frames == device.total_frames()
+        assert bits.full_words == device.total_frames() * WORDS_PER_FRAME + FULL_OVERHEAD_WORDS
+
+    def test_analytic_vs_placed_frames(self, placed):
+        scheme, plan, device = placed
+        analytic = generate_bitstreams(scheme, device, plan=None)
+        placed_bits = generate_bitstreams(scheme, device, plan)
+        for region in scheme.regions:
+            a = analytic.by_region()[region.name][0].frames
+            p = placed_bits.by_region()[region.name][0].frames
+            assert a == region.frames
+            assert p >= a  # placed rectangles can sweep extra columns
+
+    def test_partial_sizes(self, placed):
+        scheme, plan, device = placed
+        bits = generate_bitstreams(scheme, device, plan)
+        p = bits.partials[0]
+        assert p.total_words == p.frames * WORDS_PER_FRAME + PARTIAL_OVERHEAD_WORDS
+        assert p.total_bytes == p.total_words * 4
+
+    def test_lookup(self, placed):
+        scheme, plan, device = placed
+        bits = generate_bitstreams(scheme, device, plan)
+        region = scheme.regions[0]
+        label = region.partitions[0].label
+        assert bits.partial(region.name, label).region == region.name
+        with pytest.raises(KeyError):
+            bits.partial("nope", label)
+
+    def test_total_storage(self, placed):
+        scheme, plan, device = placed
+        bits = generate_bitstreams(scheme, device, plan)
+        assert bits.total_storage_bytes == bits.full_bytes + sum(
+            p.total_bytes for p in bits.partials
+        )

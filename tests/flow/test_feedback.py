@@ -1,0 +1,67 @@
+"""Floorplan-feedback loop unit tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.arch.device import make_device
+from repro.arch.library import DeviceLibrary
+from repro.core.partitioner import InfeasibleError
+from repro.flow.feedback import PlacedPartition, partition_and_place
+
+from ..conftest import make_design
+
+
+@pytest.fixture
+def small_library():
+    return DeviceLibrary(
+        [
+            make_device("S", clb=400, bram=8, dsp=8, rows=2),
+            make_device("M", clb=900, bram=16, dsp=16, rows=3),
+            make_device("L", clb=2400, bram=32, dsp=32, rows=4),
+        ]
+    )
+
+
+class TestValidation:
+    def test_shrink_factor_bounds(self, tiny_design, small_library):
+        with pytest.raises(ValueError):
+            partition_and_place(tiny_design, small_library, shrink_factor=1.0)
+        with pytest.raises(ValueError):
+            partition_and_place(tiny_design, small_library, shrink_factor=0.0)
+
+    def test_negative_shrinks(self, tiny_design, small_library):
+        with pytest.raises(ValueError):
+            partition_and_place(
+                tiny_design, small_library, max_shrinks_per_device=-1
+            )
+
+
+class TestConvergence:
+    def test_places_tiny_design(self, tiny_design, small_library):
+        placed = partition_and_place(tiny_design, small_library)
+        assert isinstance(placed, PlacedPartition)
+        placed.plan.validate(placed.scheme)
+        assert placed.device.name in {"S", "M", "L"}
+
+    def test_reports_monotone_counters(self, tiny_design, small_library):
+        placed = partition_and_place(tiny_design, small_library)
+        assert placed.partition_attempts >= 1
+        assert 0 <= placed.device_escalations < len(small_library)
+
+    def test_raises_when_nothing_fits(self, small_library):
+        design = make_design({"A": {"a": (50_000, 0, 0)}}, [("a",)])
+        with pytest.raises(InfeasibleError):
+            partition_and_place(design, small_library)
+
+    def test_scheme_fits_final_device(self, paper_example, small_library):
+        placed = partition_and_place(paper_example, small_library)
+        assert placed.scheme.fits(
+            placed.device.usable_capacity(paper_example.static_resources)
+        )
+
+    def test_zero_shrinks_still_escalates(self, paper_example, small_library):
+        placed = partition_and_place(
+            paper_example, small_library, max_shrinks_per_device=0
+        )
+        placed.plan.validate(placed.scheme)

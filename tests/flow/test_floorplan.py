@@ -1,0 +1,149 @@
+"""Floorplanner tests: legality, capacity, failure signalling."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.arch.device import make_device
+from repro.arch.library import get_device
+from repro.arch.resources import ResourceVector
+from repro.core.baselines import one_module_per_region_scheme, single_region_scheme
+from repro.core.partitioner import partition
+from repro.eval.casestudy import CASESTUDY_BUDGET
+from repro.flow.floorplan import (
+    Floorplan,
+    FloorplanError,
+    Placement,
+    floorplan,
+    placement_frames,
+)
+
+
+class TestPlacement:
+    def test_degenerate_rejected(self):
+        with pytest.raises(ValueError):
+            Placement("r", col_lo=3, col_hi=2, row_lo=0, row_hi=0)
+
+    def test_overlaps(self):
+        a = Placement("a", 0, 3, 0, 1)
+        b = Placement("b", 2, 5, 1, 2)
+        c = Placement("c", 4, 6, 1, 1)
+        assert a.overlaps(b)
+        assert not a.overlaps(c)  # disjoint columns
+        assert b.overlaps(c)
+        assert not Placement("d", 2, 5, 3, 4).overlaps(b)  # disjoint rows
+
+    def test_tiles(self):
+        p = Placement("p", 1, 2, 0, 1)
+        assert set(p.tiles()) == {(0, 1), (0, 2), (1, 1), (1, 2)}
+
+    def test_shape_properties(self):
+        p = Placement("p", 1, 4, 2, 3)
+        assert p.n_cols == 4 and p.n_rows == 2
+
+
+class TestFloorplanCaseStudy:
+    def test_modular_scheme_places_on_fx70t(self, receiver, fx70t):
+        scheme = one_module_per_region_scheme(receiver)
+        plan = floorplan(scheme, fx70t)
+        assert len(plan.placements) == len(scheme.regions)
+        plan.validate(scheme)
+
+    def test_proposed_scheme_places_on_fx70t(self, receiver, fx70t):
+        result = partition(receiver, CASESTUDY_BUDGET)
+        plan = floorplan(result.scheme, fx70t)
+        plan.validate(result.scheme)
+
+    def test_no_overlaps(self, receiver, fx70t):
+        scheme = one_module_per_region_scheme(receiver)
+        plan = floorplan(scheme, fx70t)
+        ps = plan.placements
+        for i in range(len(ps)):
+            for j in range(i + 1, len(ps)):
+                assert not ps[i].overlaps(ps[j])
+
+    def test_each_region_capacity_satisfied(self, receiver, fx70t):
+        scheme = one_module_per_region_scheme(receiver)
+        plan = floorplan(scheme, fx70t)
+        # validate() already checks; assert placement_frames >= analytic.
+        for region in scheme.regions:
+            assert placement_frames(plan, region.name) >= region.frames
+
+    def test_placement_lookup(self, receiver, fx70t):
+        scheme = one_module_per_region_scheme(receiver)
+        plan = floorplan(scheme, fx70t)
+        assert plan.placement_of(scheme.regions[0].name).region_name == scheme.regions[0].name
+        with pytest.raises(KeyError):
+            plan.placement_of("nope")
+
+
+class TestFloorplanFailure:
+    def test_impossible_region_raises(self, receiver):
+        tiny = make_device("tiny", clb=100, bram=4, dsp=8, rows=1)
+        scheme = single_region_scheme(receiver)
+        with pytest.raises(FloorplanError, match="cannot place"):
+            floorplan(scheme, tiny)
+
+    def test_validate_detects_overlap(self, receiver, fx70t):
+        scheme = one_module_per_region_scheme(receiver)
+        plan = floorplan(scheme, fx70t)
+        first = plan.placements[0]
+        clone = Placement(
+            plan.placements[1].region_name,
+            first.col_lo,
+            first.col_hi,
+            first.row_lo,
+            first.row_hi,
+        )
+        bad = Floorplan(
+            device=fx70t, placements=(first, clone) + plan.placements[2:]
+        )
+        with pytest.raises(FloorplanError, match="overlap"):
+            bad.validate(scheme)
+
+    def test_validate_detects_unknown_region(self, receiver, fx70t):
+        scheme = one_module_per_region_scheme(receiver)
+        plan = floorplan(scheme, fx70t)
+        bad = Floorplan(
+            device=fx70t,
+            placements=(Placement("ghost", 0, 0, 0, 0),),
+        )
+        with pytest.raises(FloorplanError, match="unknown region"):
+            bad.validate(scheme)
+
+    def test_validate_detects_undersized_window(self, receiver, fx70t):
+        scheme = one_module_per_region_scheme(receiver)
+        plan = floorplan(scheme, fx70t)
+        # Shrink the largest region's placement to a single tile.
+        biggest = max(scheme.regions, key=lambda r: r.frames)
+        shrunk = tuple(
+            Placement(p.region_name, p.col_lo, p.col_lo, p.row_lo, p.row_lo)
+            if p.region_name == biggest.name
+            else p
+            for p in plan.placements
+        )
+        bad = Floorplan(device=fx70t, placements=shrunk)
+        with pytest.raises(FloorplanError, match="provides"):
+            bad.validate(scheme)
+
+
+class TestPackingBehaviour:
+    def test_tight_device_still_packs_two_regions(self, tiny_design):
+        # 2 regions of 13+11 CLB tiles on a 2x20-column device.
+        from repro.core.baselines import one_module_per_region_scheme
+
+        scheme = one_module_per_region_scheme(tiny_design)
+        device = make_device("snug", clb=800, bram=0, dsp=0, rows=2)
+        plan = floorplan(scheme, device)
+        plan.validate(scheme)
+
+    def test_placement_frames_counts_swept_columns(self, tiny_design, fx70t):
+        scheme = one_module_per_region_scheme(tiny_design)
+        plan = floorplan(scheme, fx70t)
+        for region in scheme.regions:
+            p = plan.placement_of(region.name)
+            manual = sum(
+                col.frames * p.n_rows
+                for col in fx70t.columns[p.col_lo : p.col_hi + 1]
+            )
+            assert placement_frames(plan, region.name) == manual

@@ -1,0 +1,139 @@
+"""Synthesis-estimator tests (XST substitute)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.flow.synthesis import (
+    BRAM_BITS,
+    ModeSpec,
+    ModuleSpec,
+    estimate_mode,
+    synthesise,
+    synthesise_module,
+)
+
+
+class TestModeSpecValidation:
+    def test_negative_counts(self):
+        with pytest.raises(ValueError):
+            ModeSpec(name="m", luts=-1)
+
+    def test_bad_fraction(self):
+        with pytest.raises(ValueError):
+            ModeSpec(name="m", dist_ram_fraction=1.5)
+
+    def test_bad_multiplier(self):
+        with pytest.raises(ValueError):
+            ModeSpec(name="m", mult_ops=((0, 8),))
+
+
+class TestEstimates:
+    def test_pure_logic(self):
+        r = estimate_mode(ModeSpec(name="m", luts=400, ffs=100))
+        assert r.resources.clb == 100  # 400 LUTs / 4 per CLB
+        assert r.resources.bram == 0 and r.resources.dsp == 0
+
+    def test_ff_bound(self):
+        r = estimate_mode(ModeSpec(name="m", luts=4, ffs=400))
+        assert r.resources.clb == 100  # FF-bound
+
+    def test_multiplier_18x18_is_one_dsp(self):
+        r = estimate_mode(ModeSpec(name="m", mult_ops=((18, 18),)))
+        assert r.resources.dsp == 1
+
+    def test_wide_multiplier_cascades(self):
+        r = estimate_mode(ModeSpec(name="m", mult_ops=((32, 32),)))
+        assert r.resources.dsp == 4  # 2x2 DSP48E tiles
+
+    def test_memory_split(self):
+        bits = 4 * BRAM_BITS
+        r = estimate_mode(
+            ModeSpec(name="m", memory_bits=bits, dist_ram_fraction=0.0)
+        )
+        assert r.resources.bram == 4
+        assert r.ram_luts == 0
+
+    def test_distributed_memory_uses_luts(self):
+        r = estimate_mode(
+            ModeSpec(name="m", memory_bits=6400, dist_ram_fraction=1.0)
+        )
+        assert r.resources.bram == 0
+        assert r.ram_luts == 100
+
+    def test_fsm_adds_logic(self):
+        base = estimate_mode(ModeSpec(name="m", luts=40))
+        with_fsm = estimate_mode(ModeSpec(name="m", luts=40, fsm_states=16))
+        assert with_fsm.resources.clb > base.resources.clb
+
+    def test_single_state_fsm_free(self):
+        base = estimate_mode(ModeSpec(name="m", luts=40))
+        one = estimate_mode(ModeSpec(name="m", luts=40, fsm_states=1))
+        assert one.resources == base.resources
+
+    def test_report_fields(self):
+        r = estimate_mode(
+            ModeSpec(name="m", luts=10, mult_ops=((18, 18),), memory_bits=BRAM_BITS,
+                     dist_ram_fraction=0.0)
+        )
+        assert r.mode == "m"
+        assert r.dsp_blocks == 1
+        assert r.bram_blocks == 1
+
+
+class TestMonotonicity:
+    @given(
+        luts=st.integers(0, 5000),
+        extra=st.integers(1, 5000),
+        memory=st.integers(0, 10 * BRAM_BITS),
+    )
+    def test_more_luts_never_shrinks(self, luts, extra, memory):
+        a = estimate_mode(ModeSpec(name="m", luts=luts, memory_bits=memory))
+        b = estimate_mode(ModeSpec(name="m", luts=luts + extra, memory_bits=memory))
+        assert a.resources.fits_in(b.resources)
+
+    @given(states=st.integers(0, 64), more=st.integers(1, 64))
+    def test_more_states_never_shrinks(self, states, more):
+        a = estimate_mode(ModeSpec(name="m", fsm_states=states))
+        b = estimate_mode(ModeSpec(name="m", fsm_states=states + more))
+        assert a.resources.fits_in(b.resources)
+
+
+class TestModuleLevel:
+    def test_synthesise_module(self):
+        spec = ModuleSpec(
+            name="M",
+            modes=(ModeSpec(name="a", luts=40), ModeSpec(name="b", luts=80)),
+        )
+        reports = synthesise_module(spec)
+        assert set(reports) == {"a", "b"}
+
+    def test_duplicate_mode_rejected(self):
+        spec = ModuleSpec(
+            name="M",
+            modes=(ModeSpec(name="a"), ModeSpec(name="a")),
+        )
+        with pytest.raises(ValueError):
+            synthesise_module(spec)
+
+    def test_empty_module_rejected(self):
+        with pytest.raises(ValueError):
+            ModuleSpec(name="M", modes=())
+
+    def test_synthesise_many(self):
+        specs = [
+            ModuleSpec(name="M1", modes=(ModeSpec(name="a", luts=4),)),
+            ModuleSpec(name="M2", modes=(ModeSpec(name="b", luts=4),)),
+        ]
+        out = synthesise(specs)
+        assert set(out) == {"M1", "M2"}
+
+    def test_duplicate_module_rejected(self):
+        specs = [
+            ModuleSpec(name="M", modes=(ModeSpec(name="a"),)),
+            ModuleSpec(name="M", modes=(ModeSpec(name="b"),)),
+        ]
+        with pytest.raises(ValueError):
+            synthesise(specs)

@@ -1,0 +1,162 @@
+"""XML front-end tests: parsing, validation, round-tripping."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.arch.resources import ResourceVector
+from repro.flow.xmlio import (
+    DesignXMLError,
+    design_to_xml,
+    load_design,
+    parse_design,
+    save_design,
+)
+
+GOOD = """
+<prdesign name="demo" device="FX70T">
+  <static clb="90" bram="8"/>
+  <module name="A">
+    <mode name="A1" clb="40" bram="0" dsp="0"/>
+    <mode name="A2" clb="200" bram="2" dsp="4"/>
+  </module>
+  <module name="B">
+    <mode name="B1" clb="220"/>
+  </module>
+  <configuration name="c1">
+    <use mode="A1"/><use mode="B1"/>
+  </configuration>
+  <configuration>
+    <use mode="A2"/>
+  </configuration>
+  <constraints>
+    <budget clb="1000" bram="16" dsp="8"/>
+  </constraints>
+</prdesign>
+"""
+
+
+class TestParse:
+    def test_good_document(self):
+        doc = parse_design(GOOD)
+        d = doc.design
+        assert d.name == "demo"
+        assert doc.device_name == "FX70T"
+        assert doc.budget == ResourceVector(1000, 16, 8)
+        assert d.static_resources == ResourceVector(90, 8, 0)
+        assert d.mode("A2").resources == ResourceVector(200, 2, 4)
+        assert d.mode("B1").resources == ResourceVector(220, 0, 0)
+
+    def test_auto_configuration_names(self):
+        doc = parse_design(GOOD)
+        assert [c.name for c in doc.design.configurations] == ["c1", "Conf.2"]
+
+    def test_synthesis_spec_mode(self):
+        doc = parse_design(
+            """
+            <prdesign name="d">
+              <module name="M">
+                <mode name="m1" luts="400" ffs="100">
+                  <mult a="18" b="18"/>
+                </mode>
+              </module>
+              <configuration><use mode="m1"/></configuration>
+            </prdesign>
+            """
+        )
+        r = doc.design.mode("m1").resources
+        assert r.clb == 100 and r.dsp == 1
+
+    def test_invalid_xml(self):
+        with pytest.raises(DesignXMLError, match="invalid XML"):
+            parse_design("<prdesign")
+
+    def test_wrong_root(self):
+        with pytest.raises(DesignXMLError, match="expected <prdesign>"):
+            parse_design("<design name='x'/>")
+
+    def test_missing_design_name(self):
+        with pytest.raises(DesignXMLError, match="must carry a name"):
+            parse_design("<prdesign/>")
+
+    def test_module_without_name(self):
+        with pytest.raises(DesignXMLError, match="missing a name"):
+            parse_design(
+                "<prdesign name='d'><module><mode name='m' clb='1'/></module>"
+                "<configuration><use mode='m'/></configuration></prdesign>"
+            )
+
+    def test_module_without_modes(self):
+        with pytest.raises(DesignXMLError, match="declares no modes"):
+            parse_design(
+                "<prdesign name='d'><module name='M'/>"
+                "<configuration><use mode='m'/></configuration></prdesign>"
+            )
+
+    def test_non_integer_attribute(self):
+        with pytest.raises(DesignXMLError, match="not an integer"):
+            parse_design(
+                "<prdesign name='d'><module name='M'>"
+                "<mode name='m' clb='many'/></module>"
+                "<configuration><use mode='m'/></configuration></prdesign>"
+            )
+
+    def test_use_without_mode(self):
+        with pytest.raises(DesignXMLError, match="without mode"):
+            parse_design(
+                "<prdesign name='d'><module name='M'>"
+                "<mode name='m' clb='1'/></module>"
+                "<configuration><use/></configuration></prdesign>"
+            )
+
+    def test_budget_requires_all_axes(self):
+        with pytest.raises(DesignXMLError, match="missing attribute"):
+            parse_design(
+                "<prdesign name='d'><module name='M'>"
+                "<mode name='m' clb='1'/></module>"
+                "<configuration><use mode='m'/></configuration>"
+                "<constraints><budget clb='10'/></constraints></prdesign>"
+            )
+
+    def test_design_validation_propagates(self):
+        # Two modes of one module in one configuration -> DesignError.
+        from repro.core.model import DesignError
+
+        with pytest.raises(DesignError):
+            parse_design(
+                "<prdesign name='d'><module name='M'>"
+                "<mode name='m1' clb='1'/><mode name='m2' clb='1'/></module>"
+                "<configuration><use mode='m1'/><use mode='m2'/></configuration>"
+                "</prdesign>"
+            )
+
+
+class TestRoundTrip:
+    def test_serialise_and_reparse(self, receiver):
+        text = design_to_xml(
+            receiver, device_name="FX70T", budget=ResourceVector(6800, 64, 150)
+        )
+        doc = parse_design(text)
+        d = doc.design
+        assert d.name == receiver.name
+        assert doc.device_name == "FX70T"
+        assert doc.budget == ResourceVector(6800, 64, 150)
+        assert {m.name for m in d.all_modes} == {
+            m.name for m in receiver.all_modes
+        }
+        for mode in receiver.all_modes:
+            assert d.mode(mode.name).resources == mode.resources
+        assert {frozenset(c.modes) for c in d.configurations} == {
+            frozenset(c.modes) for c in receiver.configurations
+        }
+
+    def test_static_omitted_when_zero(self, paper_example):
+        text = design_to_xml(paper_example)
+        assert "<static" not in text
+
+    def test_file_round_trip(self, tmp_path, paper_example):
+        path = tmp_path / "design.xml"
+        save_design(paper_example, path, device_name="LX30")
+        doc = load_design(path)
+        assert doc.design.name == paper_example.name
+        assert doc.device_name == "LX30"

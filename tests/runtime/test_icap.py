@@ -1,0 +1,74 @@
+"""ICAP timing-model tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.runtime.icap import (
+    CUSTOM_DMA_CONTROLLER,
+    FLASH_STREAMING,
+    ICAP_PEAK_BYTES_PER_S,
+    PRESETS,
+    VENDOR_HWICAP,
+    IcapModel,
+)
+
+
+class TestValidation:
+    def test_efficiency_bounds(self):
+        with pytest.raises(ValueError):
+            IcapModel(name="x", efficiency=0.0)
+        with pytest.raises(ValueError):
+            IcapModel(name="x", efficiency=1.5)
+
+    def test_negative_latency(self):
+        with pytest.raises(ValueError):
+            IcapModel(name="x", efficiency=0.5, per_transfer_latency_s=-1)
+
+
+class TestTiming:
+    def test_peak_bandwidth(self):
+        assert ICAP_PEAK_BYTES_PER_S == 400_000_000
+
+    def test_zero_frames_free(self):
+        assert CUSTOM_DMA_CONTROLLER.time_for_frames(0) == 0.0
+
+    def test_latency_plus_payload(self):
+        model = IcapModel(name="x", efficiency=1.0, per_transfer_latency_s=1e-3)
+        # one frame = 41 words = 164 bytes at 400 MB/s = 410 ns
+        t = model.time_for_frames(1)
+        assert t == pytest.approx(1e-3 + 164 / 400e6)
+
+    def test_negative_frames(self):
+        with pytest.raises(ValueError):
+            CUSTOM_DMA_CONTROLLER.time_for_frames(-1)
+
+    def test_time_scales_linearly_in_payload(self):
+        model = IcapModel(name="x", efficiency=1.0)
+        assert model.time_for_frames(200) == pytest.approx(
+            2 * model.time_for_frames(100)
+        )
+
+    def test_bytes_api(self):
+        model = IcapModel(name="x", efficiency=1.0)
+        assert model.time_for_bytes(400_000_000) == pytest.approx(1.0)
+        assert model.time_for_bytes(0) == 0.0
+        with pytest.raises(ValueError):
+            model.time_for_bytes(-1)
+
+    def test_preset_ordering(self):
+        frames = 10_000
+        fast = CUSTOM_DMA_CONTROLLER.time_for_frames(frames)
+        mid = VENDOR_HWICAP.time_for_frames(frames)
+        slow = FLASH_STREAMING.time_for_frames(frames)
+        assert fast < mid < slow
+
+    def test_presets_registry(self):
+        assert set(PRESETS) == {"custom-dma", "vendor-hwicap", "flash"}
+
+    def test_case_study_scale(self):
+        """Sanity: the case-study total (~235k frames) takes ~0.1 s on
+        the fast controller -- the magnitude the paper's motivation
+        assumes for whole-system adaptation."""
+        t = CUSTOM_DMA_CONTROLLER.time_for_frames(235_266)
+        assert 0.05 < t < 0.5

@@ -1,0 +1,107 @@
+"""Trace-profiling tests: trace -> statistics -> re-optimisation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.arch.resources import ResourceVector
+from repro.eval.casestudy import CASESTUDY_BUDGET, casestudy_design
+from repro.runtime.adaptive import MarkovEnvironment, uniform_markov
+from repro.runtime.profile import (
+    estimate_markov,
+    pair_frequencies,
+    reoptimise_from_trace,
+    transition_counts,
+)
+
+
+class TestTransitionCounts:
+    def test_ordered_counts(self):
+        counts = transition_counts(["a", "b", "a", "b", "b"])
+        assert counts == {("a", "b"): 2, ("b", "a"): 1, ("b", "b"): 1}
+
+    def test_empty_and_singleton(self):
+        assert transition_counts([]) == {}
+        assert transition_counts(["a"]) == {}
+
+
+class TestPairFrequencies:
+    def test_unordered_and_normalised(self):
+        freqs = pair_frequencies(["a", "b", "a", "c"])
+        assert freqs[("a", "b")] == pytest.approx(2 / 3)
+        assert freqs[("a", "c")] == pytest.approx(1 / 3)
+        assert sum(freqs.values()) == pytest.approx(1.0)
+
+    def test_self_transitions_excluded(self):
+        assert pair_frequencies(["a", "a", "a"]) == {}
+
+    def test_keys_sorted(self):
+        freqs = pair_frequencies(["b", "a"])
+        assert list(freqs) == [("a", "b")]
+
+
+class TestEstimateMarkov:
+    def test_rows_stochastic_and_complete(self, paper_example):
+        env = uniform_markov(paper_example)
+        trace = env.trace(500, seed=3)
+        matrix = estimate_markov(paper_example, trace)
+        names = {c.name for c in paper_example.configurations}
+        assert set(matrix) == names
+        for row in matrix.values():
+            assert set(row) == names
+            assert sum(row.values()) == pytest.approx(1.0)
+
+    def test_fitted_matrix_accepted_by_environment(self, paper_example):
+        env = uniform_markov(paper_example)
+        trace = env.trace(400, seed=4)
+        fitted = MarkovEnvironment(
+            paper_example, estimate_markov(paper_example, trace)
+        )
+        assert len(fitted.trace(10, seed=0)) == 10
+
+    def test_recovers_dominant_structure(self, paper_example):
+        """A two-state ping-pong trace yields a matrix dominated by the
+        observed transitions."""
+        trace = ["Conf.1", "Conf.2"] * 100
+        matrix = estimate_markov(paper_example, trace)
+        assert matrix["Conf.1"]["Conf.2"] > 0.99
+        assert matrix["Conf.2"]["Conf.1"] > 0.99
+
+    def test_unknown_configuration_rejected(self, paper_example):
+        with pytest.raises(ValueError, match="unknown"):
+            estimate_markov(paper_example, ["ghost"])
+
+    def test_negative_smoothing_rejected(self, paper_example):
+        with pytest.raises(ValueError):
+            estimate_markov(paper_example, ["Conf.1"], smoothing=-1)
+
+
+class TestReoptimise:
+    def test_weighted_objective_used(self):
+        design = casestudy_design()
+        env = uniform_markov(design)
+        trace = env.trace(800, seed=9)
+        result = reoptimise_from_trace(design, trace, CASESTUDY_BUDGET)
+        # objective is the weighted value; frequencies sum to 1, so the
+        # objective is a weighted average of transitions -- far below the
+        # unweighted 28-pair sum.
+        assert 0 < result.objective < result.total_frames
+
+    def test_switchless_trace_falls_back_to_unweighted(self):
+        design = casestudy_design()
+        trace = ["Conf.1"] * 50
+        result = reoptimise_from_trace(design, trace, CASESTUDY_BUDGET)
+        assert result.objective == pytest.approx(float(result.total_frames))
+
+    def test_hot_pair_gets_cheap_transition(self):
+        """After observing a trace that ping-pongs between two
+        configurations, the re-optimised scheme makes that transition
+        cheap relative to the scheme's overall transition costs."""
+        from repro.core.cost import transition_frames
+
+        design = casestudy_design()
+        trace = (["Conf.1", "Conf.2"] * 200) + ["Conf.4", "Conf.8"]
+        result = reoptimise_from_trace(design, trace, CASESTUDY_BUDGET)
+        hot = transition_frames(result.scheme, "Conf.1", "Conf.2")
+        worst = result.worst_frames
+        assert hot <= worst

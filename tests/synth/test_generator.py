@@ -1,0 +1,180 @@
+"""Synthetic-generator tests: the Sec. V protocol invariants."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.arch.resources import ResourceVector
+from repro.synth.generator import (
+    STATIC_REGION,
+    GeneratorConfig,
+    generate_design,
+    generate_population,
+    population_summary,
+)
+from repro.synth.profiles import (
+    CIRCUIT_CLASSES,
+    MAX_MODE_CLB,
+    MIN_MODE_CLB,
+    PROFILES,
+    CircuitClass,
+    profile_for,
+)
+
+
+@pytest.fixture(scope="module")
+def population():
+    return [
+        (cls, d) for cls, d in generate_population(40, seed=99)
+    ]
+
+
+class TestProfiles:
+    def test_four_classes(self):
+        assert len(CIRCUIT_CLASSES) == 4
+        assert set(PROFILES) == set(CIRCUIT_CLASSES)
+
+    def test_sample_within_clb(self):
+        rng = np.random.default_rng(0)
+        profile = profile_for(CircuitClass.DSP_MEMORY)
+        v = profile.sample(1000, rng)
+        assert v.clb == 1000
+        assert v.bram >= 0 and v.dsp >= 0
+
+    def test_sample_rejects_out_of_range_clb(self):
+        rng = np.random.default_rng(0)
+        profile = profile_for(CircuitClass.LOGIC)
+        with pytest.raises(ValueError):
+            profile.sample(MIN_MODE_CLB - 1, rng)
+        with pytest.raises(ValueError):
+            profile.sample(MAX_MODE_CLB + 1, rng)
+
+    def test_class_intensities_ordered(self):
+        """Memory-intensive modes carry more BRAM than logic ones, DSP
+        ones more DSP, on average."""
+        rng = np.random.default_rng(1)
+        samples = {
+            cls: [profile_for(cls).sample(2000, rng) for _ in range(200)]
+            for cls in CIRCUIT_CLASSES
+        }
+
+        def mean(cls, attr):
+            return float(np.mean([getattr(v, attr) for v in samples[cls]]))
+
+        assert mean(CircuitClass.MEMORY, "bram") > 4 * mean(CircuitClass.LOGIC, "bram")
+        assert mean(CircuitClass.DSP, "dsp") > 4 * mean(CircuitClass.LOGIC, "dsp")
+        assert mean(CircuitClass.DSP_MEMORY, "bram") > 4 * mean(
+            CircuitClass.DSP, "bram"
+        )
+
+
+class TestGeneratorConfig:
+    def test_defaults_follow_paper(self):
+        cfg = GeneratorConfig()
+        assert (cfg.min_modules, cfg.max_modules) == (2, 6)
+        assert (cfg.min_modes, cfg.max_modes) == (2, 4)
+        assert (cfg.min_clb, cfg.max_clb) == (25, 4000)
+        assert cfg.static_region == ResourceVector(90, 8, 0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GeneratorConfig(min_modules=0)
+        with pytest.raises(ValueError):
+            GeneratorConfig(min_modes=3, max_modes=2)
+        with pytest.raises(ValueError):
+            GeneratorConfig(module_presence_probability=0.0)
+        with pytest.raises(ValueError):
+            GeneratorConfig(min_clb=10, max_clb=5)
+
+
+class TestGenerateDesign:
+    def test_structural_ranges(self, population):
+        for _, d in population:
+            assert 2 <= len(d.modules) <= 6
+            for module in d.modules:
+                assert 2 <= len(module.modes) <= 4
+                for mode in module.modes:
+                    assert MIN_MODE_CLB <= mode.resources.clb <= MAX_MODE_CLB
+
+    def test_every_mode_used(self, population):
+        """The paper's stopping rule: every mode appears in some config."""
+        for _, d in population:
+            assert not d.unused_modes
+
+    def test_static_region_attached(self, population):
+        for _, d in population:
+            assert d.static_resources == STATIC_REGION
+
+    def test_no_duplicate_configurations(self, population):
+        for _, d in population:
+            sets = [frozenset(c.modes) for c in d.configurations]
+            assert len(sets) == len(set(sets))
+
+    def test_configurations_valid(self, population):
+        # PRDesign validation runs at construction; spot-check one mode
+        # per module per configuration.
+        for _, d in population:
+            for config in d.configurations:
+                owners = [d.module_of(m).name for m in config.modes]
+                assert len(owners) == len(set(owners))
+
+
+class TestGeneratePopulation:
+    def test_round_robin_classes(self, population):
+        classes = [cls for cls, _ in population]
+        for i, cls in enumerate(classes):
+            assert cls == CIRCUIT_CLASSES[i % 4]
+
+    def test_equal_class_counts(self, population):
+        from collections import Counter
+
+        counts = Counter(cls for cls, _ in population)
+        assert len(set(counts.values())) == 1
+
+    def test_deterministic(self):
+        a = [(c, d.name, d.mode_count) for c, d in generate_population(8, seed=1)]
+        b = [(c, d.name, d.mode_count) for c, d in generate_population(8, seed=1)]
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = [d.mode_count for _, d in generate_population(8, seed=1)]
+        b = [d.mode_count for _, d in generate_population(8, seed=2)]
+        assert a != b
+
+    def test_count_validation(self):
+        with pytest.raises(ValueError):
+            list(generate_population(0))
+
+    def test_names_unique(self, population):
+        names = [d.name for _, d in population]
+        assert len(names) == len(set(names))
+
+
+class TestFitTheLadder:
+    def test_most_designs_fit_some_device(self):
+        """Profile calibration: a generated population should (almost)
+        always fit the largest ladder device, as in the paper."""
+        from repro.arch.library import virtex5_ladder
+        from repro.core.partitioner import minimum_footprint
+
+        lib = virtex5_ladder()
+        biggest = lib.get("FX200T")
+        misfits = 0
+        for _, d in generate_population(60, seed=123):
+            if not minimum_footprint(d).fits_in(biggest.capacity):
+                misfits += 1
+        assert misfits == 0
+
+
+class TestSummary:
+    def test_population_summary(self, population):
+        designs = [d for _, d in population]
+        s = population_summary(designs)
+        assert s["designs"] == len(designs)
+        assert 2 <= s["mean_modules"] <= 6
+        assert s["max_configurations"] >= s["mean_configurations"]
+
+    def test_empty_summary(self):
+        s = population_summary([])
+        assert s["designs"] == 0.0

@@ -1,0 +1,233 @@
+"""Hypothesis property tests over randomly generated PR designs.
+
+These are the library-wide invariants: whatever design the generator
+produces, the pipeline must yield valid, cost-consistent schemes with the
+dominance relations the paper's evaluation relies on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.arch.resources import ResourceVector
+from repro.core.baselines import (
+    one_module_per_region_scheme,
+    single_region_scheme,
+    static_scheme,
+)
+from repro.core.clustering import enumerate_base_partitions
+from repro.core.compatibility import are_compatible
+from repro.core.cost import (
+    TransitionPolicy,
+    total_reconfiguration_frames,
+    transition_frames,
+    worst_case_frames,
+)
+from repro.core.covering import candidate_partition_sets, cover
+from repro.core.matrix import ConnectivityMatrix
+from repro.core.partitioner import partition
+from repro.synth.generator import GeneratorConfig, generate_design
+from repro.synth.profiles import CircuitClass
+
+SETTINGS = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@st.composite
+def synthetic_designs(draw):
+    """Designs from the real Sec. V generator, seeded by hypothesis."""
+    seed = draw(st.integers(0, 2**32 - 1))
+    cls = draw(st.sampled_from(list(CircuitClass)))
+    rng = np.random.default_rng(seed)
+    cfg = GeneratorConfig(max_modules=4, max_modes=3)
+    return generate_design(rng, cls, name=f"prop-{seed}", config=cfg)
+
+
+def generous_budget(design):
+    """Room for every mode in its own region, tile rounding included."""
+    from repro.arch.tiles import quantised_footprint
+
+    need = ResourceVector.sum(
+        quantised_footprint(m.resources) for m in design.all_modes
+    )
+    return need + ResourceVector(100, 16, 16)
+
+
+def tight_budget(design):
+    need = single_region_scheme(design).resource_usage()
+    return ResourceVector(
+        int(need.clb * 1.3) + 20, int(need.bram * 1.5) + 8, int(need.dsp * 1.5) + 8
+    )
+
+
+class TestPipelineInvariants:
+    @SETTINGS
+    @given(synthetic_designs())
+    def test_covering_always_succeeds_with_all_partitions(self, design):
+        cm = ConnectivityMatrix.from_design(design)
+        bps = enumerate_base_partitions(design, cm)
+        cps = cover(bps, cm)
+        assert cps is not None
+        cps.validate(design)
+
+    @SETTINGS
+    @given(synthetic_designs())
+    def test_all_candidate_sets_valid(self, design):
+        cm = ConnectivityMatrix.from_design(design)
+        bps = enumerate_base_partitions(design, cm)
+        for cps in candidate_partition_sets(bps, cm, max_sets=10):
+            cps.validate(design)
+
+    @SETTINGS
+    @given(synthetic_designs())
+    def test_partitions_in_one_region_pairwise_compatible(self, design):
+        result = partition(design, tight_budget(design))
+        if result.scheme.strategy == "single-region":
+            # The single-region fallback deliberately hosts one partition
+            # per configuration; they reconfigure wholesale instead of
+            # being compatibility-checked alternatives.
+            return
+        for region in result.scheme.regions:
+            ps = region.partitions
+            for i in range(len(ps)):
+                for j in range(i + 1, len(ps)):
+                    assert are_compatible(ps[i], ps[j], design)
+
+    @SETTINGS
+    @given(synthetic_designs())
+    def test_proposed_fits_and_never_worse_than_single(self, design):
+        budget = tight_budget(design)
+        result = partition(design, budget)
+        assert result.scheme.fits(budget)
+        single = single_region_scheme(design)
+        assert result.total_frames <= total_reconfiguration_frames(single)
+
+    @SETTINGS
+    @given(synthetic_designs())
+    def test_generous_budget_gives_zero_cost(self, design):
+        result = partition(design, generous_budget(design))
+        assert result.total_frames == 0
+
+    @SETTINGS
+    @given(synthetic_designs())
+    def test_reported_costs_match_scheme(self, design):
+        result = partition(design, tight_budget(design))
+        assert result.total_frames == total_reconfiguration_frames(result.scheme)
+        assert result.worst_frames == worst_case_frames(result.scheme)
+
+
+class TestCostInvariants:
+    @SETTINGS
+    @given(synthetic_designs())
+    def test_triangle_like_symmetry(self, design):
+        scheme = one_module_per_region_scheme(design)
+        names = [c.name for c in design.configurations][:4]
+        for policy in TransitionPolicy:
+            for a in names:
+                for b in names:
+                    assert transition_frames(
+                        scheme, a, b, policy
+                    ) == transition_frames(scheme, b, a, policy)
+
+    @SETTINGS
+    @given(synthetic_designs())
+    def test_lenient_bounded_by_strict(self, design):
+        for scheme in (
+            one_module_per_region_scheme(design),
+            single_region_scheme(design),
+        ):
+            assert total_reconfiguration_frames(
+                scheme, TransitionPolicy.LENIENT
+            ) <= total_reconfiguration_frames(scheme, TransitionPolicy.STRICT)
+
+    @SETTINGS
+    @given(synthetic_designs())
+    def test_worst_bounded_by_total(self, design):
+        scheme = one_module_per_region_scheme(design)
+        assert worst_case_frames(scheme) <= total_reconfiguration_frames(scheme)
+
+    @SETTINGS
+    @given(synthetic_designs())
+    def test_single_region_minimal_area(self, design):
+        """Sec. IV-A: the single-region arrangement is the area floor."""
+        single = single_region_scheme(design).resource_usage()
+        modular = one_module_per_region_scheme(design).resource_usage()
+        proposed = partition(design, tight_budget(design)).usage
+        assert single.fits_in(modular)
+        assert single.clb <= proposed.clb + 20  # tile rounding slack
+
+
+class TestRuntimeAgreement:
+    @SETTINGS
+    @given(synthetic_designs())
+    def test_fresh_pair_replay_bracketed_by_policies(self, design):
+        from repro.runtime.manager import ConfigurationManager
+
+        scheme = one_module_per_region_scheme(design)
+        names = [c.name for c in design.configurations]
+        if len(names) < 2:
+            return
+        a, b = names[0], names[-1]
+        mgr = ConfigurationManager(scheme)
+        mgr.goto(a)
+        measured = mgr.goto(b).frames
+        assert transition_frames(
+            scheme, a, b, TransitionPolicy.LENIENT
+        ) <= measured <= transition_frames(scheme, a, b, TransitionPolicy.STRICT)
+
+
+class TestFlowRoundTrips:
+    @SETTINGS
+    @given(synthetic_designs())
+    def test_xml_round_trip_preserves_everything(self, design):
+        from repro.flow.xmlio import design_to_xml, parse_design
+
+        doc = parse_design(design_to_xml(design))
+        back = doc.design
+        assert back.name == design.name
+        assert back.static_resources == design.static_resources
+        assert {m.name for m in back.all_modes} == {
+            m.name for m in design.all_modes
+        }
+        for mode in design.all_modes:
+            assert back.mode(mode.name).resources == mode.resources
+            assert back.mode(mode.name).interface == mode.interface
+        assert {frozenset(c.modes) for c in back.configurations} == {
+            frozenset(c.modes) for c in design.configurations
+        }
+
+    @SETTINGS
+    @given(synthetic_designs())
+    def test_partitioned_scheme_always_floorplans_somewhere(self, design):
+        """The feedback loop terminates with a valid placement for every
+        generated design that fits the ladder at all."""
+        from repro.arch.library import virtex5_ladder
+        from repro.core.partitioner import InfeasibleError
+        from repro.flow.feedback import partition_and_place
+
+        try:
+            placed = partition_and_place(design, virtex5_ladder())
+        except InfeasibleError:
+            return
+        placed.plan.validate(placed.scheme)
+
+    @SETTINGS
+    @given(synthetic_designs())
+    def test_bitstream_round_trip_for_modular_scheme(self, design):
+        from repro.flow.bitgen import BitstreamInfo, build_partial_bitstream, parse_bitstream
+
+        scheme = one_module_per_region_scheme(design)
+        region = scheme.regions[0]
+        info = BitstreamInfo(
+            design=design.name,
+            region=region.name,
+            partition_label=region.partitions[0].label,
+            frame_address=0x100,
+            frames=max(1, region.frames // 36),
+        )
+        assert parse_bitstream(build_partial_bitstream(info)) == info
