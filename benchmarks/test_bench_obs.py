@@ -1,0 +1,77 @@
+"""Instrumentation-overhead benches for the observability layer.
+
+Two questions, per docs/OBSERVABILITY.md:
+
+* how much does the *no-op* tracer cost over the pre-instrumentation
+  baseline (the instrumented call sites always run, so this is the tax
+  every user pays -- acceptance: < 2 % on the synthetic sweep);
+* how much does a *recording* tracer cost when you opt in with
+  ``--trace`` (allowed to be visible; the trace is the product).
+
+The recorded run also prints its stage-summary table, so benchmark logs
+double as a sample of the ``--trace`` output.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.arch.library import virtex5_ladder
+from repro.core.partitioner import partition_with_device_selection
+from repro.eval import experiments as E
+from repro.obs import NULL_TRACER, RecordingTracer, render_trace_summary
+from repro.synth.generator import generate_population
+
+OVERHEAD_DESIGNS = 30
+
+
+@pytest.fixture(scope="module")
+def overhead_population():
+    pairs = list(
+        generate_population(OVERHEAD_DESIGNS, seed=E.DEFAULT_SWEEP_SEED)
+    )
+    return [design for _, design in pairs]
+
+
+def _partition_all(designs, library, tracer):
+    for design in designs:
+        partition_with_device_selection(design, library, tracer=tracer)
+
+
+def test_sweep_noop_tracer(benchmark, overhead_population):
+    """Baseline: the default NULL_TRACER (what every untraced run pays)."""
+    library = virtex5_ladder()
+    benchmark(_partition_all, overhead_population, library, NULL_TRACER)
+
+
+def test_sweep_recording_tracer(benchmark, overhead_population):
+    """Opt-in recording: full spans + metrics + progress retention."""
+    library = virtex5_ladder()
+
+    def traced():
+        tracer = RecordingTracer()
+        _partition_all(overhead_population, library, tracer)
+        return tracer
+
+    tracer = benchmark(traced)
+    trace = tracer.trace()
+    assert trace.counters["merge.states_explored"] > 0
+    assert len(trace.spans) == OVERHEAD_DESIGNS
+    print()
+    print(render_trace_summary(trace))
+
+
+def test_single_design_trace_summary(benchmark):
+    """One traced device-selected partitioning, summary printed."""
+    (pair,) = list(generate_population(1, seed=E.DEFAULT_SWEEP_SEED))
+    design = pair[1]
+    library = virtex5_ladder()
+
+    def traced():
+        tracer = RecordingTracer()
+        partition_with_device_selection(design, library, tracer=tracer)
+        return tracer
+
+    tracer = benchmark(traced)
+    print()
+    print(render_trace_summary(tracer.trace()))

@@ -44,6 +44,14 @@ from .core.partitioner import (
     select_device,
 )
 from .core.result import PartitioningScheme, Region
+from .obs import (
+    NULL_TRACER,
+    RecordingTracer,
+    Trace,
+    Tracer,
+    render_trace_summary,
+    trace_from_json,
+)
 
 __version__ = "1.0.0"
 
@@ -52,21 +60,27 @@ __all__ = [
     "InfeasibleError",
     "Mode",
     "Module",
+    "NULL_TRACER",
     "PRDesign",
     "PartitionerOptions",
     "PartitioningScheme",
+    "RecordingTracer",
     "Region",
     "ResourceType",
     "ResourceVector",
+    "Trace",
+    "Tracer",
     "TransitionPolicy",
     "design_from_tables",
     "one_module_per_region_scheme",
     "partition",
     "partition_with_device_selection",
+    "render_trace_summary",
     "select_device",
     "single_region_scheme",
     "static_scheme",
     "total_reconfiguration_frames",
+    "trace_from_json",
     "transition_frames",
     "worst_case_frames",
     "__version__",

@@ -25,30 +25,75 @@ from .core.partitioner import (
     partition_with_device_selection,
 )
 from .eval import experiments as E
-from .eval.report import render_table
+from .eval.report import render_table, render_trace_summary
 from .flow.bitstream import generate_bitstreams
 from .flow.constraints import emit_ucf
 from .flow.floorplan import FloorplanError, floorplan
 from .flow.xmlio import load_design
+from .obs import NULL_TRACER, RecordingTracer, Tracer
+
+
+def _make_tracer(args: argparse.Namespace) -> Tracer:
+    """A recording tracer when --trace/--trace-json was given, else no-op."""
+    if getattr(args, "trace", False) or getattr(args, "trace_json", None):
+        return RecordingTracer()
+    return NULL_TRACER
+
+
+def _emit_trace(tracer: Tracer, args: argparse.Namespace) -> None:
+    """Print the stage summary and/or write the JSON trace file."""
+    if not isinstance(tracer, RecordingTracer):
+        return
+    if args.trace:
+        print()
+        print(render_trace_summary(tracer, title="Pipeline trace"))
+    if args.trace_json:
+        if args.trace_json == "-":
+            print(tracer.to_json())
+        else:
+            from pathlib import Path
+
+            try:
+                Path(args.trace_json).write_text(
+                    tracer.to_json(), encoding="utf-8"
+                )
+            except OSError as exc:
+                print(f"error: cannot write trace: {exc}", file=sys.stderr)
+                raise SystemExit(1)
+            print(f"wrote trace to {args.trace_json}", file=sys.stderr)
+
+
+def _add_trace_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--trace",
+        action="store_true",
+        help="print a per-stage timing/metric summary of the pipeline",
+    )
+    parser.add_argument(
+        "--trace-json",
+        metavar="FILE",
+        help="write the machine-readable JSON trace to FILE ('-' for stdout)",
+    )
 
 
 def _cmd_partition(args: argparse.Namespace) -> int:
     doc = load_design(args.design)
     design = doc.design
     library = virtex5_full()
+    tracer = _make_tracer(args)
     print(design.summary())
 
     if args.device or doc.device_name:
         device = library.get(args.device or doc.device_name)
         capacity = doc.budget or device.usable_capacity(design.static_resources)
         try:
-            result = partition(design, capacity)
+            result = partition(design, capacity, tracer=tracer)
         except InfeasibleError as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 1
     else:
         try:
-            dres = partition_with_device_selection(design, library)
+            dres = partition_with_device_selection(design, library, tracer=tracer)
         except InfeasibleError as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 1
@@ -61,6 +106,7 @@ def _cmd_partition(args: argparse.Namespace) -> int:
         f"total reconfiguration: {result.total_frames} frames; "
         f"worst case: {result.worst_frames} frames"
     )
+    _emit_trace(tracer, args)
 
     if args.floorplan:
         try:
@@ -125,11 +171,24 @@ def _cmd_casestudy(_args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_example(_args: argparse.Namespace) -> int:
+def _cmd_example(args: argparse.Namespace) -> int:
     print("Connectivity matrix (Sec. IV-C):")
     print(E.exp_connectivity_matrix().render())
     print()
     print(E.render_table1())
+    tracer = _make_tracer(args)
+    if isinstance(tracer, RecordingTracer):
+        # Traced run of the running example under the docs/ALGORITHM.md
+        # budget -- the smoke path for `python -m repro example --trace`.
+        from .arch.resources import ResourceVector
+        from .eval.example_design import example_design
+
+        result = partition(
+            example_design(), ResourceVector(520, 16, 16), tracer=tracer
+        )
+        print()
+        print(result.scheme.describe())
+        _emit_trace(tracer, args)
     return 0
 
 
@@ -196,6 +255,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--out", help="directory for UCF/wrappers/partial bitstreams "
         "(requires --floorplan)"
     )
+    _add_trace_flags(p)
     p.set_defaults(func=_cmd_partition)
 
     p = sub.add_parser(
@@ -210,6 +270,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=_cmd_casestudy)
 
     p = sub.add_parser("example", help="regenerate the Sec. IV example artefacts")
+    _add_trace_flags(p)
     p.set_defaults(func=_cmd_example)
 
     p = sub.add_parser("sweep", help="regenerate Figs. 7/8/9")

@@ -31,6 +31,7 @@ from dataclasses import dataclass
 from typing import Callable, Iterable, Sequence
 
 from ..arch.resources import ResourceVector
+from ..obs import NULL_TRACER, Tracer
 from .clustering import BasePartition
 from .cost import DEFAULT_POLICY, TransitionPolicy
 from .covering import CandidatePartitionSet
@@ -193,17 +194,23 @@ class _MergeCache:
     """Memoises merged groups by member-signature pair.
 
     A cache is bound to one pair-weight matrix (or none); mixing weighted
-    and unweighted searches requires separate caches.
+    and unweighted searches requires separate caches.  ``hits``/``misses``
+    are plain ints maintained unconditionally (two integer adds per merge
+    -- negligible next to group construction) so tracers can report cache
+    effectiveness without touching the hot path.
     """
 
     def __init__(self, weights=None) -> None:
         self._cache: dict[frozenset[str], _Group] = {}
         self.weights = weights
+        self.hits = 0
+        self.misses = 0
 
     def merge(self, a: _Group, b: _Group) -> _Group:
         key = a.signature | b.signature
         merged = self._cache.get(key)
         if merged is None:
+            self.misses += 1
             activity = tuple(
                 x if x is not None else y for x, y in zip(a.activity, b.activity)
             )
@@ -211,6 +218,8 @@ class _MergeCache:
                 a.members + b.members, activity, a.usage | b.usage, self.weights
             )
             self._cache[key] = merged
+        else:
+            self.hits += 1
         return merged
 
 
@@ -278,6 +287,7 @@ def search_candidate_set(
     capacity: ResourceVector,
     options: AllocationOptions | None = None,
     merge_cache: _MergeCache | None = None,
+    tracer: Tracer | None = None,
 ) -> AllocationOutcome:
     """Run the restarted greedy merge search for one CPS.
 
@@ -285,12 +295,15 @@ def search_candidate_set(
     competes; the arrangement with minimum total reconfiguration frames is
     returned as raw groups (convert with :func:`groups_to_scheme`).
     A shared ``merge_cache`` may be passed when several candidate sets of
-    one design are searched in sequence.
+    one design are searched in sequence.  Metric totals are batched into
+    the ``tracer`` once per call, so the inner loops stay tracer-free.
     """
     options = options or AllocationOptions()
+    tracer = tracer or NULL_TRACER
     policy = options.policy
     cap: Vec = capacity.as_tuple()
     cache = merge_cache or _MergeCache(options.pair_weights)
+    cache_hits0, cache_misses0 = cache.hits, cache.misses
 
     base = _initial_groups(design, cps, options.pair_weights)
     best_groups: list[_Group] | None = None
@@ -329,12 +342,29 @@ def search_candidate_set(
     if options.max_initial_pairs is not None:
         initial_pairs = initial_pairs[: options.max_initial_pairs]
 
-    for i, j in initial_pairs:
+    descent_steps = 0
+    for restart, (i, j) in enumerate(initial_pairs):
         groups = [g for k, g in enumerate(base) if k not in (i, j)]
         groups.append(cache.merge(base[i], base[j]))
         consider(groups)
-        _greedy_descent(groups, cap, options, consider, seen_states, cache)
+        descent_steps += _greedy_descent(
+            groups, cap, options, consider, seen_states, cache
+        )
+        if tracer.enabled:
+            tracer.progress(
+                "merge.restart",
+                restart=restart + 1,
+                restarts=len(initial_pairs),
+                states=states,
+                best_cost=best_cost,
+            )
 
+    tracer.count("merge.states_explored", states)
+    tracer.count("merge.feasible_states", feasible)
+    tracer.count("merge.initial_pairs", len(initial_pairs))
+    tracer.count("merge.descent_steps", descent_steps)
+    tracer.count("merge.cache_hits", cache.hits - cache_hits0)
+    tracer.count("merge.cache_misses", cache.misses - cache_misses0)
     return AllocationOutcome(
         best_groups=best_groups,
         best_cost=best_cost,
@@ -350,21 +380,22 @@ def _greedy_descent(
     consider: Callable[[list[_Group]], None],
     seen_states: set[frozenset[frozenset[str]]],
     cache: _MergeCache,
-) -> None:
+) -> int:
     """Best-improvement merging until no merge helps and the state fits.
 
     While the arrangement does not fit the budget, the merge shrinking the
     footprint most is forced (cost-delta as tiebreak); once it fits, only
-    cost-improving merges are applied.
+    cost-improving merges are applied.  Returns the number of merge steps
+    taken (for the ``merge.descent_steps`` counter).
     """
     policy = options.policy
     steps = 0
     while len(groups) > 1:
         if options.max_descent_steps is not None and steps >= options.max_descent_steps:
-            return
+            return steps
         signature = frozenset(g.signature for g in groups)
         if signature in seen_states:
-            return
+            return steps
         seen_states.add(signature)
 
         fits = _fits(groups, capacity)
@@ -395,17 +426,18 @@ def _greedy_descent(
                     best_key = key
                     best_merge = (i, j, merged)
         if best_merge is None:
-            return
+            return steps
         i, j, merged = best_merge
         delta_cost = (
             merged.cost(policy) - groups[i].cost(policy) - groups[j].cost(policy)
         )
         if fits and delta_cost >= 0:
-            return
+            return steps
         groups = [g for k, g in enumerate(groups) if k not in (i, j)]
         groups.append(merged)
         consider(groups)
         steps += 1
+    return steps
 
 
 def groups_to_scheme(

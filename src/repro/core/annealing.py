@@ -27,6 +27,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..arch.resources import ResourceVector
+from ..obs import NULL_TRACER, Tracer
 from .allocation import _Group, _initial_groups, _MergeCache
 from .baselines import single_region_scheme
 from .clustering import enumerate_base_partitions
@@ -121,9 +122,11 @@ def anneal_candidate_set(
     capacity: ResourceVector,
     policy: TransitionPolicy = DEFAULT_POLICY,
     options: AnnealingOptions | None = None,
+    tracer: Tracer | None = None,
 ) -> tuple[list[_Group] | None, float | None]:
     """SA over one candidate partition set; returns (groups, cost)."""
     options = options or AnnealingOptions()
+    tracer = tracer or NULL_TRACER
     rng = np.random.default_rng(options.seed)
     cache = _MergeCache()
     base = _initial_groups(design, cps)
@@ -145,7 +148,8 @@ def anneal_candidate_set(
         1.0, current_e / max(1, len(base))
     )
     n = len(base)
-    for _ in range(options.steps):
+    accepted = rejected = blocked = 0
+    for step in range(options.steps):
         pid = int(rng.integers(n))
         old_gid = state.assignment[pid]
         # Candidate destination: an existing group id or a fresh one.
@@ -153,6 +157,7 @@ def anneal_candidate_set(
         target = int(rng.integers(len(gids) + 1))
         new_gid = gids[target] if target < len(gids) else max(gids) + 1
         if new_gid == old_gid or not state.can_join(pid, new_gid):
+            blocked += 1
             temperature *= options.cooling
             continue
         state.assignment[pid] = new_gid
@@ -162,15 +167,30 @@ def anneal_candidate_set(
             (current_e - new_e) / max(temperature, 1e-9)
         )
         if accept:
+            accepted += 1
             current_e = new_e
             if _feasible(new_groups, cap):
                 cost = sum(g.cost(policy) for g in new_groups)
                 if best is None or cost < best[1]:
                     best = (new_groups, cost)
         else:
+            rejected += 1
             state.assignment[pid] = old_gid
         temperature *= options.cooling
+        if tracer.enabled and (step + 1) % 1000 == 0:
+            tracer.progress(
+                "anneal.progress",
+                step=step + 1,
+                steps=options.steps,
+                temperature=temperature,
+                energy=current_e,
+                best_cost=None if best is None else best[1],
+            )
 
+    tracer.count("anneal.steps", options.steps)
+    tracer.count("anneal.moves_accepted", accepted)
+    tracer.count("anneal.moves_rejected", rejected)
+    tracer.count("anneal.moves_blocked", blocked)
     if best is None:
         return None, None
     return best[0], best[1]
@@ -182,6 +202,7 @@ def partition_annealing(
     policy: TransitionPolicy = DEFAULT_POLICY,
     options: AnnealingOptions | None = None,
     max_candidate_sets: int | None = 4,
+    tracer: Tracer | None = None,
 ) -> PartitioningScheme:
     """Full SA partitioner (same outer loop and fallback as the paper's).
 
@@ -190,24 +211,38 @@ def partition_annealing(
     """
     from .allocation import groups_to_scheme
 
+    tracer = tracer or NULL_TRACER
     single = single_region_scheme(design)
     if not single.fits(capacity):
         raise InfeasibleError(
             f"design {design.name!r} does not fit {capacity} even as a "
             "single region"
         )
-    cmatrix = ConnectivityMatrix.from_design(design)
-    bps = enumerate_base_partitions(design, cmatrix)
+    with tracer.span("partition_annealing", design=design.name):
+        with tracer.span("connectivity_matrix"):
+            cmatrix = ConnectivityMatrix.from_design(design)
+        with tracer.span("clustering"):
+            bps = enumerate_base_partitions(design, cmatrix, tracer=tracer)
 
-    best_scheme = single
-    best_cost = float(total_reconfiguration_frames(single, policy))
-    for cps in candidate_partition_sets(bps, cmatrix, max_sets=max_candidate_sets):
-        groups, cost = anneal_candidate_set(
-            design, cps, capacity, policy, options
-        )
-        if groups is not None and cost is not None and cost < best_cost:
-            best_cost = cost
-            best_scheme = groups_to_scheme(
-                design, cps, groups, strategy="annealing"
-            )
+        best_scheme = single
+        best_cost = float(total_reconfiguration_frames(single, policy))
+        sets_explored = 0
+        for cps in candidate_partition_sets(
+            bps, cmatrix, max_sets=max_candidate_sets, tracer=tracer
+        ):
+            sets_explored += 1
+            with tracer.span(
+                "anneal",
+                candidate_set=sets_explored,
+                partitions=len(cps.partitions),
+            ):
+                groups, cost = anneal_candidate_set(
+                    design, cps, capacity, policy, options, tracer=tracer
+                )
+            if groups is not None and cost is not None and cost < best_cost:
+                best_cost = cost
+                best_scheme = groups_to_scheme(
+                    design, cps, groups, strategy="annealing"
+                )
+        tracer.count("anneal.candidate_sets", sets_explored)
     return best_scheme

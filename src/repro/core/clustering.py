@@ -27,6 +27,7 @@ import networkx as nx
 
 from ..arch.resources import ResourceVector
 from ..arch.tiles import frames_for
+from ..obs import NULL_TRACER, Tracer
 from .matrix import ConnectivityMatrix
 from .model import PRDesign
 
@@ -166,6 +167,7 @@ def enumerate_base_partitions(
     design: PRDesign,
     cmatrix: ConnectivityMatrix | None = None,
     include_non_joint_cliques: bool = False,
+    tracer: Tracer | None = None,
 ) -> list[BasePartition]:
     """All base partitions of a design, in covering-list order.
 
@@ -180,6 +182,7 @@ def enumerate_base_partitions(
     narrative).  The result is sorted ascending by (size, frequency
     weight, area) -- ready for the covering stage.
     """
+    tracer = tracer or NULL_TRACER
     cmatrix = cmatrix or ConnectivityMatrix.from_design(design)
     node_weights = cmatrix.node_weights()
     edge_weights = cmatrix.edges()
@@ -189,17 +192,23 @@ def enumerate_base_partitions(
     graph.add_edges_from(tuple(edge) for edge in edge_weights)
 
     partitions = []
+    enumerated = filtered = 0
     for clique in nx.enumerate_all_cliques(graph):
+        enumerated += 1
         if (
             not include_non_joint_cliques
             and len(clique) >= 3
             and cmatrix.group_weight(clique) == 0
         ):
+            filtered += 1
             continue
         partitions.append(
             _partition_for(clique, design, cmatrix, node_weights, edge_weights)
         )
     partitions.sort(key=BasePartition.sort_key)
+    tracer.count("clustering.cliques_enumerated", enumerated)
+    tracer.count("clustering.cliques_filtered", filtered)
+    tracer.gauge("clustering.base_partitions", len(partitions))
     return partitions
 
 

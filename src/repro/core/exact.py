@@ -24,6 +24,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..arch.resources import ResourceVector
+from ..obs import NULL_TRACER, Tracer
 from .allocation import _Group, _initial_groups, _MergeCache, groups_to_scheme
 from .cost import DEFAULT_POLICY, TransitionPolicy
 from .covering import CandidatePartitionSet
@@ -55,8 +56,10 @@ def exact_candidate_set(
     capacity: ResourceVector,
     policy: TransitionPolicy = DEFAULT_POLICY,
     max_partitions: int = MAX_EXACT_PARTITIONS,
+    tracer: Tracer | None = None,
 ) -> ExactOutcome:
     """Exhaustively find the optimal grouping of one CPS."""
+    tracer = tracer or NULL_TRACER
     if len(cps.partitions) > max_partitions:
         raise ValueError(
             f"candidate set has {len(cps.partitions)} partitions; exact "
@@ -106,6 +109,9 @@ def exact_candidate_set(
         blocks.pop()
 
     recurse(0, [], 0.0)
+    tracer.count("exact.states_enumerated", states)
+    tracer.count("exact.cache_hits", cache.hits)
+    tracer.count("exact.cache_misses", cache.misses)
     return ExactOutcome(
         best_groups=best_groups, best_cost=best_cost, states_enumerated=states
     )
@@ -117,6 +123,7 @@ def partition_exact(
     policy: TransitionPolicy = DEFAULT_POLICY,
     max_candidate_sets: int | None = None,
     max_partitions: int = MAX_EXACT_PARTITIONS,
+    tracer: Tracer | None = None,
 ) -> PartitioningScheme:
     """Optimal scheme over all candidate partition sets (small designs).
 
@@ -131,6 +138,7 @@ def partition_exact(
     from .cost import total_reconfiguration_frames
     from .covering import candidate_partition_sets
 
+    tracer = tracer or NULL_TRACER
     single = single_region_scheme(design)
     if not single.fits(capacity):
         raise InfeasibleError(
@@ -138,20 +146,34 @@ def partition_exact(
             "single region"
         )
 
-    cmatrix = ConnectivityMatrix.from_design(design)
-    bps = enumerate_base_partitions(design, cmatrix)
+    with tracer.span("partition_exact", design=design.name):
+        with tracer.span("connectivity_matrix"):
+            cmatrix = ConnectivityMatrix.from_design(design)
+        with tracer.span("clustering"):
+            bps = enumerate_base_partitions(design, cmatrix, tracer=tracer)
 
-    best_scheme = single
-    best_cost = float(total_reconfiguration_frames(single, policy))
-    for cps in candidate_partition_sets(bps, cmatrix, max_sets=max_candidate_sets):
-        if len(cps.partitions) > max_partitions:
-            continue
-        outcome = exact_candidate_set(
-            design, cps, capacity, policy, max_partitions
-        )
-        if outcome.found and outcome.best_cost < best_cost:
-            best_cost = outcome.best_cost
-            best_scheme = groups_to_scheme(
-                design, cps, outcome.best_groups, strategy="exact"
-            )
+        best_scheme = single
+        best_cost = float(total_reconfiguration_frames(single, policy))
+        sets_explored = 0
+        for cps in candidate_partition_sets(
+            bps, cmatrix, max_sets=max_candidate_sets, tracer=tracer
+        ):
+            if len(cps.partitions) > max_partitions:
+                tracer.count("exact.sets_skipped", 1)
+                continue
+            sets_explored += 1
+            with tracer.span(
+                "exact_search",
+                candidate_set=sets_explored,
+                partitions=len(cps.partitions),
+            ):
+                outcome = exact_candidate_set(
+                    design, cps, capacity, policy, max_partitions, tracer=tracer
+                )
+            if outcome.found and outcome.best_cost < best_cost:
+                best_cost = outcome.best_cost
+                best_scheme = groups_to_scheme(
+                    design, cps, outcome.best_groups, strategy="exact"
+                )
+        tracer.count("exact.candidate_sets", sets_explored)
     return best_scheme

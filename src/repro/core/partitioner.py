@@ -27,6 +27,7 @@ import numpy as np
 from ..arch.device import Device
 from ..arch.library import DeviceLibrary
 from ..arch.resources import ResourceVector
+from ..obs import NULL_TRACER, Tracer
 from .allocation import (
     AllocationOptions,
     _MergeCache,
@@ -125,6 +126,7 @@ def partition(
     design: PRDesign,
     capacity: ResourceVector,
     options: PartitionerOptions | None = None,
+    tracer: Tracer | None = None,
 ) -> PartitionResult:
     """Find the minimum-total-reconfiguration-time scheme for a PR budget.
 
@@ -132,82 +134,122 @@ def partition(
     modes the scheme keeps permanently loaded -- i.e. the device capacity
     net of the design's fixed static region (processor, ICAP, ...).
     Raises :class:`InfeasibleError` when even the single-region
-    arrangement cannot fit.
+    arrangement cannot fit.  Pass a :class:`repro.obs.RecordingTracer` as
+    ``tracer`` to record per-stage spans, counters and progress events
+    (docs/OBSERVABILITY.md); the default no-op tracer costs nothing.
     """
     options = options or PartitionerOptions()
+    tracer = tracer or NULL_TRACER
     policy = options.policy
     weights = options.weight_matrix(design)
     options.allocation.pair_weights = weights
 
-    single = single_region_scheme(design)
-    if not single.fits(capacity):
-        raise InfeasibleError(
-            f"design {design.name!r} needs at least "
-            f"{single.resource_usage()} but the budget is {capacity}"
-        )
+    with tracer.span(
+        "partition",
+        design=design.name,
+        modes=design.mode_count,
+        configurations=design.configuration_count,
+    ) as root:
+        single = single_region_scheme(design)
+        if not single.fits(capacity):
+            raise InfeasibleError(
+                f"design {design.name!r} needs at least "
+                f"{single.resource_usage()} but the budget is {capacity}"
+            )
 
-    cmatrix = ConnectivityMatrix.from_design(design)
-    base_partitions = enumerate_base_partitions(design, cmatrix)
+        with tracer.span("connectivity_matrix"):
+            cmatrix = ConnectivityMatrix.from_design(design)
+        with tracer.span("clustering"):
+            base_partitions = enumerate_base_partitions(
+                design, cmatrix, tracer=tracer
+            )
 
-    best_scheme: PartitioningScheme | None = None
-    best_cost: float | None = None
-    multi_region_feasible = False
-    sets_explored = 0
-    states = 0
-    feasible = 0
+        best_scheme: PartitioningScheme | None = None
+        best_cost: float | None = None
+        multi_region_feasible = False
+        sets_explored = 0
+        states = 0
+        feasible = 0
 
-    merge_cache = _MergeCache(weights)
-    for cps in candidate_partition_sets(
-        base_partitions, cmatrix, max_sets=options.max_candidate_sets
-    ):
-        sets_explored += 1
-        outcome = search_candidate_set(
-            design, cps, capacity, options.allocation, merge_cache=merge_cache
-        )
-        states += outcome.states_explored
-        feasible += outcome.feasible_states
-        if not outcome.found:
-            continue
-        assert outcome.best_groups is not None and outcome.best_cost is not None
-        if len(outcome.best_groups) > 1:
-            multi_region_feasible = True
-        if best_cost is None or outcome.best_cost < best_cost:
-            best_cost = outcome.best_cost
-            best_scheme = groups_to_scheme(design, cps, outcome.best_groups)
+        merge_cache = _MergeCache(weights)
+        for cps in candidate_partition_sets(
+            base_partitions,
+            cmatrix,
+            max_sets=options.max_candidate_sets,
+            tracer=tracer,
+        ):
+            sets_explored += 1
+            with tracer.span(
+                "merge_search",
+                candidate_set=sets_explored,
+                partitions=len(cps.partitions),
+            ):
+                outcome = search_candidate_set(
+                    design,
+                    cps,
+                    capacity,
+                    options.allocation,
+                    merge_cache=merge_cache,
+                    tracer=tracer,
+                )
+            states += outcome.states_explored
+            feasible += outcome.feasible_states
+            if tracer.enabled:
+                tracer.progress(
+                    "partition.candidate_set_searched",
+                    index=sets_explored,
+                    found=outcome.found,
+                    states=outcome.states_explored,
+                    best_cost=outcome.best_cost,
+                )
+            if not outcome.found:
+                continue
+            assert outcome.best_groups is not None and outcome.best_cost is not None
+            if len(outcome.best_groups) > 1:
+                multi_region_feasible = True
+            if best_cost is None or outcome.best_cost < best_cost:
+                best_cost = outcome.best_cost
+                best_scheme = groups_to_scheme(design, cps, outcome.best_groups)
 
-    def scheme_objective(scheme: PartitioningScheme) -> float:
-        if options.pair_probabilities is None:
-            return float(total_reconfiguration_frames(scheme, policy))
-        from .cost import weighted_total_frames
+        def scheme_objective(scheme: PartitioningScheme) -> float:
+            if options.pair_probabilities is None:
+                return float(total_reconfiguration_frames(scheme, policy))
+            from .cost import weighted_total_frames
 
-        return weighted_total_frames(scheme, options.pair_probabilities, policy)
+            return weighted_total_frames(scheme, options.pair_probabilities, policy)
 
-    if options.include_single_region:
-        single_cost = scheme_objective(single)
-        states += 1
-        feasible += 1
-        if best_cost is None or single_cost < best_cost:
-            best_cost = single_cost
+        if options.include_single_region:
+            single_cost = scheme_objective(single)
+            states += 1
+            feasible += 1
+            if best_cost is None or single_cost < best_cost:
+                best_cost = single_cost
+                best_scheme = single
+
+        if best_scheme is None or best_cost is None:
+            # No feasible multi-region scheme and the single-region fallback
+            # was disabled: surface the single-region arrangement anyway so the
+            # caller can escalate devices.
             best_scheme = single
+            best_cost = scheme_objective(single)
 
-    if best_scheme is None or best_cost is None:
-        # No feasible multi-region scheme and the single-region fallback
-        # was disabled: surface the single-region arrangement anyway so the
-        # caller can escalate devices.
-        best_scheme = single
-        best_cost = scheme_objective(single)
+        total = total_reconfiguration_frames(best_scheme, policy)
+        tracer.count("partition.candidate_sets", sets_explored)
+        tracer.gauge("partition.total_frames", total)
+        tracer.gauge("partition.regions", len(best_scheme.regions))
+        root.annotate(strategy=best_scheme.strategy)
 
-    return PartitionResult(
-        scheme=best_scheme,
-        total_frames=total_reconfiguration_frames(best_scheme, policy),
-        worst_frames=worst_case_frames(best_scheme, policy),
-        capacity=capacity,
-        candidate_sets_explored=sets_explored,
-        states_explored=states,
-        feasible_states=feasible,
-        only_single_region_feasible=not multi_region_feasible,
-        objective=float(best_cost),
-    )
+        return PartitionResult(
+            scheme=best_scheme,
+            total_frames=total,
+            worst_frames=worst_case_frames(best_scheme, policy),
+            capacity=capacity,
+            candidate_sets_explored=sets_explored,
+            states_explored=states,
+            feasible_states=feasible,
+            only_single_region_feasible=not multi_region_feasible,
+            objective=float(best_cost),
+        )
 
 
 # ----------------------------------------------------------------------
@@ -256,40 +298,52 @@ def partition_with_device_selection(
     library: DeviceLibrary,
     options: PartitionerOptions | None = None,
     max_escalations: int | None = None,
+    tracer: Tracer | None = None,
 ) -> DevicePartitionResult:
     """The Sec. V protocol: smallest-fit device, escalate while stuck.
 
     A device is "stuck" when no arrangement other than the single-region
     one is feasible on it; the paper then retries on the next larger
     device.  Escalation stops at the top of the library (the last result
-    is returned) or after ``max_escalations`` steps.
+    is returned) or after ``max_escalations`` steps.  Each attempt shows
+    up in the ``tracer`` as one ``partition`` span under a shared
+    ``device_selection`` root.
     """
     options = options or PartitionerOptions()
+    tracer = tracer or NULL_TRACER
     device = select_device(design, library)
     initial = device
     escalations = 0
-    while True:
-        capacity = device.usable_capacity(design.static_resources)
-        result = partition(design, capacity, options)
-        if not result.only_single_region_feasible:
-            return DevicePartitionResult(
-                result=result,
-                device=device,
-                initial_device=initial,
-                escalations=escalations,
-            )
-        bigger = library.next_larger(device)
-        if bigger is None or (
-            max_escalations is not None and escalations >= max_escalations
-        ):
-            return DevicePartitionResult(
-                result=result,
-                device=device,
-                initial_device=initial,
-                escalations=escalations,
-            )
-        device = bigger
-        escalations += 1
+    with tracer.span(
+        "device_selection", design=design.name, initial_device=device.name
+    ) as root:
+        while True:
+            capacity = device.usable_capacity(design.static_resources)
+            result = partition(design, capacity, options, tracer=tracer)
+            if not result.only_single_region_feasible:
+                break
+            bigger = library.next_larger(device)
+            if bigger is None or (
+                max_escalations is not None and escalations >= max_escalations
+            ):
+                break
+            if tracer.enabled:
+                tracer.progress(
+                    "partition.device_escalated",
+                    from_device=device.name,
+                    to_device=bigger.name,
+                    escalations=escalations + 1,
+                )
+            device = bigger
+            escalations += 1
+        tracer.count("partition.device_escalations", escalations)
+        root.annotate(device=device.name, escalations=escalations)
+        return DevicePartitionResult(
+            result=result,
+            device=device,
+            initial_device=initial,
+            escalations=escalations,
+        )
 
 
 def smallest_device_for_scheme(

@@ -38,6 +38,7 @@ from ..core.partitioner import (
     smallest_device_for_scheme,
 )
 from ..core.result import PartitioningScheme
+from ..obs import Tracer
 from ..synth.generator import generate_population
 from . import report
 from .casestudy import (
@@ -334,8 +335,14 @@ def run_sweep(
     library: DeviceLibrary | None = None,
     options: PartitionerOptions | None = None,
     progress: Callable[[int, int], None] | None = None,
+    tracer: Tracer | None = None,
 ) -> SweepResult:
-    """Evaluate a synthetic population (the engine behind Figs. 7-9)."""
+    """Evaluate a synthetic population (the engine behind Figs. 7-9).
+
+    An optional ``tracer`` (see docs/OBSERVABILITY.md) records one
+    ``device_selection`` root span per design -- the instrumentation
+    baseline in EXPERIMENTS.md is measured through this hook.
+    """
     library = library or virtex5_ladder()
     records: list[SweepRecord] = []
     skipped = 0
@@ -346,7 +353,9 @@ def run_sweep(
             progress(i, count)
         t0 = time.perf_counter()
         try:
-            dres = partition_with_device_selection(design, library, options)
+            dres = partition_with_device_selection(
+                design, library, options, tracer=tracer
+            )
         except InfeasibleError:
             skipped += 1
             continue

@@ -112,3 +112,25 @@ def kv_block(pairs: Mapping[str, object], title: str | None = None) -> str:
     lines = [title] if title else []
     lines.extend(f"{k.ljust(width)} : {v}" for k, v in pairs.items())
     return "\n".join(lines)
+
+
+def render_trace_summary(trace: object, title: str | None = None) -> str:
+    """Per-stage summary of a recorded pipeline trace.
+
+    Accepts a :class:`repro.obs.Trace`, a :class:`repro.obs.RecordingTracer`,
+    a trace dict, or JSON text (the ``--trace-json`` file format), so
+    benchmark logs and saved traces render through one entry point.
+    """
+    from ..obs import RecordingTracer, Trace, trace_from_dict, trace_from_json
+    from ..obs.render import render_trace_summary as _render
+
+    if isinstance(trace, str):
+        trace = trace_from_json(trace)
+    elif isinstance(trace, Mapping):
+        trace = trace_from_dict(trace)
+    elif isinstance(trace, RecordingTracer):
+        trace = trace.trace()
+    if not isinstance(trace, Trace):
+        raise TypeError(f"cannot render a trace from {type(trace).__name__}")
+    body = _render(trace)
+    return f"{title}\n{body}" if title else body

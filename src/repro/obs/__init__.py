@@ -1,0 +1,37 @@
+"""Observability for the partitioning pipeline: tracing, metrics, events.
+
+See docs/OBSERVABILITY.md for the full API and the JSON trace schema.
+Dependency-free by design -- :mod:`repro.core` imports this package, so
+it must not import anything above :mod:`repro.obs` itself.
+"""
+
+from .render import render_trace_summary, stage_summary_rows
+from .tracer import (
+    NULL_TRACER,
+    TRACE_FORMAT,
+    TRACE_VERSION,
+    ProgressEvent,
+    RecordingTracer,
+    Span,
+    Trace,
+    TraceError,
+    Tracer,
+    trace_from_dict,
+    trace_from_json,
+)
+
+__all__ = [
+    "NULL_TRACER",
+    "ProgressEvent",
+    "RecordingTracer",
+    "Span",
+    "TRACE_FORMAT",
+    "TRACE_VERSION",
+    "Trace",
+    "TraceError",
+    "Tracer",
+    "render_trace_summary",
+    "stage_summary_rows",
+    "trace_from_dict",
+    "trace_from_json",
+]

@@ -1,0 +1,103 @@
+"""Human-readable stage summaries of recorded traces.
+
+Dependency-free (this package sits below :mod:`repro.eval`, which
+re-exports :func:`render_trace_summary` next to the paper-table
+renderers), so the boxed-table formatting is reimplemented here in
+miniature rather than imported from ``repro.eval.report``.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from .tracer import RecordingTracer, Trace
+
+
+def _table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    str_rows = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    rule = "+-" + "-+-".join("-" * w for w in widths) + "-+"
+
+    def line(cells: Sequence[str]) -> str:
+        return "| " + " | ".join(c.ljust(w) for c, w in zip(cells, widths)) + " |"
+
+    out = [rule, line(list(headers)), rule]
+    out.extend(line(row) for row in str_rows)
+    out.append(rule)
+    return "\n".join(out)
+
+
+def _fmt_metric(value: float) -> str:
+    if isinstance(value, float) and not value.is_integer():
+        return f"{value:g}"
+    return str(int(value))
+
+
+def stage_summary_rows(
+    trace: Trace,
+) -> list[tuple[str, int, float, float]]:
+    """Aggregate spans by path: (indented stage, calls, seconds, percent).
+
+    Repeated spans at the same path (one ``merge_search`` per candidate
+    set) collapse into a single row with a call count; rows appear in
+    first-occurrence order, indented by nesting depth.
+    """
+    order: list[tuple[str, ...]] = []
+    calls: dict[tuple[str, ...], int] = {}
+    seconds: dict[tuple[str, ...], float] = {}
+    for path, span in trace.walk():
+        if path not in calls:
+            order.append(path)
+            calls[path] = 0
+            seconds[path] = 0.0
+        calls[path] += 1
+        seconds[path] += span.duration_s or 0.0
+    total = trace.total_duration_s or 1e-12
+    return [
+        (
+            "  " * (len(path) - 1) + path[-1],
+            calls[path],
+            seconds[path],
+            100.0 * seconds[path] / total,
+        )
+        for path in order
+    ]
+
+
+def render_trace_summary(trace: Trace | RecordingTracer) -> str:
+    """The per-stage summary table plus counter/gauge listings."""
+    if isinstance(trace, RecordingTracer):
+        trace = trace.trace()
+    rows = [
+        (stage, calls, f"{secs:.4f}", f"{pct:5.1f}")
+        for stage, calls, secs, pct in stage_summary_rows(trace)
+    ]
+    blocks = [
+        _table(("stage", "calls", "time (s)", "% of total"), rows)
+        if rows
+        else "(no spans recorded)"
+    ]
+    if trace.counters:
+        width = max(len(k) for k in trace.counters)
+        blocks.append(
+            "counters:\n"
+            + "\n".join(
+                f"  {k.ljust(width)} : {_fmt_metric(v)}"
+                for k, v in sorted(trace.counters.items())
+            )
+        )
+    if trace.gauges:
+        width = max(len(k) for k in trace.gauges)
+        blocks.append(
+            "gauges:\n"
+            + "\n".join(
+                f"  {k.ljust(width)} : {_fmt_metric(v)}"
+                for k, v in sorted(trace.gauges.items())
+            )
+        )
+    if trace.events:
+        blocks.append(f"progress events: {trace.events}")
+    return "\n".join(blocks)

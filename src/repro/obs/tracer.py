@@ -1,0 +1,323 @@
+"""Structured tracing for the partitioning pipeline.
+
+Three primitives, all dependency-free:
+
+* **spans** -- nested, named stage timings (``time.perf_counter``);
+* **counters / gauges** -- typed numeric metrics (cliques found, merge
+  states explored, cache hits, ...), accumulated both per-span and
+  trace-wide;
+* **progress events** -- a callback stream for long searches, so a UI or
+  log can follow candidate-set iteration without polling.
+
+The base :class:`Tracer` is a no-op: every instrumented entry point in
+:mod:`repro.core` defaults to :data:`NULL_TRACER`, so uninstrumented
+runs pay only a handful of no-op method calls per *stage* (never per
+inner-loop iteration -- hot loops batch their totals into one ``count``
+call at stage exit).  :class:`RecordingTracer` records everything and
+serialises to the JSON trace schema documented in docs/OBSERVABILITY.md.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator, Mapping, Sequence
+
+#: Embedded in every serialised trace; bumped on schema changes.
+TRACE_FORMAT = "repro-trace"
+TRACE_VERSION = 1
+
+
+class TraceError(ValueError):
+    """Raised for malformed or incompatible serialised traces."""
+
+
+@dataclass(frozen=True)
+class ProgressEvent:
+    """One progress tick emitted by a long-running search."""
+
+    name: str
+    payload: Mapping[str, Any]
+
+
+class _NullSpan:
+    """Context manager returned by the no-op tracer's :meth:`Tracer.span`."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc: object) -> bool:
+        return False
+
+    def annotate(self, **attrs: Any) -> None:
+        """Attach attributes after entry -- ignored on the null span."""
+
+
+NULL_SPAN = _NullSpan()
+
+
+class Tracer:
+    """No-op tracer: the default on every instrumented entry point.
+
+    Instrumented code calls the tracer unconditionally; subclasses decide
+    whether anything is recorded.  ``enabled`` lets per-iteration emitters
+    (progress events inside restart loops) skip even the no-op call.
+    """
+
+    enabled: bool = False
+
+    def span(self, name: str, **attrs: Any) -> Any:
+        """A context manager timing one named stage."""
+        return NULL_SPAN
+
+    def count(self, name: str, value: float = 1) -> None:
+        """Add ``value`` to the named counter."""
+
+    def gauge(self, name: str, value: float) -> None:
+        """Set the named gauge to its latest value."""
+
+    def progress(self, name: str, **payload: Any) -> None:
+        """Emit one progress event to registered callbacks."""
+
+    def on_progress(self, callback: Callable[[ProgressEvent], None]) -> None:
+        """Register a progress callback -- ignored by the no-op tracer."""
+
+
+#: Shared no-op instance; instrumented code does ``tracer or NULL_TRACER``.
+NULL_TRACER = Tracer()
+
+
+@dataclass
+class Span:
+    """One recorded stage: timing, attributes, metrics, children.
+
+    ``start_s`` is relative to the owning trace's epoch;``duration_s`` is
+    ``None`` while the span is still open.  ``counters``/``gauges`` hold
+    the metrics emitted while this span was innermost.
+    """
+
+    name: str
+    start_s: float
+    attrs: dict[str, Any] = field(default_factory=dict)
+    duration_s: float | None = None
+    counters: dict[str, float] = field(default_factory=dict)
+    gauges: dict[str, float] = field(default_factory=dict)
+    children: list["Span"] = field(default_factory=list)
+
+    def annotate(self, **attrs: Any) -> None:
+        """Attach attributes discovered after the span opened."""
+        self.attrs.update(attrs)
+
+    def walk(self, path: tuple[str, ...] = ()) -> Iterator[tuple[tuple[str, ...], "Span"]]:
+        """Depth-first (path, span) pairs, self included."""
+        here = path + (self.name,)
+        yield here, self
+        for child in self.children:
+            yield from child.walk(here)
+
+    def find(self, name: str) -> list["Span"]:
+        """All descendant spans (self included) with the given name."""
+        return [s for _, s in self.walk() if s.name == name]
+
+    def to_dict(self) -> dict[str, Any]:
+        doc: dict[str, Any] = {"name": self.name, "start_s": self.start_s}
+        if self.duration_s is not None:
+            doc["duration_s"] = self.duration_s
+        if self.attrs:
+            doc["attrs"] = dict(self.attrs)
+        if self.counters:
+            doc["counters"] = dict(self.counters)
+        if self.gauges:
+            doc["gauges"] = dict(self.gauges)
+        if self.children:
+            doc["children"] = [c.to_dict() for c in self.children]
+        return doc
+
+    @classmethod
+    def from_dict(cls, doc: Mapping[str, Any]) -> "Span":
+        if "name" not in doc or "start_s" not in doc:
+            raise TraceError(f"span missing name/start_s: {sorted(doc)}")
+        return cls(
+            name=str(doc["name"]),
+            start_s=float(doc["start_s"]),
+            attrs=dict(doc.get("attrs", {})),
+            duration_s=doc.get("duration_s"),
+            counters=dict(doc.get("counters", {})),
+            gauges=dict(doc.get("gauges", {})),
+            children=[cls.from_dict(c) for c in doc.get("children", [])],
+        )
+
+
+@dataclass
+class Trace:
+    """A completed (or snapshot) trace: root spans plus trace-wide metrics."""
+
+    spans: list[Span] = field(default_factory=list)
+    counters: dict[str, float] = field(default_factory=dict)
+    gauges: dict[str, float] = field(default_factory=dict)
+    events: int = 0
+
+    @property
+    def total_duration_s(self) -> float:
+        return sum(s.duration_s or 0.0 for s in self.spans)
+
+    def walk(self) -> Iterator[tuple[tuple[str, ...], Span]]:
+        for root in self.spans:
+            yield from root.walk()
+
+    def find(self, name: str) -> list[Span]:
+        return [s for _, s in self.walk() if s.name == name]
+
+    def span_names(self) -> set[str]:
+        return {s.name for _, s in self.walk()}
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "format": TRACE_FORMAT,
+            "version": TRACE_VERSION,
+            "counters": dict(self.counters),
+            "gauges": dict(self.gauges),
+            "events": self.events,
+            "spans": [s.to_dict() for s in self.spans],
+        }
+
+    def to_json(self, indent: int | None = 1) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+
+def trace_from_dict(doc: Mapping[str, Any]) -> Trace:
+    """Rebuild a :class:`Trace` from its :meth:`Trace.to_dict` form."""
+    if doc.get("format") != TRACE_FORMAT:
+        raise TraceError("not a repro trace document")
+    if doc.get("version") != TRACE_VERSION:
+        raise TraceError(f"unsupported trace version {doc.get('version')!r}")
+    return Trace(
+        spans=[Span.from_dict(s) for s in doc.get("spans", [])],
+        counters=dict(doc.get("counters", {})),
+        gauges=dict(doc.get("gauges", {})),
+        events=int(doc.get("events", 0)),
+    )
+
+
+def trace_from_json(text: str) -> Trace:
+    """Reload a trace saved with :meth:`Trace.to_json`."""
+    try:
+        doc = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise TraceError(f"invalid JSON: {exc}") from exc
+    return trace_from_dict(doc)
+
+
+class _RecordingSpan:
+    """Context manager opening/closing one :class:`Span` on a tracer."""
+
+    __slots__ = ("_tracer", "_name", "_attrs", "_span")
+
+    def __init__(self, tracer: "RecordingTracer", name: str, attrs: dict[str, Any]):
+        self._tracer = tracer
+        self._name = name
+        self._attrs = attrs
+        self._span: Span | None = None
+
+    def __enter__(self) -> Span:
+        self._span = self._tracer._open(self._name, self._attrs)
+        return self._span
+
+    def __exit__(self, *exc: object) -> bool:
+        assert self._span is not None
+        self._tracer._close(self._span)
+        return False
+
+
+class RecordingTracer(Tracer):
+    """Records spans, metrics and progress events for one pipeline run.
+
+    Metrics land on the innermost open span *and* on the trace-wide
+    totals; spans opened with no parent become trace roots (a device
+    escalation produces several root ``partition`` spans).  Progress
+    events are retained up to ``max_events`` (the stream keeps flowing to
+    callbacks; only retention is capped) so unbounded searches cannot
+    exhaust memory.
+    """
+
+    enabled = True
+
+    def __init__(
+        self,
+        clock: Callable[[], float] = time.perf_counter,
+        max_events: int = 10_000,
+    ) -> None:
+        self._clock = clock
+        self._epoch = clock()
+        self._stack: list[Span] = []
+        self._callbacks: list[Callable[[ProgressEvent], None]] = []
+        self.max_events = max_events
+        self.spans: list[Span] = []
+        self.counters: dict[str, float] = {}
+        self.gauges: dict[str, float] = {}
+        self.events: list[ProgressEvent] = []
+        self.events_dropped = 0
+
+    # -- span lifecycle -------------------------------------------------
+    def _open(self, name: str, attrs: dict[str, Any]) -> Span:
+        span = Span(name=name, start_s=self._clock() - self._epoch, attrs=attrs)
+        if self._stack:
+            self._stack[-1].children.append(span)
+        else:
+            self.spans.append(span)
+        self._stack.append(span)
+        return span
+
+    def _close(self, span: Span) -> None:
+        if not self._stack or self._stack[-1] is not span:
+            raise TraceError(f"span {span.name!r} closed out of order")
+        self._stack.pop()
+        span.duration_s = (self._clock() - self._epoch) - span.start_s
+
+    def span(self, name: str, **attrs: Any) -> _RecordingSpan:
+        return _RecordingSpan(self, name, attrs)
+
+    @property
+    def current_span(self) -> Span | None:
+        return self._stack[-1] if self._stack else None
+
+    # -- metrics ---------------------------------------------------------
+    def count(self, name: str, value: float = 1) -> None:
+        self.counters[name] = self.counters.get(name, 0) + value
+        if self._stack:
+            bucket = self._stack[-1].counters
+            bucket[name] = bucket.get(name, 0) + value
+
+    def gauge(self, name: str, value: float) -> None:
+        self.gauges[name] = value
+        if self._stack:
+            self._stack[-1].gauges[name] = value
+
+    # -- progress stream -------------------------------------------------
+    def on_progress(self, callback: Callable[[ProgressEvent], None]) -> None:
+        self._callbacks.append(callback)
+
+    def progress(self, name: str, **payload: Any) -> None:
+        event = ProgressEvent(name=name, payload=payload)
+        if len(self.events) < self.max_events:
+            self.events.append(event)
+        else:
+            self.events_dropped += 1
+        for callback in self._callbacks:
+            callback(event)
+
+    # -- snapshot ---------------------------------------------------------
+    def trace(self) -> Trace:
+        """Snapshot the recorded data as an immutable-ish :class:`Trace`."""
+        return Trace(
+            spans=list(self.spans),
+            counters=dict(self.counters),
+            gauges=dict(self.gauges),
+            events=len(self.events) + self.events_dropped,
+        )
+
+    def to_json(self, indent: int | None = 1) -> str:
+        return self.trace().to_json(indent=indent)

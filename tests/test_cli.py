@@ -41,6 +41,12 @@ class TestExample:
         assert "Conf.1" in out
         assert "{A3, B2, C3}" in out
 
+    def test_trace_runs_partitioning(self, capsys):
+        assert main(["example", "--trace"]) == 0
+        out = capsys.readouterr().out
+        assert "Pipeline trace" in out
+        assert "partition.total_frames" in out
+
 
 class TestCasestudy:
     def test_prints_all_tables(self, capsys):
@@ -101,6 +107,24 @@ class TestPartition:
         assert main(["partition", str(path)]) == 0
         out = capsys.readouterr().out
         assert "total reconfiguration:" in out
+
+    def test_trace_summary(self, design_xml, capsys):
+        assert main(["partition", design_xml, "--trace"]) == 0
+        out = capsys.readouterr().out
+        assert "Pipeline trace" in out
+        assert "merge_search" in out
+        assert "clustering.base_partitions" in out
+
+    def test_trace_json_file(self, design_xml, tmp_path, capsys):
+        from repro.obs import trace_from_json
+
+        path = tmp_path / "trace.json"
+        assert main(
+            ["partition", design_xml, "--trace-json", str(path)]
+        ) == 0
+        trace = trace_from_json(path.read_text(encoding="utf-8"))
+        assert "merge_search" in trace.span_names()
+        assert trace.counters["merge.states_explored"] > 0
 
     def test_infeasible_design_exits_nonzero(self, tmp_path, capsys):
         from .conftest import make_design

@@ -54,7 +54,8 @@ class TestDocsMentionRealSymbols:
     """Every backticked dotted repro.* symbol in the docs must import."""
 
     @pytest.mark.parametrize(
-        "doc", ["ALGORITHM.md", "API.md", "FAQ.md", "REPRODUCING.md"]
+        "doc",
+        ["ALGORITHM.md", "API.md", "FAQ.md", "OBSERVABILITY.md", "REPRODUCING.md"],
     )
     def test_module_references_resolve(self, doc):
         import importlib
@@ -71,6 +72,29 @@ class TestDocsMentionRealSymbols:
                 pass
             mod = importlib.import_module(".".join(parts[:-1]))
             assert hasattr(mod, parts[-1]), f"{doc}: {dotted} does not resolve"
+
+
+class TestObservabilityDocNumbers:
+    """docs/OBSERVABILITY.md and docs/ALGORITHM.md quote trace metrics
+    for the running example; re-measure them."""
+
+    def test_quoted_metrics_match(self):
+        from repro.obs import RecordingTracer
+
+        tracer = RecordingTracer()
+        partition(example_design(), ResourceVector(520, 16, 16), tracer=tracer)
+        c, g = tracer.counters, tracer.gauges
+        assert c["clustering.cliques_enumerated"] == 27
+        assert c["clustering.cliques_filtered"] == 1
+        assert g["clustering.base_partitions"] == 26
+        assert c["covering.passes"] == 23
+        assert c["covering.sets_produced"] == 22
+        assert c["partition.candidate_sets"] == 22
+        assert g["partition.total_frames"] == 3330
+        assert g["partition.regions"] == 5
+        doc = (DOCS / "OBSERVABILITY.md").read_text()
+        for quoted in ("26", "22", "3330"):
+            assert quoted in doc
 
 
 class TestReadmeQuickstartRuns:

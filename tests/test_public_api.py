@@ -19,6 +19,7 @@ PACKAGES = [
     "repro.runtime",
     "repro.synth",
     "repro.eval",
+    "repro.obs",
     "repro.util",
 ]
 
