@@ -10,7 +10,9 @@ Partial Reconfiguration Design of Adaptive Systems" (IEEE IPDPSW 2013):
   XML front end, floorplanning, constraints, bitstreams);
 * :mod:`repro.runtime` -- ICAP timing and adaptation-trace simulation;
 * :mod:`repro.synth` -- the synthetic design generator of Sec. V;
-* :mod:`repro.eval` -- drivers regenerating every table and figure.
+* :mod:`repro.eval` -- drivers regenerating every table and figure;
+* :mod:`repro.service` -- the batch partitioning service (job store,
+  worker pool, content-addressed result cache; docs/SERVICE.md).
 
 Quick start::
 

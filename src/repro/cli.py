@@ -9,7 +9,10 @@ Subcommands mirror the deliverables:
 * ``example`` -- regenerate the Sec. IV artefacts (matrix, Table I);
 * ``sweep`` -- regenerate Figs. 7/8/9 and the Sec. V headline counts;
 * ``pareto`` -- explore the area/time trade-off curve of a design;
-* ``devices`` -- print the reconstructed Virtex-5 library.
+* ``devices`` -- print the reconstructed Virtex-5 library;
+* ``batch submit|run|status`` -- the batch partitioning service
+  (job queue + worker pool + content-addressed result cache,
+  docs/SERVICE.md).
 """
 
 from __future__ import annotations
@@ -18,7 +21,7 @@ import argparse
 import sys
 from typing import Sequence
 
-from .arch.library import virtex5_full, virtex5_ladder
+from .arch.library import virtex5_ladder
 from .core.partitioner import (
     InfeasibleError,
     partition,
@@ -29,8 +32,8 @@ from .eval.report import render_table, render_trace_summary
 from .flow.bitstream import generate_bitstreams
 from .flow.constraints import emit_ucf
 from .flow.floorplan import FloorplanError, floorplan
-from .flow.xmlio import load_design
 from .obs import NULL_TRACER, RecordingTracer, Tracer
+from .service.problem import resolve_problem
 
 
 def _make_tracer(args: argparse.Namespace) -> Tracer:
@@ -77,23 +80,23 @@ def _add_trace_flags(parser: argparse.ArgumentParser) -> None:
 
 
 def _cmd_partition(args: argparse.Namespace) -> int:
-    doc = load_design(args.design)
-    design = doc.design
-    library = virtex5_full()
+    problem = resolve_problem(args.design, args.device)
+    design = problem.design
     tracer = _make_tracer(args)
     print(design.summary())
 
-    if args.device or doc.device_name:
-        device = library.get(args.device or doc.device_name)
-        capacity = doc.budget or device.usable_capacity(design.static_resources)
+    if problem.device is not None:
+        device = problem.device
         try:
-            result = partition(design, capacity, tracer=tracer)
+            result = partition(design, problem.capacity, tracer=tracer)
         except InfeasibleError as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 1
     else:
         try:
-            dres = partition_with_device_selection(design, library, tracer=tracer)
+            dres = partition_with_device_selection(
+                design, problem.library, tracer=tracer
+            )
         except InfeasibleError as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 1
@@ -142,18 +145,9 @@ def _cmd_partition(args: argparse.Namespace) -> int:
 def _cmd_pareto(args: argparse.Namespace) -> int:
     from .core.pareto import pareto_front, render_front
 
-    doc = load_design(args.design)
-    design = doc.design
-    library = virtex5_full()
-    if args.device or doc.device_name:
-        device = library.get(args.device or doc.device_name)
-        capacity = doc.budget or device.usable_capacity(design.static_resources)
-    else:
-        from .core.partitioner import select_device
-
-        device = select_device(design, library)
-        capacity = device.usable_capacity(design.static_resources)
-    print(f"{design.summary()}; budget {capacity} on {device.name}")
+    problem = resolve_problem(args.design, args.device).with_selected_device()
+    design, capacity = problem.design, problem.capacity
+    print(f"{design.summary()}; budget {capacity} on {problem.device.name}")
     front = pareto_front(
         design, capacity, max_candidate_sets=args.candidate_sets
     )
@@ -210,6 +204,106 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 
         print()
         print(render_analysis(sweep))
+    return 0
+
+
+def _queue_stores(args: argparse.Namespace):
+    """(JobStore, ResultCache) for the --queue/--cache directories."""
+    from pathlib import Path
+
+    from .service import JobStore, ResultCache
+
+    queue = Path(args.queue)
+    cache_dir = Path(args.cache) if args.cache else queue / "cache"
+    return JobStore.open(queue), ResultCache(cache_dir)
+
+
+def _cmd_batch_submit(args: argparse.Namespace) -> int:
+    from .flow.xmlio import design_to_xml
+    from .synth.generator import generate_population
+
+    store, _ = _queue_stores(args)
+    submitted = []
+    for path in args.designs:
+        problem = resolve_problem(path, args.device)
+        submitted.append(
+            store.submit(
+                name=problem.design.name,
+                design_xml=design_to_xml(
+                    problem.design,
+                    device_name=args.device or problem.doc.device_name,
+                    budget=problem.doc.budget,
+                ),
+                device=args.device,
+                max_candidate_sets=args.max_candidate_sets,
+            )
+        )
+    if args.synthetic:
+        for _cls, design in generate_population(args.synthetic, seed=args.seed):
+            submitted.append(
+                store.submit_design(
+                    design,
+                    device=args.device,
+                    max_candidate_sets=args.max_candidate_sets,
+                )
+            )
+    if not submitted:
+        print("error: nothing to submit (give design files or --synthetic N)",
+              file=sys.stderr)
+        return 1
+    for job in submitted:
+        print(f"{job.id}  {job.state:8s}  {job.name}")
+    counts = store.counts()
+    print(f"queue: {counts['pending']} pending / {len(store.jobs())} total")
+    return 0
+
+
+def _cmd_batch_run(args: argparse.Namespace) -> int:
+    from .eval.report import render_batch_report
+    from .service import run_batch
+
+    store, cache = _queue_stores(args)
+    tracer = _make_tracer(args)
+    if args.progress and not isinstance(tracer, RecordingTracer):
+        tracer = RecordingTracer()
+    if isinstance(tracer, RecordingTracer) and args.progress:
+        tracer.on_progress(
+            lambda e: print(f"... {e.name} {dict(e.payload)}", file=sys.stderr)
+        )
+    report = run_batch(store, cache, workers=args.workers, tracer=tracer)
+    print(render_batch_report(report))
+    if report.failed:
+        print(f"failed jobs: {', '.join(report.failed_ids)}", file=sys.stderr)
+    _emit_trace(tracer, args)
+    return 0 if report.failed == 0 else 3
+
+
+def _cmd_batch_status(args: argparse.Namespace) -> int:
+    store, cache = _queue_stores(args)
+    rows = []
+    for job in store.jobs():
+        rows.append(
+            (
+                job.id,
+                job.name,
+                job.state,
+                job.attempts,
+                "hit" if job.cache_hit else ("miss" if job.state == "done" else ""),
+                (job.result_key or "")[:12],
+            )
+        )
+    print(render_table(
+        ("job", "design", "state", "attempts", "cache", "result key"),
+        rows,
+        title=f"Queue {store.directory}",
+    ))
+    counts = store.counts()
+    summary = ", ".join(f"{v} {k}" for k, v in counts.items())
+    print(f"jobs: {summary}; cache entries: {len(cache)}")
+    if args.errors:
+        for job in store.jobs():
+            if job.error:
+                print(f"\n--- {job.id} ({job.state}) ---\n{job.error}")
     return 0
 
 
@@ -286,6 +380,59 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("devices", help="print the device library")
     p.set_defaults(func=_cmd_devices)
+
+    batch = sub.add_parser(
+        "batch", help="batch partitioning service (docs/SERVICE.md)"
+    )
+    batch_sub = batch.add_subparsers(dest="batch_command", required=True)
+
+    def _add_queue_flags(parser: argparse.ArgumentParser) -> None:
+        parser.add_argument(
+            "--queue", required=True, metavar="DIR",
+            help="queue directory (holds jobs.jsonl; created if missing)",
+        )
+        parser.add_argument(
+            "--cache", metavar="DIR",
+            help="result cache directory (default: <queue>/cache)",
+        )
+
+    p = batch_sub.add_parser(
+        "submit", help="enqueue design XML files or synthetic designs"
+    )
+    _add_queue_flags(p)
+    p.add_argument("designs", nargs="*", help="design XML files to enqueue")
+    p.add_argument("--device", help="target device name (else auto-select)")
+    p.add_argument(
+        "--synthetic", type=int, metavar="N",
+        help="also enqueue N Sec. V synthetic designs",
+    )
+    p.add_argument("--seed", type=int, default=E.DEFAULT_SWEEP_SEED)
+    p.add_argument(
+        "--max-candidate-sets", type=int,
+        help="cap the covering loop per job (part of the cache key)",
+    )
+    p.set_defaults(func=_cmd_batch_submit)
+
+    p = batch_sub.add_parser("run", help="drain pending jobs with a worker pool")
+    _add_queue_flags(p)
+    p.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes (1 runs jobs inline)",
+    )
+    p.add_argument(
+        "--progress", action="store_true",
+        help="stream per-job progress events to stderr (needs --trace)",
+    )
+    _add_trace_flags(p)
+    p.set_defaults(func=_cmd_batch_run)
+
+    p = batch_sub.add_parser("status", help="show queue and cache state")
+    _add_queue_flags(p)
+    p.add_argument(
+        "--errors", action="store_true",
+        help="also print recorded failure tracebacks",
+    )
+    p.set_defaults(func=_cmd_batch_status)
 
     return parser
 

@@ -35,6 +35,7 @@ from .cost import (
 )
 from .covering import CandidatePartitionSet, CoveringError, candidate_partition_sets, cover
 from .exact import ExactOutcome, exact_candidate_set, partition_exact
+from .fingerprint import canonical_problem, problem_key
 from .matrix import ConnectivityMatrix, connectivity_matrix
 from .model import (
     Configuration,
@@ -90,6 +91,7 @@ __all__ = [
     "baseline_schemes",
     "best_by_worst_case",
     "candidate_partition_sets",
+    "canonical_problem",
     "compatibility_table",
     "connectivity_matrix",
     "cover",
@@ -108,6 +110,7 @@ __all__ = [
     "partition_with_device_selection",
     "partitions_by_label",
     "percentage_change",
+    "problem_key",
     "regions_from_partitions",
     "render_front",
     "search_candidate_set",

@@ -114,6 +114,29 @@ def kv_block(pairs: Mapping[str, object], title: str | None = None) -> str:
     return "\n".join(lines)
 
 
+def render_batch_report(report: object, title: str | None = None) -> str:
+    """Throughput summary of a batch run (``repro-pr batch run`` output).
+
+    Accepts a :class:`repro.service.BatchReport` or its ``to_dict()``
+    form, so saved reports render through the same entry point.
+    """
+    doc = report.to_dict() if hasattr(report, "to_dict") else dict(report)  # type: ignore[call-overload]
+    pairs: dict[str, object] = {
+        "jobs": doc.get("total", 0),
+        "done": doc.get("done", 0),
+        "failed": doc.get("failed", 0),
+        "cache hits": doc.get("cache_hits", 0),
+        "cache hit rate": format_percent(100.0 * doc.get("cache_hit_rate", 0.0)),
+        "workers": doc.get("workers", 1),
+        "wall time": f"{doc.get('duration_s', 0.0):.2f} s",
+        "throughput": f"{doc.get('jobs_per_s', 0.0):.2f} jobs/s",
+        "worker utilisation": format_percent(
+            100.0 * doc.get("worker_utilisation", 0.0)
+        ),
+    }
+    return kv_block(pairs, title=title or "Batch report")
+
+
 def render_trace_summary(trace: object, title: str | None = None) -> str:
     """Per-stage summary of a recorded pipeline trace.
 

@@ -1,0 +1,48 @@
+"""Batch partitioning service: job store, worker pool, result cache.
+
+The one-shot CLI answers one partitioning problem per process; this
+package turns the same pipeline into a servable batch engine for
+design-space sweeps, per-device what-if queries and CI re-runs:
+
+* :mod:`repro.service.problem` -- one resolution path from a design
+  description (XML text or file) to the concrete problem (design,
+  device, budget), shared by the CLI handlers and the workers;
+* :mod:`repro.service.cache` -- a content-addressed on-disk cache of
+  finished :class:`~repro.core.partitioner.PartitionResult`s, keyed by
+  :func:`repro.core.problem_key`;
+* :mod:`repro.service.jobs` -- a crash-safe JSON-lines job store with
+  ``pending -> running -> done/failed`` states and capped retries;
+* :mod:`repro.service.pool` -- a multiprocessing worker pool fanning
+  pending jobs across cores, streaming progress through
+  :mod:`repro.obs` and aggregating batch throughput metrics.
+
+Full guide: docs/SERVICE.md.  CLI: ``repro-pr batch submit|run|status``.
+"""
+
+from .cache import CachedResult, ResultCache
+from .jobs import (
+    DEFAULT_MAX_ATTEMPTS,
+    JOB_STATES,
+    Job,
+    JobStore,
+    JobStoreError,
+)
+from .pool import BatchReport, ServiceError, job_problem_key, run_batch
+from .problem import ResolvedProblem, resolve_problem, resolve_problem_text
+
+__all__ = [
+    "BatchReport",
+    "CachedResult",
+    "DEFAULT_MAX_ATTEMPTS",
+    "JOB_STATES",
+    "Job",
+    "JobStore",
+    "JobStoreError",
+    "ResolvedProblem",
+    "ResultCache",
+    "ServiceError",
+    "job_problem_key",
+    "resolve_problem",
+    "resolve_problem_text",
+    "run_batch",
+]

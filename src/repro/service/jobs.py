@@ -1,0 +1,301 @@
+"""Crash-safe job store: an append-only JSON-lines state log.
+
+A queue directory holds one ``jobs.jsonl`` file.  Every state change
+appends the *full* job record as one JSON line, so the store is a
+replayable event log: loading folds the lines left to right and the
+last record per job id wins.  That makes persistence crash-safe by
+construction --
+
+* a crash mid-append leaves at most one truncated *final* line, which
+  loading tolerates (the previous record for that job still stands);
+* a job that was ``running`` when the process died is reset to
+  ``pending`` on the next open (:meth:`JobStore.recover`), so an
+  interrupted queue resumes exactly where it stopped;
+* malformed *non-final* lines mean real corruption and raise
+  :class:`JobStoreError`.
+
+States: ``pending -> running -> done | failed``; a failing job returns
+to ``pending`` until its attempt count reaches ``max_attempts``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import time
+from dataclasses import asdict, dataclass, field, fields, replace
+from pathlib import Path
+from typing import Iterable, Mapping
+
+from ..core.model import PRDesign
+from ..flow.xmlio import design_to_xml
+
+#: The legal job states, in lifecycle order.
+JOB_STATES = ("pending", "running", "done", "failed")
+
+#: Default cap on per-job execution attempts (1 initial + 1 retry).
+DEFAULT_MAX_ATTEMPTS = 2
+
+JOBS_FILENAME = "jobs.jsonl"
+
+
+class JobStoreError(ValueError):
+    """Raised for corrupt job logs or illegal state transitions."""
+
+
+@dataclass(frozen=True)
+class Job:
+    """One partitioning request plus its lifecycle state.
+
+    The *spec* half (``design_xml``, ``device``, ``max_candidate_sets``)
+    defines the problem; ``spec_digest`` fingerprints it for duplicate
+    detection at submit time (distinct from the result-cache key, which
+    canonicalises much more aggressively).  The *state* half tracks
+    execution: attempts consumed, the failure traceback, the result
+    cache key and whether it was served from cache.
+    """
+
+    id: str
+    name: str
+    design_xml: str
+    device: str | None = None
+    max_candidate_sets: int | None = None
+    spec_digest: str = ""
+    state: str = "pending"
+    attempts: int = 0
+    max_attempts: int = DEFAULT_MAX_ATTEMPTS
+    error: str | None = None
+    result_key: str | None = None
+    cache_hit: bool = False
+    compute_s: float | None = None
+    submitted_at: float = 0.0
+    updated_at: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.state not in JOB_STATES:
+            raise JobStoreError(f"unknown job state {self.state!r}")
+        if self.max_attempts < 1:
+            raise JobStoreError("max_attempts must be at least 1")
+
+    @property
+    def exhausted(self) -> bool:
+        """True when no execution attempts remain."""
+        return self.attempts >= self.max_attempts
+
+
+def _spec_digest(
+    design_xml: str, device: str | None, max_candidate_sets: int | None
+) -> str:
+    payload = json.dumps(
+        {"xml": design_xml, "device": device, "sets": max_candidate_sets},
+        sort_keys=True,
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+
+
+class JobStore:
+    """The JSON-lines job store for one queue directory."""
+
+    def __init__(self, directory: str | Path):
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.path = self.directory / JOBS_FILENAME
+        self._jobs: dict[str, Job] = {}
+        self._order: list[str] = []
+        self._load()
+
+    @classmethod
+    def open(cls, directory: str | Path) -> "JobStore":
+        """Load a queue and recover interrupted (``running``) jobs."""
+        store = cls(directory)
+        store.recover()
+        return store
+
+    # ------------------------------------------------------------------
+    # log replay
+    # ------------------------------------------------------------------
+    def _load(self) -> None:
+        if not self.path.exists():
+            return
+        known = {f.name for f in fields(Job)}
+        lines = self.path.read_text(encoding="utf-8").split("\n")
+        # Drop the trailing empty fragment of a cleanly terminated log.
+        if lines and not lines[-1]:
+            lines.pop()
+        for i, line in enumerate(lines):
+            try:
+                raw = json.loads(line)
+            except json.JSONDecodeError as exc:
+                if i == len(lines) - 1:
+                    # Torn final append from a crash: the previous record
+                    # for that job stands; the fragment is dropped.
+                    break
+                raise JobStoreError(
+                    f"{self.path}:{i + 1}: corrupt job record: {exc}"
+                ) from exc
+            if not isinstance(raw, Mapping):
+                raise JobStoreError(
+                    f"{self.path}:{i + 1}: job record must be an object"
+                )
+            try:
+                job = Job(**{k: v for k, v in raw.items() if k in known})
+            except (TypeError, JobStoreError) as exc:
+                raise JobStoreError(
+                    f"{self.path}:{i + 1}: invalid job record: {exc}"
+                ) from exc
+            self._remember(job)
+
+    def _remember(self, job: Job) -> None:
+        if job.id not in self._jobs:
+            self._order.append(job.id)
+        self._jobs[job.id] = job
+
+    def _append(self, job: Job) -> Job:
+        job = replace(job, updated_at=time.time())
+        with self.path.open("a", encoding="utf-8") as fh:
+            fh.write(json.dumps(asdict(job), sort_keys=True) + "\n")
+            fh.flush()
+        self._remember(job)
+        return job
+
+    # ------------------------------------------------------------------
+    # submission
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        name: str,
+        design_xml: str,
+        device: str | None = None,
+        max_candidate_sets: int | None = None,
+        max_attempts: int = DEFAULT_MAX_ATTEMPTS,
+        dedupe: bool = True,
+    ) -> Job:
+        """Enqueue one job; identical specs dedupe by default."""
+        digest = _spec_digest(design_xml, device, max_candidate_sets)
+        if dedupe:
+            for existing in self.jobs():
+                if existing.spec_digest == digest:
+                    return existing
+        job = Job(
+            id=f"job-{len(self._order):05d}-{digest[:8]}",
+            name=name,
+            design_xml=design_xml,
+            device=device,
+            max_candidate_sets=max_candidate_sets,
+            spec_digest=digest,
+            max_attempts=max_attempts,
+            submitted_at=time.time(),
+        )
+        return self._append(job)
+
+    def submit_design(
+        self,
+        design: PRDesign,
+        device: str | None = None,
+        **kwargs,
+    ) -> Job:
+        """Convenience: serialise a :class:`PRDesign` and submit it."""
+        return self.submit(
+            name=design.name,
+            design_xml=design_to_xml(design, device_name=device),
+            device=device,
+            **kwargs,
+        )
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def jobs(self) -> list[Job]:
+        """All jobs in submission order."""
+        return [self._jobs[i] for i in self._order]
+
+    def get(self, job_id: str) -> Job:
+        try:
+            return self._jobs[job_id]
+        except KeyError:
+            raise JobStoreError(f"unknown job {job_id!r}") from None
+
+    def pending(self) -> list[Job]:
+        return [j for j in self.jobs() if j.state == "pending"]
+
+    def counts(self) -> dict[str, int]:
+        """Jobs per state, every state present (zero included)."""
+        out = {state: 0 for state in JOB_STATES}
+        for job in self.jobs():
+            out[job.state] += 1
+        return out
+
+    # ------------------------------------------------------------------
+    # transitions
+    # ------------------------------------------------------------------
+    def _transition(self, job_id: str, allowed: Iterable[str], **changes) -> Job:
+        job = self.get(job_id)
+        if job.state not in allowed:
+            raise JobStoreError(
+                f"job {job_id} is {job.state!r}, expected one of "
+                f"{sorted(allowed)}"
+            )
+        return self._append(replace(job, **changes))
+
+    def mark_running(self, job_id: str) -> Job:
+        """Claim a pending job; consumes one attempt."""
+        job = self.get(job_id)
+        return self._transition(
+            job_id, ("pending",), state="running", attempts=job.attempts + 1
+        )
+
+    def mark_done(
+        self,
+        job_id: str,
+        result_key: str,
+        cache_hit: bool = False,
+        compute_s: float | None = None,
+    ) -> Job:
+        """Finish a job, recording the cache key holding its result.
+
+        Cache hits complete straight from ``pending`` (no worker ever
+        claimed them); computed results complete from ``running``.
+        """
+        return self._transition(
+            job_id,
+            ("pending", "running"),
+            state="done",
+            result_key=result_key,
+            cache_hit=cache_hit,
+            compute_s=compute_s,
+            error=None,
+        )
+
+    def mark_failed(self, job_id: str, error: str) -> Job:
+        """Record a failed attempt: re-queue, or fail once exhausted."""
+        job = self.get(job_id)
+        state = "failed" if job.exhausted else "pending"
+        return self._transition(
+            job_id, ("running", "pending"), state=state, error=error
+        )
+
+    def recover(self) -> list[Job]:
+        """Reset jobs stranded ``running`` by a crash back to ``pending``.
+
+        The interrupted attempt stays counted, so a job that keeps
+        crashing the worker still exhausts ``max_attempts`` eventually
+        (it fails outright once no attempts remain).
+        """
+        recovered = []
+        for job in self.jobs():
+            if job.state != "running":
+                continue
+            if job.exhausted:
+                recovered.append(
+                    self._transition(
+                        job.id,
+                        ("running",),
+                        state="failed",
+                        error=job.error or "interrupted (queue crashed)",
+                    )
+                )
+            else:
+                recovered.append(
+                    self._transition(job.id, ("running",), state="pending")
+                )
+        return recovered

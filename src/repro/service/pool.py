@@ -1,0 +1,339 @@
+"""Multiprocessing batch runner: fan pending jobs out across cores.
+
+``run_batch`` drains a :class:`~repro.service.jobs.JobStore`:
+
+1. every pending job's :func:`repro.core.problem_key` is computed in the
+   parent (cheap: one XML parse + one SHA-256) and looked up in the
+   :class:`~repro.service.cache.ResultCache` -- hits complete
+   immediately, **without dispatching a worker or re-running any search
+   stage**;
+2. misses are executed -- inline for ``workers=1``, else on a
+   ``ProcessPoolExecutor`` -- and their results written to the cache by
+   the worker (atomic, content-addressed, so racing duplicates are
+   harmless);
+3. a worker exception never poisons the batch: the traceback travels
+   back as data, the job re-queues until its attempt cap, then lands in
+   ``failed`` while every other job keeps flowing.
+
+Progress streams through the :mod:`repro.obs` tracer (``batch.*``
+events, ``service.*`` counters -- see docs/OBSERVABILITY.md) and the
+run aggregates into a :class:`BatchReport` (throughput, cache hit rate,
+worker utilisation).
+"""
+
+from __future__ import annotations
+
+import time
+import traceback
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..arch.library import DeviceLibrary
+from ..core.fingerprint import problem_key
+from ..core.partitioner import (
+    PartitionerOptions,
+    PartitionResult,
+    partition,
+    partition_with_device_selection,
+)
+from ..obs import NULL_TRACER, Tracer
+from .cache import ResultCache
+from .jobs import Job, JobStore
+from .problem import ResolvedProblem, resolve_problem_text
+
+
+class ServiceError(RuntimeError):
+    """Raised for batch-service misuse (not for per-job failures)."""
+
+
+def _job_options(job_or_sets: Job | int | None) -> PartitionerOptions:
+    sets = (
+        job_or_sets.max_candidate_sets
+        if isinstance(job_or_sets, Job)
+        else job_or_sets
+    )
+    return PartitionerOptions(max_candidate_sets=sets)
+
+
+def job_problem_key(job: Job, library: DeviceLibrary | None = None) -> str:
+    """The content-address of a job's problem.
+
+    Fixed-device jobs hash (design, budget, options, device name);
+    auto-select jobs have no budget until a device is chosen, so they
+    hash (design, options) plus the library's device ladder -- the
+    selection protocol is deterministic given those.
+    """
+    problem = resolve_problem_text(job.design_xml, job.device, library)
+    options = _job_options(job)
+    if problem.device is not None:
+        assert problem.capacity is not None
+        return problem_key(
+            problem.design,
+            problem.capacity,
+            options,
+            extra={"device": problem.device.name},
+        )
+    return problem_key(
+        problem.design,
+        None,
+        options,
+        extra={"device": None, "library": list(problem.library.names)},
+    )
+
+
+def _compute(problem: ResolvedProblem, options: PartitionerOptions) -> tuple[
+    PartitionResult, str
+]:
+    """Run the partitioner for a resolved problem; returns (result, device)."""
+    if problem.device is not None:
+        assert problem.capacity is not None
+        return partition(problem.design, problem.capacity, options), (
+            problem.device.name
+        )
+    selected = partition_with_device_selection(
+        problem.design, problem.library, options
+    )
+    return selected.result, selected.device.name
+
+
+def execute_job_payload(payload: dict[str, Any]) -> dict[str, Any]:
+    """Worker entry point: run one job, write the cache, report as data.
+
+    Must stay a module-level function (it is pickled to pool workers)
+    and must never raise -- exceptions become ``ok=False`` payloads so
+    one bad job cannot take down the pool.
+    """
+    started = time.perf_counter()
+    try:
+        problem = resolve_problem_text(
+            payload["design_xml"], payload["device"], payload.get("library")
+        )
+        options = _job_options(payload["max_candidate_sets"])
+        result, device_name = _compute(problem, options)
+        compute_s = time.perf_counter() - started
+        ResultCache(payload["cache_root"]).put(
+            payload["key"],
+            result,
+            device_name=device_name,
+            compute_s=compute_s,
+        )
+        return {
+            "job_id": payload["job_id"],
+            "ok": True,
+            "key": payload["key"],
+            "device": device_name,
+            "total_frames": result.total_frames,
+            "compute_s": compute_s,
+        }
+    except BaseException:
+        return {
+            "job_id": payload["job_id"],
+            "ok": False,
+            "error": traceback.format_exc(),
+            "compute_s": time.perf_counter() - started,
+        }
+
+
+@dataclass
+class BatchReport:
+    """Aggregate outcome and throughput metrics of one ``run_batch``."""
+
+    total: int
+    done: int
+    failed: int
+    cache_hits: int
+    computed: int
+    retries: int
+    workers: int
+    duration_s: float
+    busy_s: float
+    failed_ids: tuple[str, ...] = ()
+    results: dict[str, str] = field(default_factory=dict)  # job id -> key
+
+    @property
+    def jobs_per_s(self) -> float:
+        return self.total / self.duration_s if self.duration_s > 0 else 0.0
+
+    @property
+    def cache_hit_rate(self) -> float:
+        return self.cache_hits / self.total if self.total else 0.0
+
+    @property
+    def worker_utilisation(self) -> float:
+        """Summed worker compute time over the pool's wall-time budget."""
+        budget = self.duration_s * self.workers
+        return min(1.0, self.busy_s / budget) if budget > 0 else 0.0
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "total": self.total,
+            "done": self.done,
+            "failed": self.failed,
+            "cache_hits": self.cache_hits,
+            "computed": self.computed,
+            "retries": self.retries,
+            "workers": self.workers,
+            "duration_s": self.duration_s,
+            "busy_s": self.busy_s,
+            "jobs_per_s": self.jobs_per_s,
+            "cache_hit_rate": self.cache_hit_rate,
+            "worker_utilisation": self.worker_utilisation,
+            "failed_ids": list(self.failed_ids),
+        }
+
+
+def run_batch(
+    store: JobStore,
+    cache: ResultCache,
+    workers: int = 1,
+    library: DeviceLibrary | None = None,
+    tracer: Tracer | None = None,
+) -> BatchReport:
+    """Drain every pending job in ``store`` through ``cache`` + pool."""
+    if workers < 1:
+        raise ServiceError("workers must be at least 1")
+    tracer = tracer or NULL_TRACER
+    started = time.perf_counter()
+    hits = computed = failed = retries = 0
+    busy_s = 0.0
+    failed_ids: list[Job] = []
+    results: dict[str, str] = {}
+    initial = len(store.pending())
+
+    with tracer.span("batch_run", workers=workers, pending=initial):
+        # Phase 1: serve every job already answered by the cache.  A job
+        # whose spec cannot even be keyed (unparseable XML, unknown
+        # device) fails terminally here -- the failure is deterministic
+        # before any worker could run, so retrying it is pointless.
+        misses: list[tuple[Job, str]] = []
+        for job in store.pending():
+            try:
+                key = job_problem_key(job, library)
+            except Exception:
+                error = traceback.format_exc()
+                while True:
+                    store.mark_running(job.id)
+                    job = store.mark_failed(job.id, error)
+                    if job.state == "failed":
+                        break
+                failed += 1
+                failed_ids.append(job)
+                if tracer.enabled:
+                    tracer.progress(
+                        "batch.job_failed", job=job.id, attempts=job.attempts
+                    )
+                continue
+            if cache.lookup(key) is not None:
+                store.mark_done(job.id, key, cache_hit=True)
+                results[job.id] = key
+                hits += 1
+                if tracer.enabled:
+                    tracer.progress("batch.job_cached", job=job.id, key=key)
+            else:
+                misses.append((job, key))
+        tracer.count("service.cache_hits", hits)
+        tracer.count("service.cache_misses", len(misses))
+
+        # Phase 2: compute the misses, re-queueing failures until their
+        # attempt caps.  The queue is drained to empty, so retries of an
+        # early failure overlap the first attempts of later jobs.
+        def handle(outcome: dict[str, Any]) -> None:
+            nonlocal computed, failed, retries, busy_s
+            busy_s += outcome.get("compute_s") or 0.0
+            job_id = outcome["job_id"]
+            if outcome["ok"]:
+                store.mark_done(
+                    job_id,
+                    outcome["key"],
+                    cache_hit=False,
+                    compute_s=outcome["compute_s"],
+                )
+                results[job_id] = outcome["key"]
+                computed += 1
+                if tracer.enabled:
+                    tracer.progress(
+                        "batch.job_done",
+                        job=job_id,
+                        key=outcome["key"],
+                        total_frames=outcome["total_frames"],
+                        compute_s=outcome["compute_s"],
+                    )
+                return
+            job = store.mark_failed(job_id, outcome["error"])
+            if job.state == "failed":
+                failed += 1
+                failed_ids.append(job)
+                if tracer.enabled:
+                    tracer.progress(
+                        "batch.job_failed", job=job_id, attempts=job.attempts
+                    )
+            else:
+                retries += 1
+                queue.append((job, key_of[job_id]))
+                if tracer.enabled:
+                    tracer.progress(
+                        "batch.job_retried", job=job_id, attempts=job.attempts
+                    )
+
+        key_of = {job.id: key for job, key in misses}
+        queue: list[tuple[Job, str]] = list(misses)
+
+        def payload_for(job: Job, key: str) -> dict[str, Any]:
+            store.mark_running(job.id)
+            if tracer.enabled:
+                tracer.progress("batch.job_started", job=job.id, key=key)
+            return {
+                "job_id": job.id,
+                "design_xml": job.design_xml,
+                "device": job.device,
+                "max_candidate_sets": job.max_candidate_sets,
+                "cache_root": str(cache.root),
+                "key": key,
+                "library": library,
+            }
+
+        if workers == 1:
+            while queue:
+                job, key = queue.pop(0)
+                handle(execute_job_payload(payload_for(job, key)))
+        else:
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                in_flight = set()
+                while queue or in_flight:
+                    while queue and len(in_flight) < 2 * workers:
+                        job, key = queue.pop(0)
+                        in_flight.add(
+                            pool.submit(
+                                execute_job_payload, payload_for(job, key)
+                            )
+                        )
+                    finished, in_flight = wait(
+                        in_flight, return_when=FIRST_COMPLETED
+                    )
+                    for future in finished:
+                        handle(future.result())
+
+        duration = time.perf_counter() - started
+        tracer.count("service.jobs_done", hits + computed)
+        tracer.count("service.jobs_failed", failed)
+        tracer.count("service.job_retries", retries)
+        tracer.gauge("service.jobs_per_s", (hits + computed + failed) / duration if duration else 0.0)
+        tracer.gauge(
+            "service.cache_hit_rate",
+            hits / initial if initial else 0.0,
+        )
+
+    return BatchReport(
+        total=initial,
+        done=hits + computed,
+        failed=failed,
+        cache_hits=hits,
+        computed=computed,
+        retries=retries,
+        workers=workers,
+        duration_s=duration,
+        busy_s=busy_s,
+        failed_ids=tuple(j.id for j in failed_ids),
+        results=results,
+    )

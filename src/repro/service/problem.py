@@ -1,0 +1,83 @@
+"""One resolution path from a design description to a concrete problem.
+
+The ``partition``/``pareto`` CLI handlers and every batch worker share
+the same preamble: parse the XML, build the design model, resolve the
+target device (explicit flag, XML ``device`` attribute, or auto-select)
+and derive the PR budget (XML ``budget`` override or the device's usable
+capacity net of the static reservation).  :func:`resolve_problem`
+implements it once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from pathlib import Path
+
+from ..arch.device import Device
+from ..arch.library import DeviceLibrary, virtex5_full
+from ..arch.resources import ResourceVector
+from ..core.model import PRDesign
+from ..core.partitioner import select_device
+from ..flow.xmlio import DesignDocument, load_design, parse_design
+
+
+@dataclass(frozen=True)
+class ResolvedProblem:
+    """A parsed design plus its resolved device/budget.
+
+    ``device`` is ``None`` when neither the caller nor the XML named
+    one -- the caller then either runs the Sec. V device-selection
+    protocol or calls :meth:`with_selected_device` for a smallest-fit
+    device up front.  ``capacity`` is ``None`` exactly when ``device``
+    is.
+    """
+
+    doc: DesignDocument
+    design: PRDesign
+    library: DeviceLibrary
+    device: Device | None
+    capacity: ResourceVector | None
+
+    @property
+    def auto_device(self) -> bool:
+        """True when no device was named and selection is downstream."""
+        return self.device is None
+
+    def with_selected_device(self) -> "ResolvedProblem":
+        """Resolve ``device=None`` to the smallest fitting library device."""
+        if self.device is not None:
+            return self
+        device = select_device(self.design, self.library)
+        return replace(
+            self,
+            device=device,
+            capacity=device.usable_capacity(self.design.static_resources),
+        )
+
+
+def resolve_problem_text(
+    text: str,
+    device_name: str | None = None,
+    library: DeviceLibrary | None = None,
+) -> ResolvedProblem:
+    """Resolve a problem from XML *text* (the batch-worker entry point)."""
+    library = library or virtex5_full()
+    doc = parse_design(text)
+    design = doc.design
+    name = device_name or doc.device_name
+    if name:
+        device = library.get(name)
+        capacity = doc.budget or device.usable_capacity(design.static_resources)
+        return ResolvedProblem(doc, design, library, device, capacity)
+    return ResolvedProblem(doc, design, library, None, None)
+
+
+def resolve_problem(
+    path: str | Path,
+    device_name: str | None = None,
+    library: DeviceLibrary | None = None,
+) -> ResolvedProblem:
+    """Resolve a problem from a design XML *file* (the CLI entry point)."""
+    return resolve_problem_text(
+        Path(path).read_text(encoding="utf-8"), device_name, library
+    )

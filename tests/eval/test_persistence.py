@@ -84,3 +84,82 @@ class TestCsvExports:
         # Counts per panel sum to the profile size.
         total_a = sum(int(r["count"]) for r in rows if r["panel"] == "a")
         assert total_a == sweep.profiles()["a"].n
+
+
+class TestMalformedInput:
+    """Truncated or non-JSON input must fail as PersistenceError.
+
+    Regression guard: these used to escape as bare ``KeyError`` /
+    ``json.JSONDecodeError`` from deep inside the decoder.
+    """
+
+    def test_truncated_json_raises_persistence_error(self, sweep, tmp_path):
+        path = tmp_path / "sweep.json"
+        save_sweep(sweep, path)
+        text = path.read_text(encoding="utf-8")
+        path.write_text(text[: len(text) // 2], encoding="utf-8")
+        with pytest.raises(PersistenceError, match="invalid JSON"):
+            load_sweep(path)
+
+    def test_non_object_document_rejected(self):
+        with pytest.raises(PersistenceError, match="JSON object"):
+            sweep_from_json("[1, 2, 3]")
+        with pytest.raises(PersistenceError, match="JSON object"):
+            sweep_from_json('"just a string"')
+
+    def test_non_object_record_rejected(self, sweep):
+        import json
+
+        doc = json.loads(sweep_to_json(sweep))
+        doc["records"][0] = "not-a-record"
+        with pytest.raises(PersistenceError, match="record"):
+            sweep_from_json(json.dumps(doc))
+
+    def test_bad_metadata_types_rejected(self, sweep):
+        import json
+
+        doc = json.loads(sweep_to_json(sweep))
+        doc["seed"] = "not-an-int"
+        with pytest.raises(PersistenceError, match="metadata"):
+            sweep_from_json(json.dumps(doc))
+
+    def test_missing_records_key_rejected(self, sweep):
+        import json
+
+        doc = json.loads(sweep_to_json(sweep))
+        del doc["records"]
+        with pytest.raises(PersistenceError, match="records"):
+            sweep_from_json(json.dumps(doc))
+
+
+class TestSchemeRoundTrip:
+    def test_result_round_trips_through_dicts(self, tiny_design):
+        from repro.arch import ResourceVector
+        from repro.core import partition
+        from repro.eval.persistence import result_from_dict, result_to_dict
+
+        result = partition(tiny_design, ResourceVector(500, 8, 8))
+        doc = result_to_dict(result)
+        back = result_from_dict(doc, tiny_design)
+        assert back.total_frames == result.total_frames
+        assert len(back.scheme.regions) == len(result.scheme.regions)
+        assert [r.name for r in back.scheme.regions] == [
+            r.name for r in result.scheme.regions
+        ]
+
+    def test_scheme_from_dict_rejects_unknown_modes(self, tiny_design):
+        from repro.arch import ResourceVector
+        from repro.core import partition
+        from repro.eval.persistence import scheme_from_dict, scheme_to_dict
+
+        result = partition(tiny_design, ResourceVector(500, 8, 8))
+        doc = scheme_to_dict(result.scheme)
+        doc["regions"][0]["partitions"][0]["modes"] = ["NoSuchMode"]
+        with pytest.raises(PersistenceError):
+            scheme_from_dict(doc, tiny_design)
+
+    def test_scheme_from_dict_rejects_non_object(self, tiny_design):
+        from repro.eval.persistence import scheme_from_dict
+
+        with pytest.raises(PersistenceError):
+            scheme_from_dict("nope", tiny_design)

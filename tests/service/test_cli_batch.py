@@ -1,0 +1,134 @@
+"""The ``batch`` CLI: submit, run, status through ``main(argv)``."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+from repro.flow.xmlio import save_design
+from repro.service import JobStore, ResultCache
+
+
+@pytest.fixture
+def design_file(tmp_path, tiny_design):
+    path = tmp_path / "design.xml"
+    save_design(tiny_design, path)
+    return str(path)
+
+
+@pytest.fixture
+def queue_dir(tmp_path):
+    return str(tmp_path / "queue")
+
+
+class TestSubmit:
+    def test_submit_design_file(self, queue_dir, design_file, capsys):
+        rc = main(["batch", "submit", "--queue", queue_dir, design_file,
+                   "--device", "LX30"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "pending" in out
+        assert "1 pending / 1 total" in out
+        store = JobStore(queue_dir)
+        assert len(store.jobs()) == 1
+        assert store.jobs()[0].device == "LX30"
+
+    def test_submit_synthetic_population(self, queue_dir, capsys):
+        rc = main(["batch", "submit", "--queue", queue_dir,
+                   "--synthetic", "5", "--seed", "11"])
+        assert rc == 0
+        assert "5 pending / 5 total" in capsys.readouterr().out
+
+    def test_resubmitting_dedupes(self, queue_dir, design_file, capsys):
+        main(["batch", "submit", "--queue", queue_dir, design_file])
+        rc = main(["batch", "submit", "--queue", queue_dir, design_file])
+        assert rc == 0
+        assert "1 pending / 1 total" in capsys.readouterr().out
+
+    def test_nothing_to_submit_errors(self, queue_dir, capsys):
+        rc = main(["batch", "submit", "--queue", queue_dir])
+        assert rc == 1
+        assert "nothing to submit" in capsys.readouterr().err
+
+
+class TestRun:
+    def test_run_completes_submitted_jobs(self, queue_dir, design_file, capsys):
+        main(["batch", "submit", "--queue", queue_dir, design_file,
+              "--device", "LX30"])
+        rc = main(["batch", "run", "--queue", queue_dir, "--workers", "1"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "jobs" in out
+        assert "cache hit rate" in out
+        store = JobStore(queue_dir)
+        assert store.counts()["done"] == 1
+
+    def test_second_run_is_all_cache_hits(self, tmp_path, design_file, capsys):
+        q1, q2 = str(tmp_path / "q1"), str(tmp_path / "q2")
+        cache = str(tmp_path / "cache")
+        main(["batch", "submit", "--queue", q1, design_file, "--device", "LX30"])
+        main(["batch", "run", "--queue", q1, "--cache", cache])
+        capsys.readouterr()
+        main(["batch", "submit", "--queue", q2, design_file, "--device", "LX30"])
+        rc = main(["batch", "run", "--queue", q2, "--cache", cache])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "cache hit rate" in out
+        assert "100.0%" in out
+
+    def test_failed_jobs_set_exit_code(self, queue_dir, tmp_path, capsys):
+        bad = tmp_path / "bad.xml"
+        bad.write_text("<not-a-design>", encoding="utf-8")
+        store = JobStore(queue_dir)
+        store.submit(name="poison", design_xml=bad.read_text(encoding="utf-8"))
+        rc = main(["batch", "run", "--queue", queue_dir])
+        assert rc == 3
+        assert "failed jobs" in capsys.readouterr().err
+
+    def test_progress_streams_events(self, queue_dir, design_file, capsys):
+        main(["batch", "submit", "--queue", queue_dir, design_file,
+              "--device", "LX30"])
+        rc = main(["batch", "run", "--queue", queue_dir, "--progress"])
+        assert rc == 0
+        err = capsys.readouterr().err
+        assert "batch.job_started" in err
+        assert "batch.job_done" in err
+
+
+class TestStatus:
+    def test_status_lists_jobs_and_counts(self, queue_dir, design_file, capsys):
+        main(["batch", "submit", "--queue", queue_dir, design_file,
+              "--device", "LX30"])
+        capsys.readouterr()
+        rc = main(["batch", "status", "--queue", queue_dir])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "1 pending" in out
+        assert "cache entries: 0" in out
+
+    def test_status_after_run_shows_done_and_cache(
+        self, queue_dir, design_file, capsys
+    ):
+        main(["batch", "submit", "--queue", queue_dir, design_file,
+              "--device", "LX30"])
+        main(["batch", "run", "--queue", queue_dir])
+        capsys.readouterr()
+        rc = main(["batch", "status", "--queue", queue_dir])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "1 done" in out
+        assert "cache entries: 1" in out
+
+    def test_errors_flag_prints_tracebacks(self, queue_dir, capsys):
+        store = JobStore(queue_dir)
+        store.submit(name="poison", design_xml="<junk")
+        main(["batch", "run", "--queue", queue_dir])
+        capsys.readouterr()
+        rc = main(["batch", "status", "--queue", queue_dir, "--errors"])
+        assert rc == 0
+        assert "Traceback" in capsys.readouterr().out
+
+    def test_status_on_empty_queue(self, queue_dir, capsys):
+        rc = main(["batch", "status", "--queue", queue_dir])
+        assert rc == 0
+        assert "0 pending" in capsys.readouterr().out

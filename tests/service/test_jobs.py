@@ -1,0 +1,194 @@
+"""JobStore: lifecycle, persistence, crash recovery, corruption."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.service.jobs import (
+    DEFAULT_MAX_ATTEMPTS,
+    JOB_STATES,
+    Job,
+    JobStore,
+    JobStoreError,
+)
+
+
+@pytest.fixture
+def store(tmp_path):
+    return JobStore(tmp_path / "queue")
+
+
+def submit_one(store, name="j", xml="<x/>", **kwargs):
+    return store.submit(name=name, design_xml=xml, **kwargs)
+
+
+class TestSubmit:
+    def test_submit_creates_pending_job(self, store):
+        job = submit_one(store)
+        assert job.state == "pending"
+        assert job.attempts == 0
+        assert job.max_attempts == DEFAULT_MAX_ATTEMPTS
+        assert store.pending() == [job]
+
+    def test_ids_are_unique_and_ordered(self, store):
+        a = submit_one(store, xml="<a/>")
+        b = submit_one(store, xml="<b/>")
+        assert a.id != b.id
+        assert [j.id for j in store.jobs()] == [a.id, b.id]
+
+    def test_identical_specs_dedupe(self, store):
+        a = submit_one(store)
+        b = submit_one(store, name="other-label")
+        assert a.id == b.id
+        assert len(store.jobs()) == 1
+
+    def test_dedupe_can_be_disabled(self, store):
+        a = submit_one(store)
+        b = submit_one(store, dedupe=False)
+        assert a.id != b.id
+
+    def test_different_device_is_a_different_spec(self, store):
+        a = submit_one(store)
+        b = submit_one(store, device="LX30")
+        assert a.id != b.id
+
+    def test_submit_design_round_trips(self, store, tiny_design):
+        job = store.submit_design(tiny_design, device="LX30")
+        from repro.flow.xmlio import parse_design
+
+        parsed = parse_design(job.design_xml)
+        assert parsed.design.name == tiny_design.name
+        assert job.device == "LX30"
+
+
+class TestTransitions:
+    def test_full_success_lifecycle(self, store):
+        job = submit_one(store)
+        job = store.mark_running(job.id)
+        assert job.state == "running"
+        assert job.attempts == 1
+        job = store.mark_done(job.id, "deadbeef" * 8, compute_s=0.5)
+        assert job.state == "done"
+        assert job.result_key == "deadbeef" * 8
+        assert not job.cache_hit
+
+    def test_cache_hit_completes_from_pending(self, store):
+        job = submit_one(store)
+        job = store.mark_done(job.id, "k" * 64, cache_hit=True)
+        assert job.state == "done"
+        assert job.cache_hit
+        assert job.attempts == 0  # no worker ever claimed it
+
+    def test_failure_requeues_until_exhausted(self, store):
+        job = submit_one(store, max_attempts=2)
+        job = store.mark_running(job.id)
+        job = store.mark_failed(job.id, "boom 1")
+        assert job.state == "pending"  # one attempt left
+        assert job.error == "boom 1"
+        job = store.mark_running(job.id)
+        job = store.mark_failed(job.id, "boom 2")
+        assert job.state == "failed"
+        assert job.attempts == 2
+        assert job.error == "boom 2"
+
+    def test_done_clears_stale_error(self, store):
+        job = submit_one(store)
+        store.mark_running(job.id)
+        store.mark_failed(job.id, "flaky")
+        store.mark_running(job.id)
+        job = store.mark_done(job.id, "k" * 64)
+        assert job.error is None
+
+    def test_illegal_transitions_raise(self, store):
+        job = submit_one(store)
+        store.mark_running(job.id)
+        with pytest.raises(JobStoreError, match="running"):
+            store.mark_running(job.id)
+        store.mark_done(job.id, "k" * 64)
+        with pytest.raises(JobStoreError):
+            store.mark_failed(job.id, "late")
+
+    def test_unknown_job_raises(self, store):
+        with pytest.raises(JobStoreError, match="unknown job"):
+            store.get("job-99999-missing")
+
+    def test_counts_cover_every_state(self, store):
+        assert store.counts() == {s: 0 for s in JOB_STATES}
+        submit_one(store)
+        assert store.counts()["pending"] == 1
+
+
+class TestPersistence:
+    def test_reload_replays_the_log(self, store, tmp_path):
+        job = submit_one(store)
+        store.mark_running(job.id)
+        store.mark_failed(job.id, "boom")
+        reloaded = JobStore(tmp_path / "queue")
+        back = reloaded.get(job.id)
+        assert back.state == "pending"
+        assert back.attempts == 1
+        assert back.error == "boom"
+
+    def test_open_recovers_interrupted_running_jobs(self, store, tmp_path):
+        job = submit_one(store)
+        store.mark_running(job.id)  # crash here: never completed
+        reloaded = JobStore.open(tmp_path / "queue")
+        back = reloaded.get(job.id)
+        assert back.state == "pending"
+        assert back.attempts == 1  # interrupted attempt stays counted
+
+    def test_recover_fails_exhausted_running_jobs(self, store, tmp_path):
+        job = submit_one(store, max_attempts=1)
+        store.mark_running(job.id)
+        reloaded = JobStore.open(tmp_path / "queue")
+        back = reloaded.get(job.id)
+        assert back.state == "failed"
+        assert "interrupted" in back.error
+
+    def test_torn_final_line_is_tolerated(self, store, tmp_path):
+        job = submit_one(store)
+        store.mark_running(job.id)
+        with store.path.open("a", encoding="utf-8") as fh:
+            fh.write('{"id": "job-trunc')  # crash mid-append
+        reloaded = JobStore.open(tmp_path / "queue")
+        assert reloaded.get(job.id).state == "pending"
+
+    def test_corrupt_interior_line_raises(self, store, tmp_path):
+        submit_one(store)
+        text = store.path.read_text(encoding="utf-8")
+        store.path.write_text("not json\n" + text, encoding="utf-8")
+        with pytest.raises(JobStoreError, match="corrupt"):
+            JobStore(tmp_path / "queue")
+
+    def test_non_object_record_raises(self, store):
+        submit_one(store)
+        with store.path.open("a", encoding="utf-8") as fh:
+            fh.write("[1, 2]\n")
+            fh.write(json.dumps({"id": "x"}) + "\n")  # not the final line
+        with pytest.raises(JobStoreError, match="must be an object"):
+            JobStore(store.directory)
+
+    def test_invalid_state_in_log_raises(self, store):
+        record = json.dumps({"id": "j1", "name": "n", "design_xml": "<x/>",
+                             "state": "exploded"})
+        with store.path.open("a", encoding="utf-8") as fh:
+            fh.write(record + "\n" + record + "\n")
+        with pytest.raises(JobStoreError, match="invalid job record"):
+            JobStore(store.directory)
+
+
+class TestJobValidation:
+    def test_unknown_state_rejected(self):
+        with pytest.raises(JobStoreError):
+            Job(id="j", name="n", design_xml="<x/>", state="nope")
+
+    def test_max_attempts_must_be_positive(self):
+        with pytest.raises(JobStoreError):
+            Job(id="j", name="n", design_xml="<x/>", max_attempts=0)
+
+    def test_exhausted_property(self):
+        job = Job(id="j", name="n", design_xml="<x/>", attempts=2,
+                  max_attempts=2)
+        assert job.exhausted

@@ -55,7 +55,14 @@ class TestDocsMentionRealSymbols:
 
     @pytest.mark.parametrize(
         "doc",
-        ["ALGORITHM.md", "API.md", "FAQ.md", "OBSERVABILITY.md", "REPRODUCING.md"],
+        [
+            "ALGORITHM.md",
+            "API.md",
+            "FAQ.md",
+            "OBSERVABILITY.md",
+            "REPRODUCING.md",
+            "SERVICE.md",
+        ],
     )
     def test_module_references_resolve(self, doc):
         import importlib

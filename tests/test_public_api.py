@@ -20,6 +20,7 @@ PACKAGES = [
     "repro.synth",
     "repro.eval",
     "repro.obs",
+    "repro.service",
     "repro.util",
 ]
 
