@@ -236,6 +236,7 @@ def _cmd_batch_submit(args: argparse.Namespace) -> int:
                 ),
                 device=args.device,
                 max_candidate_sets=args.max_candidate_sets,
+                dedupe=not args.no_dedupe,
             )
         )
     if args.synthetic:
@@ -245,6 +246,7 @@ def _cmd_batch_submit(args: argparse.Namespace) -> int:
                     design,
                     device=args.device,
                     max_candidate_sets=args.max_candidate_sets,
+                    dedupe=not args.no_dedupe,
                 )
             )
     if not submitted:
@@ -410,6 +412,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--max-candidate-sets", type=int,
         help="cap the covering loop per job (part of the cache key)",
+    )
+    p.add_argument(
+        "--no-dedupe", action="store_true",
+        help="enqueue even if an identical spec is already queued",
     )
     p.set_defaults(func=_cmd_batch_submit)
 

@@ -118,6 +118,36 @@ class ResultCache:
             self.misses += 1
             return None
 
+    def probe(self, key: str) -> bool:
+        """Cheap hit test: is there a plausibly valid entry for ``key``?
+
+        Validates only the JSON envelope (format/version/key header and
+        payload presence), skipping the expensive part of :meth:`lookup`
+        -- the design XML re-parse and scheme/result rebuild.  Use it
+        when only hit/miss matters, not the result itself.  Corrupt or
+        missing entries count as misses, mirroring ``lookup``; the
+        hits/misses counters are updated the same way.
+        """
+        try:
+            text = self.path_for(key).read_text(encoding="utf-8")
+            doc = json.loads(text)
+        except (OSError, json.JSONDecodeError):
+            self.misses += 1
+            return False
+        ok = (
+            isinstance(doc, Mapping)
+            and doc.get("format") == ENTRY_FORMAT
+            and doc.get("version") == ENTRY_VERSION
+            and doc.get("key") == key
+            and isinstance(doc.get("design_xml"), str)
+            and isinstance(doc.get("result"), Mapping)
+        )
+        if ok:
+            self.hits += 1
+        else:
+            self.misses += 1
+        return ok
+
     def _decode(self, key: str, text: str) -> CachedResult:
         try:
             doc = json.loads(text)

@@ -7,7 +7,8 @@ last record per job id wins.  That makes persistence crash-safe by
 construction --
 
 * a crash mid-append leaves at most one truncated *final* line, which
-  loading tolerates (the previous record for that job still stands);
+  loading truncates away (the previous record for that job still
+  stands, and the next append starts on a fresh line);
 * a job that was ``running`` when the process died is reset to
   ``pending`` on the next open (:meth:`JobStore.recover`), so an
   interrupted queue resumes exactly where it stopped;
@@ -128,7 +129,10 @@ class JobStore:
             except json.JSONDecodeError as exc:
                 if i == len(lines) - 1:
                     # Torn final append from a crash: the previous record
-                    # for that job stands; the fragment is dropped.
+                    # for that job stands.  Truncate the fragment away,
+                    # otherwise the next append would concatenate onto it
+                    # and corrupt the log for every later load.
+                    self._truncate_to(lines[:i])
                     break
                 raise JobStoreError(
                     f"{self.path}:{i + 1}: corrupt job record: {exc}"
@@ -144,6 +148,12 @@ class JobStore:
                     f"{self.path}:{i + 1}: invalid job record: {exc}"
                 ) from exc
             self._remember(job)
+
+    def _truncate_to(self, good_lines: list[str]) -> None:
+        """Cut the log back to its valid prefix (newline-terminated)."""
+        good = "".join(line + "\n" for line in good_lines)
+        with self.path.open("rb+") as fh:
+            fh.truncate(len(good.encode("utf-8")))
 
     def _remember(self, job: Job) -> None:
         if job.id not in self._jobs:
@@ -170,11 +180,16 @@ class JobStore:
         max_attempts: int = DEFAULT_MAX_ATTEMPTS,
         dedupe: bool = True,
     ) -> Job:
-        """Enqueue one job; identical specs dedupe by default."""
+        """Enqueue one job; identical specs dedupe by default.
+
+        ``failed`` jobs are never dedupe targets: resubmitting a spec
+        whose job exhausted its attempts enqueues a fresh job with a
+        fresh attempt budget -- the retry path for a failed job.
+        """
         digest = _spec_digest(design_xml, device, max_candidate_sets)
         if dedupe:
             for existing in self.jobs():
-                if existing.spec_digest == digest:
+                if existing.spec_digest == digest and existing.state != "failed":
                     return existing
         job = Job(
             id=f"job-{len(self._order):05d}-{digest[:8]}",

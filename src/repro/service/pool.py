@@ -3,10 +3,10 @@
 ``run_batch`` drains a :class:`~repro.service.jobs.JobStore`:
 
 1. every pending job's :func:`repro.core.problem_key` is computed in the
-   parent (cheap: one XML parse + one SHA-256) and looked up in the
-   :class:`~repro.service.cache.ResultCache` -- hits complete
-   immediately, **without dispatching a worker or re-running any search
-   stage**;
+   parent (cheap: one XML parse + one SHA-256) and probed in the
+   :class:`~repro.service.cache.ResultCache` (envelope check only, no
+   result deserialisation) -- hits complete immediately, **without
+   dispatching a worker or re-running any search stage**;
 2. misses are executed -- inline for ``workers=1``, else on a
    ``ProcessPoolExecutor`` -- and their results written to the cache by
    the worker (atomic, content-addressed, so racing duplicates are
@@ -101,8 +101,11 @@ def execute_job_payload(payload: dict[str, Any]) -> dict[str, Any]:
     """Worker entry point: run one job, write the cache, report as data.
 
     Must stay a module-level function (it is pickled to pool workers)
-    and must never raise -- exceptions become ``ok=False`` payloads so
-    one bad job cannot take down the pool.
+    and must never let a job failure raise -- exceptions become
+    ``ok=False`` payloads so one bad job cannot take down the pool.
+    Interrupts (``KeyboardInterrupt``/``SystemExit``) still propagate:
+    with ``workers=1`` this runs inline in the parent, and Ctrl-C must
+    stop the batch, not count as a job failure.
     """
     started = time.perf_counter()
     try:
@@ -126,6 +129,8 @@ def execute_job_payload(payload: dict[str, Any]) -> dict[str, Any]:
             "total_frames": result.total_frames,
             "compute_s": compute_s,
         }
+    except (KeyboardInterrupt, SystemExit):
+        raise
     except BaseException:
         return {
             "job_id": payload["job_id"],
@@ -224,7 +229,7 @@ def run_batch(
                         "batch.job_failed", job=job.id, attempts=job.attempts
                     )
                 continue
-            if cache.lookup(key) is not None:
+            if cache.probe(key):
                 store.mark_done(job.id, key, cache_hit=True)
                 results[job.id] = key
                 hits += 1

@@ -90,6 +90,40 @@ class TestRoundTrip:
         assert cache.get(key) is None
 
 
+class TestProbe:
+    def test_probe_hits_valid_entry(self, cache, computed):
+        key, result = computed
+        cache.put(key, result)
+        assert cache.probe(key)
+        assert cache.stats()["hits"] == 1
+
+    def test_probe_misses_absent_entry(self, cache):
+        assert not cache.probe("f" * 64)
+        assert cache.stats()["misses"] == 1
+
+    def test_probe_treats_corruption_as_miss(self, cache, computed):
+        key, result = computed
+        path = cache.put(key, result)
+        path.write_text("{", encoding="utf-8")
+        assert not cache.probe(key)
+
+    def test_probe_rejects_wrong_envelope(self, cache):
+        key = "a" * 64
+        path = cache.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(
+            json.dumps({"format": ENTRY_FORMAT, "version": ENTRY_VERSION,
+                        "key": "b" * 64}),
+            encoding="utf-8",
+        )
+        assert not cache.probe(key)
+
+    def test_probe_agrees_with_lookup_on_real_entries(self, cache, computed):
+        key, result = computed
+        cache.put(key, result)
+        assert cache.probe(key) == (cache.lookup(key) is not None)
+
+
 class TestCorruption:
     def write_doc(self, cache, key, doc):
         path = cache.path_for(key)

@@ -45,6 +45,27 @@ class TestSubmit:
         assert rc == 0
         assert "1 pending / 1 total" in capsys.readouterr().out
 
+    def test_no_dedupe_flag_forces_duplicate(self, queue_dir, design_file,
+                                             capsys):
+        main(["batch", "submit", "--queue", queue_dir, design_file])
+        rc = main(["batch", "submit", "--queue", queue_dir, design_file,
+                   "--no-dedupe"])
+        assert rc == 0
+        assert "2 pending / 2 total" in capsys.readouterr().out
+
+    def test_resubmitting_a_failed_spec_retries_it(self, queue_dir, capsys):
+        # A spec whose job exhausted its attempts can be retried from
+        # the CLI: failed jobs are not dedupe targets.
+        bad = "<not-a-design>"
+        store = JobStore(queue_dir)
+        store.submit(name="poison", design_xml=bad)
+        main(["batch", "run", "--queue", queue_dir])
+        assert JobStore(queue_dir).counts()["failed"] == 1
+        capsys.readouterr()
+        fresh = JobStore(queue_dir).submit(name="poison", design_xml=bad)
+        assert fresh.state == "pending"
+        assert fresh.attempts == 0
+
     def test_nothing_to_submit_errors(self, queue_dir, capsys):
         rc = main(["batch", "submit", "--queue", queue_dir])
         assert rc == 1

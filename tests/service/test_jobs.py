@@ -49,6 +49,16 @@ class TestSubmit:
         b = submit_one(store, dedupe=False)
         assert a.id != b.id
 
+    def test_failed_job_is_not_a_dedupe_target(self, store):
+        a = submit_one(store, max_attempts=1)
+        store.mark_running(a.id)
+        assert store.mark_failed(a.id, "boom").state == "failed"
+        b = submit_one(store)  # resubmit == retry with fresh attempts
+        assert b.id != a.id
+        assert b.state == "pending"
+        assert b.attempts == 0
+        assert store.get(a.id).state == "failed"  # history preserved
+
     def test_different_device_is_a_different_spec(self, store):
         a = submit_one(store)
         b = submit_one(store, device="LX30")
@@ -154,6 +164,22 @@ class TestPersistence:
             fh.write('{"id": "job-trunc')  # crash mid-append
         reloaded = JobStore.open(tmp_path / "queue")
         assert reloaded.get(job.id).state == "pending"
+
+    def test_torn_final_line_is_truncated_before_next_append(
+        self, store, tmp_path
+    ):
+        # crash -> recover -> append -> reload: the fragment must not
+        # corrupt records written after recovery.
+        job = submit_one(store)
+        store.mark_running(job.id)
+        with store.path.open("a", encoding="utf-8") as fh:
+            fh.write('{"id": "job-trunc')  # crash mid-append
+        recovered = JobStore.open(tmp_path / "queue")
+        other = recovered.submit(name="after-crash", design_xml="<y/>")
+        final = JobStore.open(tmp_path / "queue")  # must replay cleanly
+        assert final.get(job.id).state == "pending"
+        assert final.get(other.id).state == "pending"
+        assert '"job-trunc' not in store.path.read_text(encoding="utf-8")
 
     def test_corrupt_interior_line_raises(self, store, tmp_path):
         submit_one(store)
