@@ -126,3 +126,55 @@ def test_worker_scaling(benchmark, tmp_path, population):
     warm_status.calls = 0
     report = benchmark.pedantic(warm_status, rounds=3, iterations=1)
     assert report.cache_hit_rate == 1.0
+
+
+def test_supervision_overhead(benchmark, tmp_path, population):
+    """Supervised (heartbeats + deadlines) vs. inline execution, cold.
+
+    Supervision forks one process per job and polls heartbeat files, so
+    it costs real overhead on top of the inline path -- this bench pins
+    the number quoted in EXPERIMENTS.md ("Timeout-path overhead").  The
+    deadline is generous: nothing times out, so the delta is pure
+    supervision machinery (fork + spool + poll), not kill/retry cost.
+    """
+    small = population[:6]
+    inline, inline_wall, _ = timed_run(tmp_path, "inline", small, workers=1)
+    assert inline.failed == 0
+
+    store = JobStore.open(tmp_path / "queue-supervised")
+    submit_all(store, small)
+    cache = ResultCache(tmp_path / "cache-supervised")
+    started = time.perf_counter()
+    supervised = run_batch(
+        store, cache, workers=1, job_timeout_s=300.0,
+        heartbeat_interval_s=0.5, heartbeat_timeout_s=30.0,
+    )
+    supervised_wall = time.perf_counter() - started
+    assert supervised.failed == 0
+    assert supervised.timeouts == 0
+    assert supervised.done == inline.done == len(small)
+
+    overhead = supervised_wall / inline_wall - 1.0
+    print()
+    print(render_table(
+        ("mode", "wall (s)", "jobs/s", "overhead"),
+        [
+            ("inline (no supervision)", f"{inline_wall:.2f}",
+             f"{inline.jobs_per_s:.2f}", "--"),
+            ("supervised (fork/beat/poll)", f"{supervised_wall:.2f}",
+             f"{supervised.jobs_per_s:.2f}", f"{overhead:+.1%}"),
+        ],
+        title=f"Supervision overhead ({len(small)} cold synthetic designs)",
+    ))
+
+    # Steady-state benchmark of the supervised timeout path itself: a
+    # warm rerun under supervision (all hits, no workers forked).
+    def warm_supervised():
+        s = JobStore.open(tmp_path / f"queue-sup-warm-{warm_supervised.calls}")
+        warm_supervised.calls += 1
+        submit_all(s, small)
+        return run_batch(s, cache, workers=1, job_timeout_s=300.0)
+
+    warm_supervised.calls = 0
+    warm = benchmark.pedantic(warm_supervised, rounds=3, iterations=1)
+    assert warm.cache_hit_rate == 1.0

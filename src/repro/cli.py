@@ -237,6 +237,8 @@ def _cmd_batch_submit(args: argparse.Namespace) -> int:
                 device=args.device,
                 max_candidate_sets=args.max_candidate_sets,
                 dedupe=not args.no_dedupe,
+                priority=args.priority,
+                submitter=args.submitter,
             )
         )
     if args.synthetic:
@@ -247,6 +249,8 @@ def _cmd_batch_submit(args: argparse.Namespace) -> int:
                     device=args.device,
                     max_candidate_sets=args.max_candidate_sets,
                     dedupe=not args.no_dedupe,
+                    priority=args.priority,
+                    submitter=args.submitter,
                 )
             )
     if not submitted:
@@ -262,7 +266,7 @@ def _cmd_batch_submit(args: argparse.Namespace) -> int:
 
 def _cmd_batch_run(args: argparse.Namespace) -> int:
     from .eval.report import render_batch_report
-    from .service import run_batch
+    from .service import FaultError, FaultPlan, run_batch
 
     store, cache = _queue_stores(args)
     tracer = _make_tracer(args)
@@ -272,7 +276,29 @@ def _cmd_batch_run(args: argparse.Namespace) -> int:
         tracer.on_progress(
             lambda e: print(f"... {e.name} {dict(e.payload)}", file=sys.stderr)
         )
-    report = run_batch(store, cache, workers=args.workers, tracer=tracer)
+    faults = None
+    if args.inject_fault:
+        try:
+            faults = FaultPlan.parse(args.inject_fault)
+        except FaultError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+    from .service import ServiceError
+
+    try:
+        report = run_batch(
+            store,
+            cache,
+            workers=args.workers,
+            tracer=tracer,
+            job_timeout_s=args.job_timeout,
+            heartbeat_interval_s=args.heartbeat_interval,
+            heartbeat_timeout_s=args.heartbeat_timeout,
+            faults=faults,
+        )
+    except ServiceError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
     print(render_batch_report(report))
     if report.failed:
         print(f"failed jobs: {', '.join(report.failed_ids)}", file=sys.stderr)
@@ -289,13 +315,16 @@ def _cmd_batch_status(args: argparse.Namespace) -> int:
                 job.id,
                 job.name,
                 job.state,
+                job.priority,
+                job.submitter,
                 job.attempts,
                 "hit" if job.cache_hit else ("miss" if job.state == "done" else ""),
                 (job.result_key or "")[:12],
             )
         )
     print(render_table(
-        ("job", "design", "state", "attempts", "cache", "result key"),
+        ("job", "design", "state", "prio", "submitter", "attempts", "cache",
+         "result key"),
         rows,
         title=f"Queue {store.directory}",
     ))
@@ -417,17 +446,44 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-dedupe", action="store_true",
         help="enqueue even if an identical spec is already queued",
     )
+    p.add_argument(
+        "--priority", type=int, default=0,
+        help="scheduling priority (higher drains first; default 0)",
+    )
+    p.add_argument(
+        "--submitter", default="",
+        help="submitter label for fair round-robin scheduling",
+    )
     p.set_defaults(func=_cmd_batch_submit)
 
     p = batch_sub.add_parser("run", help="drain pending jobs with a worker pool")
     _add_queue_flags(p)
     p.add_argument(
         "--workers", type=int, default=1,
-        help="worker processes (1 runs jobs inline)",
+        help="worker processes (1 runs jobs inline unless supervised)",
     )
     p.add_argument(
         "--progress", action="store_true",
         help="stream per-job progress events to stderr (needs --trace)",
+    )
+    p.add_argument(
+        "--job-timeout", type=float, metavar="S",
+        help="per-job wall deadline in seconds; kills and re-queues "
+        "overrunning workers (engages supervised execution)",
+    )
+    p.add_argument(
+        "--heartbeat-interval", type=float, default=0.5, metavar="S",
+        help="worker heartbeat period under supervision (default 0.5s)",
+    )
+    p.add_argument(
+        "--heartbeat-timeout", type=float, metavar="S",
+        help="kill a worker whose heartbeat is older than S seconds "
+        "(hung-worker detection; engages supervised execution)",
+    )
+    p.add_argument(
+        "--inject-fault", action="append", metavar="KIND[:GLOB[:SECONDS]]",
+        help="(testing only) inject a deterministic fault into matching "
+        "jobs: hang, crash, slow or fail-once -- see repro.service.faults",
     )
     _add_trace_flags(p)
     p.set_defaults(func=_cmd_batch_run)

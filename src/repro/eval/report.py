@@ -125,6 +125,7 @@ def render_batch_report(report: object, title: str | None = None) -> str:
         "jobs": doc.get("total", 0),
         "done": doc.get("done", 0),
         "failed": doc.get("failed", 0),
+        "timeouts": doc.get("timeouts", 0),
         "cache hits": doc.get("cache_hits", 0),
         "cache hit rate": format_percent(100.0 * doc.get("cache_hit_rate", 0.0)),
         "workers": doc.get("workers", 1),

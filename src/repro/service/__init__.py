@@ -11,15 +11,28 @@ design-space sweeps, per-device what-if queries and CI re-runs:
   finished :class:`~repro.core.partitioner.PartitionResult`s, keyed by
   :func:`repro.core.problem_key`;
 * :mod:`repro.service.jobs` -- a crash-safe JSON-lines job store with
-  ``pending -> running -> done/failed`` states and capped retries;
-* :mod:`repro.service.pool` -- a multiprocessing worker pool fanning
-  pending jobs across cores, streaming progress through
-  :mod:`repro.obs` and aggregating batch throughput metrics.
+  ``pending -> running -> done/failed`` states, capped retries and
+  (priority, fair round-robin, FIFO) scheduling;
+* :mod:`repro.service.pool` -- a supervised multiprocessing worker pool
+  fanning pending jobs across cores with per-job deadlines and
+  heartbeat-staleness detection of hung workers, streaming progress
+  through :mod:`repro.obs` and aggregating batch throughput metrics;
+* :mod:`repro.service.faults` -- deterministic, opt-in fault injection
+  (``hang``/``crash``/``slow``/``fail-once``) for testing all of the
+  above on demand.
 
 Full guide: docs/SERVICE.md.  CLI: ``repro-pr batch submit|run|status``.
 """
 
 from .cache import CachedResult, ResultCache
+from .faults import (
+    FAULT_KINDS,
+    FaultError,
+    FaultPlan,
+    FaultSpec,
+    InjectedFault,
+    parse_fault,
+)
 from .jobs import (
     DEFAULT_MAX_ATTEMPTS,
     JOB_STATES,
@@ -34,6 +47,11 @@ __all__ = [
     "BatchReport",
     "CachedResult",
     "DEFAULT_MAX_ATTEMPTS",
+    "FAULT_KINDS",
+    "FaultError",
+    "FaultPlan",
+    "FaultSpec",
+    "InjectedFault",
     "JOB_STATES",
     "Job",
     "JobStore",
@@ -42,6 +60,7 @@ __all__ = [
     "ResultCache",
     "ServiceError",
     "job_problem_key",
+    "parse_fault",
     "resolve_problem",
     "resolve_problem_text",
     "run_batch",

@@ -1,0 +1,180 @@
+"""Deterministic fault injection for the batch service (dev/test only).
+
+The partitioner is a long combinatorial search -- the workload that
+*hangs* rather than crashes -- so the supervision machinery in
+:mod:`repro.service.pool` (heartbeats, deadlines, kill-and-requeue) is
+only credible if its failure modes are reproducible on demand.  This
+module provides that: a :class:`FaultPlan` is threaded through the
+worker payload and fires **deterministically** -- faults match on the
+job *name* (fnmatch glob) and the attempt number, never on randomness
+or timing -- so a test that injects a hang gets exactly one hang, on
+exactly the job it named, every run.
+
+Kinds:
+
+* ``hang``      -- stop heartbeating and sleep until killed (a wedged
+  worker: the process is alive but makes no progress and no beats);
+* ``crash``     -- raise on every attempt (a deterministic bug: burns
+  the job's attempts, then lands in ``failed``);
+* ``slow``      -- sleep ``seconds`` *while heartbeating*, then compute
+  normally (a healthy-but-busy worker: must survive supervision);
+* ``fail-once`` -- raise on attempt 1 only (a transient: one retry
+  must recover it).
+
+Faults are opt-in everywhere: production paths never construct a plan,
+and ``run_batch`` refuses a ``hang`` plan without supervision so a
+misused flag cannot deadlock the caller.  CLI: ``repro-pr batch run
+--inject-fault KIND[:GLOB[:SECONDS]]`` (testing only).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from fnmatch import fnmatchcase
+from typing import Any, Iterable, Mapping, Sequence
+
+#: The injectable fault kinds, in rough order of nastiness.
+FAULT_KINDS = ("hang", "crash", "slow", "fail-once")
+
+#: Default sleep for ``slow`` faults (seconds).
+DEFAULT_SLOW_S = 0.5
+
+#: Safety cap on a simulated hang: even an unsupervised leak exits
+#: eventually instead of wedging a host forever.
+DEFAULT_HANG_CAP_S = 600.0
+
+
+class FaultError(ValueError):
+    """Raised for malformed fault specs (not by injected faults)."""
+
+
+class InjectedFault(RuntimeError):
+    """The exception an injected ``crash``/``fail-once`` raises.
+
+    It travels back through the normal worker failure path (traceback
+    as data), so tests can assert on ``"InjectedFault"`` in
+    ``job.error`` to distinguish injected failures from real ones.
+    """
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One deterministic fault: a kind, a job-name glob, a duration."""
+
+    kind: str
+    match: str = "*"
+    seconds: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise FaultError(
+                f"unknown fault kind {self.kind!r} (choose from "
+                f"{', '.join(FAULT_KINDS)})"
+            )
+        if self.seconds is not None and self.seconds < 0:
+            raise FaultError("fault seconds must be non-negative")
+
+    def applies_to(self, name: str, attempt: int) -> bool:
+        """Does this fault fire for the named job's Nth attempt?"""
+        if not fnmatchcase(name, self.match):
+            return False
+        if self.kind == "fail-once":
+            return attempt <= 1
+        return True
+
+    def to_payload(self) -> dict[str, Any]:
+        """A plain-dict form safe to pickle into a worker payload."""
+        return {"kind": self.kind, "match": self.match,
+                "seconds": self.seconds}
+
+
+def parse_fault(text: str) -> FaultSpec:
+    """Parse the CLI form ``KIND[:GLOB[:SECONDS]]``.
+
+    Examples: ``hang``, ``crash:design_a``, ``slow:*:0.2``,
+    ``fail-once:synth-*``.
+    """
+    parts = text.split(":")
+    if not parts[0]:
+        raise FaultError(f"empty fault spec {text!r}")
+    if len(parts) > 3:
+        raise FaultError(f"too many fields in fault spec {text!r}")
+    kind = parts[0]
+    match = parts[1] if len(parts) > 1 and parts[1] else "*"
+    seconds = None
+    if len(parts) > 2 and parts[2]:
+        try:
+            seconds = float(parts[2])
+        except ValueError:
+            raise FaultError(
+                f"bad seconds {parts[2]!r} in fault spec {text!r}"
+            ) from None
+    return FaultSpec(kind=kind, match=match, seconds=seconds)
+
+
+class FaultPlan:
+    """An ordered set of :class:`FaultSpec`s; first match wins."""
+
+    def __init__(self, specs: Iterable[FaultSpec] = ()):
+        self.specs: tuple[FaultSpec, ...] = tuple(specs)
+
+    @classmethod
+    def parse(cls, texts: Sequence[str]) -> "FaultPlan":
+        return cls(parse_fault(t) for t in texts)
+
+    def __bool__(self) -> bool:
+        return bool(self.specs)
+
+    @property
+    def has_hang(self) -> bool:
+        return any(s.kind == "hang" for s in self.specs)
+
+    def for_job(self, name: str, attempt: int) -> FaultSpec | None:
+        """The first fault firing for this (job name, attempt), if any."""
+        for spec in self.specs:
+            if spec.applies_to(name, attempt):
+                return spec
+        return None
+
+    def payload_for(self, name: str, attempt: int) -> dict[str, Any] | None:
+        """The matching fault as a picklable dict (worker payload slot)."""
+        spec = self.for_job(name, attempt)
+        return spec.to_payload() if spec else None
+
+
+def spec_from_payload(doc: Mapping[str, Any]) -> FaultSpec:
+    """Rebuild a :class:`FaultSpec` from its payload-dict form."""
+    return FaultSpec(
+        kind=doc["kind"],
+        match=doc.get("match", "*"),
+        seconds=doc.get("seconds"),
+    )
+
+
+def inject(spec: FaultSpec, heartbeat: Any = None) -> None:
+    """Fire one fault inside a worker, before the compute starts.
+
+    ``heartbeat`` is the worker's beat emitter (anything with a
+    ``stop()``); a ``hang`` silences it first, because a wedged worker
+    stops making progress *and* stops beating -- that is exactly the
+    signal the parent's staleness check keys on.
+    """
+    if spec.kind == "crash":
+        raise InjectedFault(f"injected crash (fault {spec.match!r})")
+    if spec.kind == "fail-once":
+        raise InjectedFault(
+            f"injected transient failure (fault {spec.match!r}, attempt 1)"
+        )
+    if spec.kind == "slow":
+        time.sleep(spec.seconds if spec.seconds is not None else DEFAULT_SLOW_S)
+        return
+    if spec.kind == "hang":
+        if heartbeat is not None:
+            heartbeat.stop()
+        deadline = time.monotonic() + (
+            spec.seconds if spec.seconds is not None else DEFAULT_HANG_CAP_S
+        )
+        while time.monotonic() < deadline:
+            time.sleep(0.05)
+        raise InjectedFault("injected hang expired without being killed")

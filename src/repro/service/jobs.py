@@ -51,9 +51,13 @@ class Job:
     The *spec* half (``design_xml``, ``device``, ``max_candidate_sets``)
     defines the problem; ``spec_digest`` fingerprints it for duplicate
     detection at submit time (distinct from the result-cache key, which
-    canonicalises much more aggressively).  The *state* half tracks
-    execution: attempts consumed, the failure traceback, the result
-    cache key and whether it was served from cache.
+    canonicalises much more aggressively).  ``priority``/``submitter``
+    are scheduling hints only -- they never enter the spec digest, so a
+    resubmission at a new priority still dedupes onto the queued job.
+    The *state* half tracks execution: attempts consumed, the failure
+    traceback, the result cache key and whether it was served from
+    cache.  Pre-priority logs load unchanged: missing fields take the
+    defaults below.
     """
 
     id: str
@@ -62,6 +66,8 @@ class Job:
     device: str | None = None
     max_candidate_sets: int | None = None
     spec_digest: str = ""
+    priority: int = 0
+    submitter: str = ""
     state: str = "pending"
     attempts: int = 0
     max_attempts: int = DEFAULT_MAX_ATTEMPTS
@@ -77,6 +83,8 @@ class Job:
             raise JobStoreError(f"unknown job state {self.state!r}")
         if self.max_attempts < 1:
             raise JobStoreError("max_attempts must be at least 1")
+        if not isinstance(self.priority, int) or isinstance(self.priority, bool):
+            raise JobStoreError("priority must be an integer")
 
     @property
     def exhausted(self) -> bool:
@@ -103,6 +111,11 @@ class JobStore:
         self.path = self.directory / JOBS_FILENAME
         self._jobs: dict[str, Job] = {}
         self._order: list[str] = []
+        # spec digest -> job ids sharing it, in submission order -- the
+        # dedupe index (a per-submit linear scan over all jobs is O(n^2)
+        # across a batch; buckets hold only true duplicates, so lookup
+        # is O(1) amortised).
+        self._by_digest: dict[str, list[str]] = {}
         self._load()
 
     @classmethod
@@ -119,7 +132,9 @@ class JobStore:
         if not self.path.exists():
             return
         known = {f.name for f in fields(Job)}
-        lines = self.path.read_text(encoding="utf-8").split("\n")
+        text = self.path.read_text(encoding="utf-8")
+        terminated = text.endswith("\n")
+        lines = text.split("\n")
         # Drop the trailing empty fragment of a cleanly terminated log.
         if lines and not lines[-1]:
             lines.pop()
@@ -148,6 +163,15 @@ class JobStore:
                     f"{self.path}:{i + 1}: invalid job record: {exc}"
                 ) from exc
             self._remember(job)
+        else:
+            if lines and not terminated:
+                # A crash can tear the final append exactly between the
+                # record and its newline: the record is complete JSON
+                # (so it stands), but the next append would concatenate
+                # onto it and corrupt both records.  Restore the
+                # terminator now (found by the torn-tail property test).
+                with self.path.open("a", encoding="utf-8") as fh:
+                    fh.write("\n")
 
     def _truncate_to(self, good_lines: list[str]) -> None:
         """Cut the log back to its valid prefix (newline-terminated)."""
@@ -158,6 +182,8 @@ class JobStore:
     def _remember(self, job: Job) -> None:
         if job.id not in self._jobs:
             self._order.append(job.id)
+            if job.spec_digest:
+                self._by_digest.setdefault(job.spec_digest, []).append(job.id)
         self._jobs[job.id] = job
 
     def _append(self, job: Job) -> Job:
@@ -179,17 +205,23 @@ class JobStore:
         max_candidate_sets: int | None = None,
         max_attempts: int = DEFAULT_MAX_ATTEMPTS,
         dedupe: bool = True,
+        priority: int = 0,
+        submitter: str = "",
     ) -> Job:
         """Enqueue one job; identical specs dedupe by default.
 
         ``failed`` jobs are never dedupe targets: resubmitting a spec
         whose job exhausted its attempts enqueues a fresh job with a
         fresh attempt budget -- the retry path for a failed job.
+        ``priority``/``submitter`` are scheduling hints (see
+        :meth:`pending`) and do not distinguish specs: resubmitting a
+        queued spec at a new priority dedupes onto the existing job.
         """
         digest = _spec_digest(design_xml, device, max_candidate_sets)
         if dedupe:
-            for existing in self.jobs():
-                if existing.spec_digest == digest and existing.state != "failed":
+            for jid in self._by_digest.get(digest, ()):
+                existing = self._jobs[jid]
+                if existing.state != "failed":
                     return existing
         job = Job(
             id=f"job-{len(self._order):05d}-{digest[:8]}",
@@ -198,6 +230,8 @@ class JobStore:
             device=device,
             max_candidate_sets=max_candidate_sets,
             spec_digest=digest,
+            priority=priority,
+            submitter=submitter,
             max_attempts=max_attempts,
             submitted_at=time.time(),
         )
@@ -231,7 +265,25 @@ class JobStore:
             raise JobStoreError(f"unknown job {job_id!r}") from None
 
     def pending(self) -> list[Job]:
-        return [j for j in self.jobs() if j.state == "pending"]
+        """Pending jobs in dispatch order.
+
+        Ordering is (priority descending, fair round-robin across
+        submitters, FIFO): within one priority band each submitter's
+        k-th job only dispatches after every other submitter's (k-1)-th,
+        so one bulk submitter cannot starve the rest; ties break by
+        submission order.  With one submitter and one priority this
+        degenerates to plain FIFO -- the pre-priority behaviour.
+        """
+        pend = [j for j in self.jobs() if j.state == "pending"]
+        turn: dict[tuple[int, str], int] = {}
+        keyed = []
+        for pos, job in enumerate(pend):
+            band = (job.priority, job.submitter)
+            k = turn.get(band, 0)
+            turn[band] = k + 1
+            keyed.append(((-job.priority, k, pos), job))
+        keyed.sort(key=lambda item: item[0])
+        return [job for _key, job in keyed]
 
     def counts(self) -> dict[str, int]:
         """Jobs per state, every state present (zero included)."""

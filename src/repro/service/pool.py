@@ -1,4 +1,5 @@
-"""Multiprocessing batch runner: fan pending jobs out across cores.
+"""Supervised multiprocessing batch runner: fan pending jobs out across
+cores and never let one of them wedge the batch.
 
 ``run_batch`` drains a :class:`~repro.service.jobs.JobStore`:
 
@@ -7,26 +8,45 @@
    :class:`~repro.service.cache.ResultCache` (envelope check only, no
    result deserialisation) -- hits complete immediately, **without
    dispatching a worker or re-running any search stage**;
-2. misses are executed -- inline for ``workers=1``, else on a
-   ``ProcessPoolExecutor`` -- and their results written to the cache by
-   the worker (atomic, content-addressed, so racing duplicates are
-   harmless);
+2. misses are executed in (priority desc, fair round-robin, FIFO) order
+   -- the :meth:`~repro.service.jobs.JobStore.pending` schedule --
+   inline for ``workers=1`` with no supervision, else one *supervised*
+   ``multiprocessing.Process`` per job, at most ``workers`` in flight;
 3. a worker exception never poisons the batch: the traceback travels
    back as data, the job re-queues until its attempt cap, then lands in
-   ``failed`` while every other job keeps flowing.
+   ``failed`` while every other job keeps flowing;
+4. under supervision each worker **heartbeats** (touches a per-job file
+   every ``heartbeat_interval_s``) while computing, and the parent's
+   drain loop enforces a per-job ``job_timeout_s`` deadline plus a
+   ``heartbeat_timeout_s`` staleness threshold -- a hung worker is
+   killed, its job fails with a ``timeout ...`` error and re-queues
+   until its attempt cap, and the freed slot is refilled so the batch
+   always terminates.  A worker that *dies* without reporting (OOM
+   kill, segfault) is detected the same way, without waiting for any
+   deadline.
+
+Deterministic fault injection for all of the above lives in
+:mod:`repro.service.faults` and threads through the worker payload --
+production runs never construct a plan.
 
 Progress streams through the :mod:`repro.obs` tracer (``batch.*``
 events, ``service.*`` counters -- see docs/OBSERVABILITY.md) and the
 run aggregates into a :class:`BatchReport` (throughput, cache hit rate,
-worker utilisation).
+timeouts, worker utilisation).
 """
 
 from __future__ import annotations
 
+import heapq
+import json
+import multiprocessing
+import os
+import tempfile
+import threading
 import time
 import traceback
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Any
 
 from ..arch.library import DeviceLibrary
@@ -39,8 +59,18 @@ from ..core.partitioner import (
 )
 from ..obs import NULL_TRACER, Tracer
 from .cache import ResultCache
+from .faults import FaultPlan, inject, spec_from_payload
 from .jobs import Job, JobStore
 from .problem import ResolvedProblem, resolve_problem_text
+
+#: Default worker beat period under supervision (seconds).
+DEFAULT_HEARTBEAT_INTERVAL_S = 0.5
+
+#: Parent poll period of the supervision loop (seconds).
+DEFAULT_POLL_S = 0.05
+
+#: Scratch space (heartbeat + result spool files) inside the queue dir.
+WORK_DIRNAME = ".work"
 
 
 class ServiceError(RuntimeError):
@@ -97,6 +127,36 @@ def _compute(problem: ResolvedProblem, options: PartitionerOptions) -> tuple[
     return selected.result, selected.device.name
 
 
+class _Heartbeat:
+    """Worker-side beat emitter: touch ``path`` every ``interval_s``.
+
+    Runs on a daemon thread so it beats *while the search computes*,
+    with no cooperation from the pipeline.  ``stop()`` silences it --
+    which is also how an injected ``hang`` simulates a wedged worker.
+    """
+
+    def __init__(self, path: str | Path, interval_s: float):
+        self.path = Path(path)
+        self.interval_s = interval_s
+        self._stopped = threading.Event()
+        self._thread = threading.Thread(target=self._run, daemon=True)
+
+    def start(self) -> "_Heartbeat":
+        self.path.touch()
+        self._thread.start()
+        return self
+
+    def _run(self) -> None:
+        while not self._stopped.wait(self.interval_s):
+            try:
+                self.path.touch()
+            except OSError:
+                return
+
+    def stop(self) -> None:
+        self._stopped.set()
+
+
 def execute_job_payload(payload: dict[str, Any]) -> dict[str, Any]:
     """Worker entry point: run one job, write the cache, report as data.
 
@@ -106,9 +166,22 @@ def execute_job_payload(payload: dict[str, Any]) -> dict[str, Any]:
     Interrupts (``KeyboardInterrupt``/``SystemExit``) still propagate:
     with ``workers=1`` this runs inline in the parent, and Ctrl-C must
     stop the batch, not count as a job failure.
+
+    Optional payload slots: ``heartbeat_path``/``heartbeat_interval_s``
+    start a :class:`_Heartbeat` for the duration of the job; ``fault``
+    (a :meth:`FaultSpec.to_payload` dict) fires a deterministic
+    injected fault before the compute.
     """
     started = time.perf_counter()
+    heartbeat = None
+    if payload.get("heartbeat_path"):
+        heartbeat = _Heartbeat(
+            payload["heartbeat_path"],
+            payload.get("heartbeat_interval_s") or DEFAULT_HEARTBEAT_INTERVAL_S,
+        ).start()
     try:
+        if payload.get("fault"):
+            inject(spec_from_payload(payload["fault"]), heartbeat=heartbeat)
         problem = resolve_problem_text(
             payload["design_xml"], payload["device"], payload.get("library")
         )
@@ -138,6 +211,49 @@ def execute_job_payload(payload: dict[str, Any]) -> dict[str, Any]:
             "error": traceback.format_exc(),
             "compute_s": time.perf_counter() - started,
         }
+    finally:
+        if heartbeat is not None:
+            heartbeat.stop()
+
+
+def _write_json_atomic(path: Path, doc: dict[str, Any]) -> None:
+    fd, tmp = tempfile.mkstemp(dir=path.parent, prefix=f".{path.stem}-",
+                               suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as fh:
+            json.dump(doc, fh)
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
+def _worker_main(payload: dict[str, Any], result_path: str) -> None:
+    """Supervised-process entry: run the job, spool the outcome to disk.
+
+    The outcome file is the worker's *only* report channel -- written
+    atomically, so the parent either sees a complete outcome or none at
+    all (a killed/dead worker leaves nothing, which the supervisor
+    treats as a worker death).
+    """
+    _write_json_atomic(Path(result_path), execute_job_payload(payload))
+
+
+@dataclass
+class _Running:
+    """Parent-side view of one supervised in-flight worker."""
+
+    job: Job
+    key: str
+    process: multiprocessing.process.BaseProcess
+    result_path: Path
+    heartbeat_path: Path
+    started_perf: float
+    started_wall: float
+    last_beat_wall: float
 
 
 @dataclass
@@ -150,6 +266,7 @@ class BatchReport:
     cache_hits: int
     computed: int
     retries: int
+    timeouts: int
     workers: int
     duration_s: float
     busy_s: float
@@ -158,6 +275,7 @@ class BatchReport:
 
     @property
     def jobs_per_s(self) -> float:
+        """Jobs drained (done + failed) per wall second."""
         return self.total / self.duration_s if self.duration_s > 0 else 0.0
 
     @property
@@ -178,6 +296,7 @@ class BatchReport:
             "cache_hits": self.cache_hits,
             "computed": self.computed,
             "retries": self.retries,
+            "timeouts": self.timeouts,
             "workers": self.workers,
             "duration_s": self.duration_s,
             "busy_s": self.busy_s,
@@ -188,25 +307,65 @@ class BatchReport:
         }
 
 
+def _kill(process: multiprocessing.process.BaseProcess) -> None:
+    """Stop a hung worker: SIGTERM, then SIGKILL if it ignores that."""
+    process.terminate()
+    process.join(timeout=1.0)
+    if process.is_alive():
+        process.kill()
+        process.join(timeout=5.0)
+
+
 def run_batch(
     store: JobStore,
     cache: ResultCache,
     workers: int = 1,
     library: DeviceLibrary | None = None,
     tracer: Tracer | None = None,
+    job_timeout_s: float | None = None,
+    heartbeat_interval_s: float = DEFAULT_HEARTBEAT_INTERVAL_S,
+    heartbeat_timeout_s: float | None = None,
+    faults: FaultPlan | None = None,
+    poll_s: float = DEFAULT_POLL_S,
 ) -> BatchReport:
-    """Drain every pending job in ``store`` through ``cache`` + pool."""
+    """Drain every pending job in ``store`` through ``cache`` + pool.
+
+    ``job_timeout_s`` is the per-job wall deadline; ``heartbeat_timeout_s``
+    the staleness threshold on worker beats (beats are emitted every
+    ``heartbeat_interval_s``).  Setting either engages *supervision*:
+    jobs run in dedicated killable processes even with ``workers=1``.
+    With neither set and ``workers=1``, jobs run inline in the parent
+    (no supervision possible -- nothing can preempt the caller's own
+    thread).  ``faults`` is the deterministic test-only fault plan
+    (:mod:`repro.service.faults`).
+    """
     if workers < 1:
         raise ServiceError("workers must be at least 1")
+    if job_timeout_s is not None and job_timeout_s <= 0:
+        raise ServiceError("job_timeout_s must be positive")
+    if heartbeat_timeout_s is not None and heartbeat_timeout_s <= 0:
+        raise ServiceError("heartbeat_timeout_s must be positive")
+    supervised = (
+        workers > 1 or job_timeout_s is not None or heartbeat_timeout_s is not None
+    )
+    if faults and faults.has_hang and not (
+        job_timeout_s is not None or heartbeat_timeout_s is not None
+    ):
+        raise ServiceError(
+            "a 'hang' fault needs a job_timeout_s or heartbeat_timeout_s "
+            "to ever be detected -- refusing to deadlock the batch"
+        )
     tracer = tracer or NULL_TRACER
     started = time.perf_counter()
-    hits = computed = failed = retries = 0
+    hits = computed = failed = retries = timeouts = 0
     busy_s = 0.0
     failed_ids: list[Job] = []
     results: dict[str, str] = {}
     initial = len(store.pending())
 
-    with tracer.span("batch_run", workers=workers, pending=initial):
+    with tracer.span(
+        "batch_run", workers=workers, pending=initial, supervised=supervised
+    ):
         # Phase 1: serve every job already answered by the cache.  A job
         # whose spec cannot even be keyed (unparseable XML, unknown
         # device) fails terminally here -- the failure is deterministic
@@ -241,10 +400,24 @@ def run_batch(
         tracer.count("service.cache_misses", len(misses))
 
         # Phase 2: compute the misses, re-queueing failures until their
-        # attempt caps.  The queue is drained to empty, so retries of an
-        # early failure overlap the first attempts of later jobs.
+        # attempt caps.  The work heap preserves the store's (priority,
+        # round-robin, FIFO) dispatch order -- ``seq`` rises
+        # monotonically, so a retry rejoins *behind* queued work of its
+        # own priority but still ahead of lower priorities.
+        key_of = {job.id: key for job, key in misses}
+        heap: list[tuple[int, int, Job, str]] = []
+        seq = 0
+
+        def push(job: Job, key: str) -> None:
+            nonlocal seq
+            heapq.heappush(heap, (-job.priority, seq, job, key))
+            seq += 1
+
+        for job, key in misses:
+            push(job, key)
+
         def handle(outcome: dict[str, Any]) -> None:
-            nonlocal computed, failed, retries, busy_s
+            nonlocal computed, failed, retries, timeouts, busy_s
             busy_s += outcome.get("compute_s") or 0.0
             job_id = outcome["job_id"]
             if outcome["ok"]:
@@ -265,6 +438,8 @@ def run_batch(
                         compute_s=outcome["compute_s"],
                     )
                 return
+            if outcome.get("timeout"):
+                timeouts += 1
             job = store.mark_failed(job_id, outcome["error"])
             if job.state == "failed":
                 failed += 1
@@ -275,20 +450,17 @@ def run_batch(
                     )
             else:
                 retries += 1
-                queue.append((job, key_of[job_id]))
+                push(job, key_of[job_id])
                 if tracer.enabled:
                     tracer.progress(
                         "batch.job_retried", job=job_id, attempts=job.attempts
                     )
 
-        key_of = {job.id: key for job, key in misses}
-        queue: list[tuple[Job, str]] = list(misses)
-
         def payload_for(job: Job, key: str) -> dict[str, Any]:
-            store.mark_running(job.id)
+            claimed = store.mark_running(job.id)
             if tracer.enabled:
                 tracer.progress("batch.job_started", job=job.id, key=key)
-            return {
+            payload: dict[str, Any] = {
                 "job_id": job.id,
                 "design_xml": job.design_xml,
                 "device": job.device,
@@ -297,33 +469,38 @@ def run_batch(
                 "key": key,
                 "library": library,
             }
+            if faults:
+                payload["fault"] = faults.payload_for(job.name, claimed.attempts)
+            return payload
 
-        if workers == 1:
-            while queue:
-                job, key = queue.pop(0)
+        if not supervised:
+            while heap:
+                _prio, _seq, job, key = heapq.heappop(heap)
                 handle(execute_job_payload(payload_for(job, key)))
         else:
-            with ProcessPoolExecutor(max_workers=workers) as pool:
-                in_flight = set()
-                while queue or in_flight:
-                    while queue and len(in_flight) < 2 * workers:
-                        job, key = queue.pop(0)
-                        in_flight.add(
-                            pool.submit(
-                                execute_job_payload, payload_for(job, key)
-                            )
-                        )
-                    finished, in_flight = wait(
-                        in_flight, return_when=FIRST_COMPLETED
-                    )
-                    for future in finished:
-                        handle(future.result())
+            _drain_supervised(
+                heap=heap,
+                workers=workers,
+                payload_for=payload_for,
+                handle=handle,
+                store=store,
+                tracer=tracer,
+                job_timeout_s=job_timeout_s,
+                heartbeat_interval_s=heartbeat_interval_s,
+                heartbeat_timeout_s=heartbeat_timeout_s,
+                poll_s=poll_s,
+            )
 
         duration = time.perf_counter() - started
         tracer.count("service.jobs_done", hits + computed)
         tracer.count("service.jobs_failed", failed)
         tracer.count("service.job_retries", retries)
-        tracer.gauge("service.jobs_per_s", (hits + computed + failed) / duration if duration else 0.0)
+        tracer.count("service.timeouts", timeouts)
+        # Same definition as BatchReport.jobs_per_s: jobs drained
+        # (total == done + failed once the queue is empty) per second.
+        tracer.gauge(
+            "service.jobs_per_s", initial / duration if duration > 0 else 0.0
+        )
         tracer.gauge(
             "service.cache_hit_rate",
             hits / initial if initial else 0.0,
@@ -336,9 +513,158 @@ def run_batch(
         cache_hits=hits,
         computed=computed,
         retries=retries,
+        timeouts=timeouts,
         workers=workers,
         duration_s=duration,
         busy_s=busy_s,
         failed_ids=tuple(j.id for j in failed_ids),
         results=results,
     )
+
+
+def _drain_supervised(
+    heap,
+    workers,
+    payload_for,
+    handle,
+    store,
+    tracer,
+    job_timeout_s,
+    heartbeat_interval_s,
+    heartbeat_timeout_s,
+    poll_s,
+) -> None:
+    """The supervised drain loop: one killable process per job.
+
+    At most ``workers`` processes run at once; each slot is refilled the
+    moment its worker reports, dies or is killed, so the loop terminates
+    whenever every job reaches a terminal state -- a hung worker cannot
+    stall it.  Detection channels, checked every ``poll_s``:
+
+    * an outcome spool file -- the worker finished (ok or not);
+    * a dead process with no outcome -- the worker crashed hard;
+    * ``job_timeout_s`` exceeded -- the job overran its deadline;
+    * no heartbeat for ``heartbeat_timeout_s`` -- the worker is wedged
+      (detected well before a generous deadline would fire).
+    """
+    ctx = multiprocessing.get_context()
+    workdir = store.directory / WORK_DIRNAME
+    workdir.mkdir(parents=True, exist_ok=True)
+    running: dict[str, _Running] = {}
+
+    def spawn(job: Job, key: str) -> None:
+        payload = payload_for(job, key)
+        result_path = workdir / f"{job.id}.outcome.json"
+        heartbeat_path = workdir / f"{job.id}.heartbeat"
+        result_path.unlink(missing_ok=True)
+        heartbeat_path.unlink(missing_ok=True)
+        payload["heartbeat_path"] = str(heartbeat_path)
+        payload["heartbeat_interval_s"] = heartbeat_interval_s
+        process = ctx.Process(
+            target=_worker_main,
+            args=(payload, str(result_path)),
+            daemon=True,
+            name=f"repro-batch-{job.id}",
+        )
+        process.start()
+        now = time.time()
+        running[job.id] = _Running(
+            job=job,
+            key=key,
+            process=process,
+            result_path=result_path,
+            heartbeat_path=heartbeat_path,
+            started_perf=time.perf_counter(),
+            started_wall=now,
+            last_beat_wall=now,
+        )
+
+    def retire(entry: _Running) -> None:
+        entry.result_path.unlink(missing_ok=True)
+        entry.heartbeat_path.unlink(missing_ok=True)
+
+    try:
+        while heap or running:
+            while heap and len(running) < workers:
+                _prio, _seq, job, key = heapq.heappop(heap)
+                spawn(job, key)
+
+            time.sleep(poll_s)
+            now_wall = time.time()
+            for job_id, entry in list(running.items()):
+                # Channel 1: the worker reported an outcome.
+                if entry.result_path.exists():
+                    outcome = json.loads(
+                        entry.result_path.read_text(encoding="utf-8")
+                    )
+                    entry.process.join(timeout=5.0)
+                    if entry.process.is_alive():  # pragma: no cover
+                        _kill(entry.process)
+                    retire(entry)
+                    del running[job_id]
+                    handle(outcome)
+                    continue
+                # Channel 2: the worker died without reporting.
+                if not entry.process.is_alive():
+                    retire(entry)
+                    del running[job_id]
+                    handle({
+                        "job_id": job_id,
+                        "ok": False,
+                        "error": (
+                            "worker process died without reporting "
+                            f"(exit code {entry.process.exitcode})"
+                        ),
+                        "compute_s": time.perf_counter() - entry.started_perf,
+                    })
+                    continue
+                # Observe heartbeats (and surface them to the tracer).
+                try:
+                    beat = entry.heartbeat_path.stat().st_mtime
+                except OSError:
+                    beat = entry.started_wall
+                if beat > entry.last_beat_wall:
+                    entry.last_beat_wall = beat
+                    if tracer.enabled:
+                        tracer.progress(
+                            "batch.heartbeat",
+                            job=job_id,
+                            elapsed_s=time.perf_counter() - entry.started_perf,
+                        )
+                # Channels 3 + 4: deadline and heartbeat staleness.
+                elapsed = time.perf_counter() - entry.started_perf
+                reason = None
+                if job_timeout_s is not None and elapsed > job_timeout_s:
+                    reason = f"deadline {job_timeout_s:g}s exceeded"
+                elif (
+                    heartbeat_timeout_s is not None
+                    and now_wall - entry.last_beat_wall > heartbeat_timeout_s
+                ):
+                    reason = (
+                        f"no heartbeat for {now_wall - entry.last_beat_wall:.2f}s "
+                        f"(threshold {heartbeat_timeout_s:g}s)"
+                    )
+                if reason is None:
+                    continue
+                _kill(entry.process)
+                retire(entry)
+                del running[job_id]
+                if tracer.enabled:
+                    tracer.progress(
+                        "batch.job_timeout",
+                        job=job_id,
+                        reason=reason,
+                        elapsed_s=elapsed,
+                    )
+                handle({
+                    "job_id": job_id,
+                    "ok": False,
+                    "error": f"timeout after {elapsed:.2f}s: {reason}",
+                    "compute_s": elapsed,
+                    "timeout": True,
+                })
+    finally:
+        # Never leak workers, whatever interrupted the drain.
+        for entry in running.values():
+            _kill(entry.process)
+            retire(entry)

@@ -71,6 +71,14 @@ class TestSubmit:
         assert rc == 1
         assert "nothing to submit" in capsys.readouterr().err
 
+    def test_priority_and_submitter_flags(self, queue_dir, design_file):
+        rc = main(["batch", "submit", "--queue", queue_dir, design_file,
+                   "--priority", "5", "--submitter", "alice"])
+        assert rc == 0
+        job = JobStore(queue_dir).jobs()[0]
+        assert job.priority == 5
+        assert job.submitter == "alice"
+
 
 class TestRun:
     def test_run_completes_submitted_jobs(self, queue_dir, design_file, capsys):
@@ -114,6 +122,62 @@ class TestRun:
         err = capsys.readouterr().err
         assert "batch.job_started" in err
         assert "batch.job_done" in err
+
+
+class TestSupervisionFlags:
+    def test_injected_crash_sets_exit_code(self, queue_dir, design_file,
+                                           capsys):
+        main(["batch", "submit", "--queue", queue_dir, design_file,
+              "--device", "LX30"])
+        rc = main(["batch", "run", "--queue", queue_dir,
+                   "--inject-fault", "crash:*"])
+        assert rc == 3
+        assert "failed jobs" in capsys.readouterr().err
+        job = JobStore(queue_dir).jobs()[0]
+        assert "InjectedFault" in job.error
+
+    def test_hang_fault_without_timeout_is_refused(self, queue_dir,
+                                                   design_file, capsys):
+        main(["batch", "submit", "--queue", queue_dir, design_file,
+              "--device", "LX30"])
+        rc = main(["batch", "run", "--queue", queue_dir,
+                   "--inject-fault", "hang:*"])
+        assert rc == 1
+        assert "hang" in capsys.readouterr().err
+        # Nothing was claimed: the refusal precedes any dispatch.
+        assert JobStore(queue_dir).counts()["pending"] == 1
+
+    def test_hang_fault_with_timeout_drains_to_failed(self, queue_dir,
+                                                      design_file, capsys):
+        main(["batch", "submit", "--queue", queue_dir, design_file,
+              "--device", "LX30"])
+        rc = main(["batch", "run", "--queue", queue_dir,
+                   "--inject-fault", "hang:*",
+                   "--job-timeout", "0.5",
+                   "--heartbeat-interval", "0.1"])
+        assert rc == 3
+        out = capsys.readouterr().out
+        assert "timeouts" in out
+        job = JobStore(queue_dir).jobs()[0]
+        assert job.state == "failed"
+        assert job.error.startswith("timeout")
+
+    def test_malformed_fault_spec_errors(self, queue_dir, design_file,
+                                         capsys):
+        main(["batch", "submit", "--queue", queue_dir, design_file])
+        rc = main(["batch", "run", "--queue", queue_dir,
+                   "--inject-fault", "explode:*"])
+        assert rc == 1
+        assert "unknown fault kind" in capsys.readouterr().err
+
+    def test_job_timeout_allows_healthy_jobs(self, queue_dir, design_file,
+                                             capsys):
+        main(["batch", "submit", "--queue", queue_dir, design_file,
+              "--device", "LX30"])
+        rc = main(["batch", "run", "--queue", queue_dir,
+                   "--job-timeout", "120"])
+        assert rc == 0
+        assert JobStore(queue_dir).counts()["done"] == 1
 
 
 class TestStatus:

@@ -1,0 +1,93 @@
+"""Differential correctness: the service layer must never change answers.
+
+For a small synthetic population, ``run_batch`` -- one worker or two,
+cold cache or warm -- must yield results identical to calling
+``partition()`` directly: same ``total_frames``, same scheme.  This is
+the guard that lets every other service feature (supervision, retries,
+priorities, caching) evolve without silently moving paper-level
+numbers.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.arch.library import virtex5_full
+from repro.core.partitioner import (
+    PartitionerOptions,
+    partition_with_device_selection,
+)
+from repro.service import JobStore, ResultCache, run_batch
+from repro.service.problem import resolve_problem_text
+from repro.synth.generator import generate_population
+
+N_DESIGNS = 3
+SEED = 13
+MAX_SETS = 3  # bound the covering loop; part of both paths' options
+
+
+@pytest.fixture(scope="module")
+def population():
+    return [d for _cls, d in generate_population(N_DESIGNS, seed=SEED)]
+
+
+@pytest.fixture(scope="module")
+def direct_answers(population):
+    """The ground truth: partition() called directly, no service layer."""
+    options = PartitionerOptions(max_candidate_sets=MAX_SETS)
+    answers = {}
+    for design in population:
+        selected = partition_with_device_selection(
+            design, virtex5_full(), options=options
+        )
+        answers[design.name] = (
+            selected.device.name,
+            selected.result.total_frames,
+            selected.result.scheme.describe(),
+        )
+    return answers
+
+
+def batch_answers(tmp_path, population, workers, cache):
+    store = JobStore.open(tmp_path / f"q-w{workers}-{len(list(cache.keys()))}")
+    for design in population:
+        store.submit_design(design, max_candidate_sets=MAX_SETS)
+    report = run_batch(store, cache, workers=workers)
+    assert report.failed == 0
+    assert report.done == len(population)
+    answers = {}
+    for job in store.jobs():
+        entry = cache.get(job.result_key)
+        # The cached design must round-trip to the submitted problem.
+        assert resolve_problem_text(job.design_xml).design.name == job.name
+        answers[job.name] = (
+            entry.device_name,
+            entry.total_frames,
+            entry.result.scheme.describe(),
+        )
+    return report, answers
+
+
+@pytest.mark.parametrize("workers", [1, 2])
+def test_batch_matches_direct_partition(
+    tmp_path, population, direct_answers, workers
+):
+    cache = ResultCache(tmp_path / f"cache-{workers}")
+    cold_report, cold = batch_answers(tmp_path, population, workers, cache)
+    assert cold_report.cache_hits == 0
+    assert cold == direct_answers
+
+    # Warm pass: same submissions again, everything from cache -- and
+    # still byte-identical to the direct answers.
+    warm_report, warm = batch_answers(tmp_path, population, workers, cache)
+    assert warm_report.cache_hits == len(population)
+    assert warm_report.computed == 0
+    assert warm == direct_answers
+
+
+def test_single_and_multi_worker_caches_are_identical(tmp_path, population):
+    solo_cache = ResultCache(tmp_path / "c1")
+    pool_cache = ResultCache(tmp_path / "c2")
+    batch_answers(tmp_path / "solo", population, 1, solo_cache)
+    batch_answers(tmp_path / "pool", population, 2, pool_cache)
+    assert sorted(solo_cache.keys()) == sorted(pool_cache.keys())

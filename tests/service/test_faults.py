@@ -1,0 +1,263 @@
+"""Fault injection and supervision: hung/slow/crashing workers on demand.
+
+The hung-worker tests are the acceptance path for supervision: a
+deterministically injected hang must be *detected* (heartbeat staleness
+or deadline), its job re-queued until the attempt cap and failed with a
+``timeout`` error, and the batch must still drain -- no sleeps-and-hope,
+no leaked worker processes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import RecordingTracer
+from repro.service import (
+    FaultError,
+    FaultPlan,
+    FaultSpec,
+    JobStore,
+    ResultCache,
+    ServiceError,
+    parse_fault,
+    run_batch,
+)
+
+from ..conftest import make_design
+
+
+def simple_design(name: str, clb: int = 40):
+    return make_design(
+        {
+            "A": {"A1": (clb, 0, 0), "A2": (clb + 160, 0, 0)},
+            "B": {"B1": (220, 0, 0), "B2": (50, 0, 0)},
+        },
+        [("A1", "B1"), ("A2", "B2"), ("A1", "B2")],
+        name=name,
+    )
+
+
+@pytest.fixture
+def queue(tmp_path):
+    return JobStore.open(tmp_path / "queue")
+
+
+@pytest.fixture
+def cache(tmp_path):
+    return ResultCache(tmp_path / "cache")
+
+
+class TestSpecParsing:
+    def test_bare_kind(self):
+        spec = parse_fault("hang")
+        assert spec == FaultSpec(kind="hang", match="*", seconds=None)
+
+    def test_kind_and_glob(self):
+        assert parse_fault("crash:design_a").match == "design_a"
+
+    def test_full_form(self):
+        spec = parse_fault("slow:synth-*:0.25")
+        assert spec.kind == "slow"
+        assert spec.match == "synth-*"
+        assert spec.seconds == 0.25
+
+    def test_empty_glob_means_match_all(self):
+        assert parse_fault("crash::1.5") == FaultSpec("crash", "*", 1.5)
+
+    @pytest.mark.parametrize(
+        "text", ["", "explode", "hang:a:b:c", "slow:*:nan-ish"]
+    )
+    def test_malformed_specs_raise(self, text):
+        with pytest.raises(FaultError):
+            parse_fault(text)
+
+    def test_negative_seconds_rejected(self):
+        with pytest.raises(FaultError):
+            FaultSpec("slow", "*", -1.0)
+
+
+class TestPlanMatching:
+    def test_first_match_wins(self):
+        plan = FaultPlan.parse(["crash:victim", "slow:*"])
+        assert plan.for_job("victim", attempt=1).kind == "crash"
+        assert plan.for_job("anything-else", attempt=1).kind == "slow"
+
+    def test_fail_once_only_matches_attempt_one(self):
+        plan = FaultPlan.parse(["fail-once:flaky"])
+        assert plan.for_job("flaky", attempt=1) is not None
+        assert plan.for_job("flaky", attempt=2) is None
+
+    def test_no_match_returns_none(self):
+        plan = FaultPlan.parse(["hang:victim"])
+        assert plan.for_job("innocent", attempt=1) is None
+        assert plan.payload_for("innocent", 1) is None
+
+    def test_payload_round_trips(self):
+        from repro.service.faults import spec_from_payload
+
+        spec = FaultSpec("slow", "a*", 0.5)
+        assert spec_from_payload(spec.to_payload()) == spec
+
+    def test_has_hang(self):
+        assert FaultPlan.parse(["hang:x"]).has_hang
+        assert not FaultPlan.parse(["crash:x"]).has_hang
+        assert not FaultPlan()
+
+
+class TestHungWorkerDetection:
+    """The tentpole acceptance: hangs are detected, batches terminate."""
+
+    def test_hang_detected_by_heartbeat_staleness(self, queue, cache):
+        victim = queue.submit_design(simple_design("victim"), device="LX30")
+        ok = queue.submit_design(simple_design("ok", clb=44), device="LX30")
+        tracer = RecordingTracer()
+        report = run_batch(
+            queue,
+            cache,
+            workers=2,
+            faults=FaultPlan.parse(["hang:victim"]),
+            job_timeout_s=30.0,  # generous: staleness must fire first
+            heartbeat_interval_s=0.1,
+            heartbeat_timeout_s=0.5,
+            tracer=tracer,
+        )
+        # The batch drained: the healthy job finished, the hung one
+        # burned its attempts (killed + re-queued each time) and failed.
+        assert report.done == 1
+        assert report.failed == 1
+        assert report.failed_ids == (victim.id,)
+        assert report.retries == victim.max_attempts - 1
+        assert report.timeouts == victim.max_attempts
+
+        failed = queue.get(victim.id)
+        assert failed.state == "failed"
+        assert failed.attempts == failed.max_attempts
+        assert failed.error.startswith("timeout")
+        assert "no heartbeat" in failed.error
+        assert queue.get(ok.id).state == "done"
+
+        names = [e.name for e in tracer.events]
+        assert names.count("batch.job_timeout") == victim.max_attempts
+        assert "batch.job_retried" in names
+        assert tracer.counters["service.timeouts"] == victim.max_attempts
+
+    def test_hang_detected_by_deadline_without_heartbeats(self, queue, cache):
+        queue.submit_design(simple_design("victim"), device="LX30")
+        tracer = RecordingTracer()
+        report = run_batch(
+            queue,
+            cache,
+            workers=1,  # supervision engages via the deadline alone
+            faults=FaultPlan.parse(["hang:victim"]),
+            job_timeout_s=0.5,
+            tracer=tracer,
+        )
+        assert report.failed == 1
+        assert report.timeouts == 2
+        error = queue.jobs()[0].error
+        assert "deadline" in error
+        events = [e for e in tracer.events if e.name == "batch.job_timeout"]
+        assert all("deadline" in e.payload["reason"] for e in events)
+
+    def test_hang_without_any_timeout_is_refused(self, queue, cache):
+        queue.submit_design(simple_design("victim"), device="LX30")
+        with pytest.raises(ServiceError, match="hang"):
+            run_batch(
+                queue, cache, workers=2, faults=FaultPlan.parse(["hang:*"])
+            )
+
+    def test_timed_out_spec_can_eventually_succeed(self, queue, cache):
+        # fail-once composes with supervision: attempt 1 hangs nothing,
+        # just fails fast; attempt 2 computes under the same deadlines.
+        job = queue.submit_design(simple_design("flaky"), device="LX30")
+        report = run_batch(
+            queue,
+            cache,
+            faults=FaultPlan.parse(["fail-once:flaky"]),
+            job_timeout_s=60.0,
+            heartbeat_interval_s=0.1,
+            heartbeat_timeout_s=5.0,
+        )
+        assert report.done == 1
+        assert report.retries == 1
+        assert report.timeouts == 0
+        assert queue.get(job.id).state == "done"
+
+
+class TestLiveWorkersSurvive:
+    def test_slow_but_beating_worker_is_not_killed(self, queue, cache):
+        # Slower than the staleness threshold, but heartbeats keep
+        # flowing -- supervision must tell busy apart from wedged.
+        queue.submit_design(simple_design("slowpoke"), device="LX30")
+        tracer = RecordingTracer()
+        report = run_batch(
+            queue,
+            cache,
+            workers=2,
+            faults=FaultPlan.parse(["slow:slowpoke:1.2"]),
+            job_timeout_s=60.0,
+            heartbeat_interval_s=0.1,
+            heartbeat_timeout_s=0.6,
+            tracer=tracer,
+        )
+        assert report.timeouts == 0
+        assert report.failed == 0
+        assert report.done == 1
+        # The parent observed the beats it spared the worker for.
+        assert any(e.name == "batch.heartbeat" for e in tracer.events)
+
+    def test_unfaulted_jobs_ignore_the_plan(self, queue, cache):
+        queue.submit_design(simple_design("innocent"), device="LX30")
+        report = run_batch(
+            queue,
+            cache,
+            faults=FaultPlan.parse(["crash:somebody-else"]),
+            job_timeout_s=60.0,
+        )
+        assert report.done == 1
+        assert report.failed == 0
+
+
+class TestInjectedFailures:
+    def test_crash_burns_attempts_then_fails(self, queue, cache):
+        job = queue.submit_design(
+            simple_design("doomed"), device="LX30", max_attempts=3
+        )
+        report = run_batch(
+            queue, cache, faults=FaultPlan.parse(["crash:doomed"])
+        )
+        assert report.failed == 1
+        assert report.retries == 2
+        failed = queue.get(job.id)
+        assert failed.attempts == 3
+        assert "InjectedFault" in failed.error
+        assert "injected crash" in failed.error
+
+    def test_fail_once_recovers_on_retry_inline(self, queue, cache):
+        job = queue.submit_design(simple_design("flaky"), device="LX30")
+        report = run_batch(
+            queue, cache, faults=FaultPlan.parse(["fail-once:flaky"])
+        )
+        assert report.done == 1
+        assert report.failed == 0
+        assert report.retries == 1
+        done = queue.get(job.id)
+        assert done.state == "done"
+        assert done.attempts == 2
+        assert done.error is None
+
+    def test_worker_death_without_outcome_is_survived(self, queue, cache):
+        # Not a FaultPlan kind: kill the worker process mid-flight by
+        # injecting a hang and a tight deadline, then verify the .work
+        # spool holds no leftovers -- the supervisor must retire every
+        # file it creates.
+        queue.submit_design(simple_design("victim"), device="LX30")
+        run_batch(
+            queue,
+            cache,
+            faults=FaultPlan.parse(["hang:victim"]),
+            job_timeout_s=0.4,
+        )
+        workdir = queue.directory / ".work"
+        assert workdir.exists()
+        assert list(workdir.iterdir()) == []

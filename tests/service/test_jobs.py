@@ -205,6 +205,157 @@ class TestPersistence:
             JobStore(store.directory)
 
 
+class TestScheduling:
+    """pending() dispatch order: priority desc, fair round-robin, FIFO."""
+
+    def test_default_is_plain_fifo(self, store):
+        a = submit_one(store, xml="<a/>")
+        b = submit_one(store, xml="<b/>")
+        c = submit_one(store, xml="<c/>")
+        assert [j.id for j in store.pending()] == [a.id, b.id, c.id]
+
+    def test_higher_priority_dispatches_first(self, store):
+        low = submit_one(store, xml="<a/>", priority=0)
+        high = submit_one(store, xml="<b/>", priority=5)
+        mid = submit_one(store, xml="<c/>", priority=1)
+        assert [j.id for j in store.pending()] == [high.id, mid.id, low.id]
+
+    def test_negative_priority_sinks_below_default(self, store):
+        sink = submit_one(store, xml="<a/>", priority=-2)
+        norm = submit_one(store, xml="<b/>")
+        assert [j.id for j in store.pending()] == [norm.id, sink.id]
+
+    def test_round_robin_across_submitters(self, store):
+        a1 = submit_one(store, xml="<a1/>", submitter="alice")
+        a2 = submit_one(store, xml="<a2/>", submitter="alice")
+        a3 = submit_one(store, xml="<a3/>", submitter="alice")
+        b1 = submit_one(store, xml="<b1/>", submitter="bob")
+        b2 = submit_one(store, xml="<b2/>", submitter="bob")
+        # Bob's backlog interleaves with Alice's despite submitting last.
+        assert [j.id for j in store.pending()] == [
+            a1.id, b1.id, a2.id, b2.id, a3.id
+        ]
+
+    def test_mixed_priority_two_submitters(self, store):
+        # The acceptance ordering: priority bands first, round-robin
+        # within a band, FIFO as the final tie-break.
+        a1 = submit_one(store, xml="<a1/>", submitter="alice")
+        a2 = submit_one(store, xml="<a2/>", submitter="alice")
+        b1 = submit_one(store, xml="<b1/>", submitter="bob")
+        urgent = submit_one(store, xml="<u/>", submitter="carol", priority=5)
+        b2 = submit_one(store, xml="<b2/>", submitter="bob")
+        assert [j.id for j in store.pending()] == [
+            urgent.id, a1.id, b1.id, a2.id, b2.id
+        ]
+
+    def test_only_pending_jobs_are_scheduled(self, store):
+        done = submit_one(store, xml="<a/>", priority=9)
+        queued = submit_one(store, xml="<b/>")
+        store.mark_done(done.id, "k" * 64, cache_hit=True)
+        assert [j.id for j in store.pending()] == [queued.id]
+
+    def test_priority_does_not_distinguish_specs(self, store):
+        a = submit_one(store, priority=0)
+        b = submit_one(store, priority=7)  # same spec, new priority
+        assert b.id == a.id
+        assert b.priority == 0  # the queued job stands unchanged
+
+    def test_priority_survives_reload(self, store, tmp_path):
+        submit_one(store, priority=3, submitter="alice")
+        back = JobStore(tmp_path / "queue").jobs()[0]
+        assert back.priority == 3
+        assert back.submitter == "alice"
+
+    def test_non_integer_priority_rejected(self):
+        with pytest.raises(JobStoreError, match="priority"):
+            Job(id="j", name="n", design_xml="<x/>", priority="high")
+
+
+class TestLegacyLogs:
+    """A pre-priority jobs.jsonl (PR 2 field set) must load unchanged."""
+
+    LEGACY = {
+        "id": "job-00000-aabbccdd",
+        "name": "old-design",
+        "design_xml": "<x/>",
+        "device": "LX30",
+        "max_candidate_sets": None,
+        "spec_digest": "aabbccddeeff0011",
+        "state": "pending",
+        "attempts": 1,
+        "max_attempts": 2,
+        "error": "boom",
+        "result_key": None,
+        "cache_hit": False,
+        "compute_s": None,
+        "submitted_at": 1700000000.0,
+        "updated_at": 1700000001.0,
+    }
+
+    def test_legacy_record_loads_with_scheduling_defaults(self, store):
+        with store.path.open("a", encoding="utf-8") as fh:
+            fh.write(json.dumps(self.LEGACY) + "\n")
+        loaded = JobStore(store.directory)
+        job = loaded.get("job-00000-aabbccdd")
+        assert job.priority == 0
+        assert job.submitter == ""
+        assert job.state == "pending"
+        assert job.attempts == 1
+        assert job.error == "boom"
+        # And it participates in scheduling (plain FIFO band 0).
+        assert [j.id for j in loaded.pending()] == [job.id]
+
+    def test_legacy_and_new_records_mix_in_one_log(self, store):
+        with store.path.open("a", encoding="utf-8") as fh:
+            fh.write(json.dumps(self.LEGACY) + "\n")
+        loaded = JobStore(store.directory)
+        fresh = loaded.submit(
+            name="new", design_xml="<y/>", priority=2, submitter="alice"
+        )
+        again = JobStore(store.directory)
+        assert [j.id for j in again.pending()] == [
+            fresh.id, "job-00000-aabbccdd"
+        ]
+        # The legacy job's spec digest still joins the dedupe index.
+        dup = again.submit(name="dup", design_xml="<x/>", device="LX30")
+        assert dup.id != "job-00000-aabbccdd"  # digest differs: real spec
+
+
+class TestDedupeIndex:
+    """submit() dedupe is indexed, not a scan -- same observable rules."""
+
+    def test_duplicate_after_many_jobs_still_dedupes(self, store):
+        first = submit_one(store)
+        for i in range(50):
+            submit_one(store, xml=f"<other-{i}/>")
+        assert submit_one(store).id == first.id
+
+    def test_dedupe_falls_through_failed_to_live_duplicate(self, store):
+        a = submit_one(store, max_attempts=1)
+        b = submit_one(store, dedupe=False)  # same spec, forced duplicate
+        store.mark_running(a.id)
+        store.mark_failed(a.id, "boom")
+        assert store.get(a.id).state == "failed"
+        # The index must serve the *live* duplicate, not the failed one.
+        assert submit_one(store).id == b.id
+
+    def test_index_rebuilds_on_reload(self, store, tmp_path):
+        first = submit_one(store)
+        reloaded = JobStore(tmp_path / "queue")
+        assert submit_one(reloaded).id == first.id
+
+    def test_submit_is_not_quadratic(self, store):
+        # 300 distinct specs: with the digest index this is ~instant;
+        # the old all-jobs scan would cross 45k comparisons.
+        import time as _time
+
+        started = _time.perf_counter()
+        for i in range(300):
+            submit_one(store, xml=f"<n-{i}/>")
+        assert len(store.jobs()) == 300
+        assert _time.perf_counter() - started < 5.0
+
+
 class TestJobValidation:
     def test_unknown_state_rejected(self):
         with pytest.raises(JobStoreError):

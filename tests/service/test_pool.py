@@ -180,6 +180,56 @@ class TestPoolPath:
         assert by_name(pool_q) == by_name(solo_q)
 
 
+class TestPriorityDrain:
+    def test_dispatch_follows_priority_then_round_robin(self, queue, cache):
+        low = queue.submit_design(simple_design("low", clb=41), device="LX30",
+                                  priority=0, submitter="alice")
+        high = queue.submit_design(simple_design("high", clb=42), device="LX30",
+                                   priority=5, submitter="bob")
+        mid = queue.submit_design(simple_design("mid", clb=43), device="LX30",
+                                  priority=1, submitter="alice")
+        tracer = RecordingTracer()
+        report = run_batch(queue, cache, workers=1, tracer=tracer)
+        assert report.done == 3
+        started = [e.payload["job"] for e in tracer.events
+                   if e.name == "batch.job_started"]
+        assert started == [high.id, mid.id, low.id]
+
+    def test_two_submitters_interleave_in_dispatch(self, queue, cache):
+        a = [queue.submit_design(simple_design(f"a{i}", clb=41 + i),
+                                 device="LX30", submitter="alice")
+             for i in range(2)]
+        b = [queue.submit_design(simple_design(f"b{i}", clb=51 + i),
+                                 device="LX30", submitter="bob")
+             for i in range(2)]
+        tracer = RecordingTracer()
+        run_batch(queue, cache, workers=1, tracer=tracer)
+        started = [e.payload["job"] for e in tracer.events
+                   if e.name == "batch.job_started"]
+        assert started == [a[0].id, b[0].id, a[1].id, b[1].id]
+
+
+class TestMetricConsistency:
+    def test_jobs_per_s_gauge_matches_report_definition(self, queue, cache):
+        # One computed, one terminally failed: the gauge and the report
+        # property must agree on what "jobs per second" means.
+        queue.submit_design(simple_design("ok"), device="LX30")
+        queue.submit_design(infeasible_design(), device="LX30")
+        tracer = RecordingTracer()
+        report = run_batch(queue, cache, workers=1, tracer=tracer)
+        assert report.done + report.failed == report.total
+        assert tracer.gauges["service.jobs_per_s"] == pytest.approx(
+            report.jobs_per_s, rel=1e-3
+        )
+
+    def test_timeouts_default_to_zero(self, queue, cache):
+        queue.submit_design(simple_design("ok"), device="LX30")
+        report = run_batch(queue, cache)
+        assert report.timeouts == 0
+        assert report.to_dict()["timeouts"] == 0
+        assert "timeouts" in report.to_dict()
+
+
 class TestObservability:
     def test_tracer_sees_lifecycle_events_and_metrics(self, queue, cache):
         queue.submit_design(simple_design("ok"), device="LX30")
