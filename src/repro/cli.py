@@ -79,23 +79,42 @@ def _add_trace_flags(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _partitioner_options(args: argparse.Namespace) -> "PartitionerOptions | None":
+    """PartitionerOptions from --engine/--parallel-restarts (None = defaults)."""
+    engine = getattr(args, "engine", None)
+    parallel = getattr(args, "parallel_restarts", None)
+    if engine is None and parallel is None:
+        return None
+    from .core.allocation import AllocationOptions
+    from .core.partitioner import PartitionerOptions
+
+    return PartitionerOptions(
+        allocation=AllocationOptions(
+            engine=engine or "incremental", parallel_restarts=parallel
+        )
+    )
+
+
 def _cmd_partition(args: argparse.Namespace) -> int:
     problem = resolve_problem(args.design, args.device)
     design = problem.design
     tracer = _make_tracer(args)
+    options = _partitioner_options(args)
     print(design.summary())
 
     if problem.device is not None:
         device = problem.device
         try:
-            result = partition(design, problem.capacity, tracer=tracer)
+            result = partition(
+                design, problem.capacity, options, tracer=tracer
+            )
         except InfeasibleError as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 1
     else:
         try:
             dres = partition_with_device_selection(
-                design, problem.library, tracer=tracer
+                design, problem.library, options, tracer=tracer
             )
         except InfeasibleError as exc:
             print(f"error: {exc}", file=sys.stderr)
@@ -367,6 +386,12 @@ def build_parser() -> argparse.ArgumentParser:
             "(reproduction of Vipin & Fahmy, IPDPSW 2013)"
         ),
     )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="run the command under cProfile and print the hottest "
+        "functions (cumulative time) to stderr",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     p = sub.add_parser("partition", help="partition an XML design description")
@@ -379,6 +404,15 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--out", help="directory for UCF/wrappers/partial bitstreams "
         "(requires --floorplan)"
+    )
+    p.add_argument(
+        "--engine", choices=("incremental", "reference"),
+        help="merge-search engine (default: incremental; both are "
+        "bit-identical -- docs/PERFORMANCE.md)",
+    )
+    p.add_argument(
+        "--parallel-restarts", type=int, metavar="N",
+        help="shard the search restarts over N worker processes",
     )
     _add_trace_flags(p)
     p.set_defaults(func=_cmd_partition)
@@ -501,6 +535,20 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    if args.profile:
+        import cProfile
+        import pstats
+
+        profiler = cProfile.Profile()
+        try:
+            rc = profiler.runcall(args.func, args)
+        finally:
+            stats = pstats.Stats(profiler, stream=sys.stderr)
+            stats.sort_stats("cumulative")
+            print("\n--- profile (top 25 by cumulative time) ---",
+                  file=sys.stderr)
+            stats.print_stats(25)
+        return rc
     return args.func(args)
 
 

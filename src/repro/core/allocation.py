@@ -16,6 +16,26 @@ begin the previous iterations"), so a locally bad first merge cannot trap
 the search.  Restart count and step counts are configurable to keep large
 synthetic designs within the paper's seconds-to-a-minute runtime.
 
+Two engines produce bit-identical results (see docs/PERFORMANCE.md):
+
+* ``engine="reference"`` -- the straightforward implementation: each
+  descent step rescans all O(n^2) group pairs for the best merge;
+* ``engine="incremental"`` (default) -- a lazy-invalidation min-heap of
+  merge candidates.  Each restart seeds the heap from the live pairs of
+  its start state and each step only evaluates the pairs involving the
+  newly merged group; entries naming dead groups are dropped when
+  popped.  Heap keys carry monotone *slot* numbers so ties pop in the
+  reference engine's positional scan order, and per-pair merge stats
+  are memoised so repeated restarts never recompute them.  Running
+  footprint totals replace the per-state ``_fits`` rescan.
+
+``AllocationOptions.parallel_restarts`` additionally shards the
+independent restarts of the incremental engine across a process pool
+(:func:`repro.service.pool.fanout_map`).  Shards prune with *private*
+seen-state sets, so the fan-out explores a superset of the sequential
+states -- its best cost is never worse, but state counters differ (the
+bit-identical guarantee holds between the two sequential engines).
+
 Implementation note: this is the hot loop of the whole library (the
 Fig. 7-9 sweep runs it hundreds of thousands of times), so the internal
 :class:`_Group` works on plain int tuples -- (clb, bram, dsp) -- instead
@@ -26,21 +46,36 @@ are memoised by member signature.  The public surface still speaks
 
 from __future__ import annotations
 
+import heapq
 import itertools
-from dataclasses import dataclass
+from dataclasses import dataclass, field, replace
 from typing import Callable, Iterable, Sequence
+
+import numpy as np
 
 from ..arch.resources import ResourceVector
 from ..obs import NULL_TRACER, Tracer
 from .clustering import BasePartition
 from .cost import DEFAULT_POLICY, TransitionPolicy
 from .covering import CandidatePartitionSet
+from .kernels import (
+    encode_activity,
+    merge_encoded,
+    switch_pair_counts_encoded,
+    weighted_switch_sums_encoded,
+)
 from .model import PRDesign
 from .result import PartitioningScheme, Region
 
 # Tile constants inlined from repro.arch.tiles (kept in sync by tests).
 _CLB_PER_TILE, _BRAM_PER_TILE, _DSP_PER_TILE = 20, 4, 8
 _CLB_FRAMES, _BRAM_FRAMES, _DSP_FRAMES = 36, 30, 28
+
+#: Below this many configurations the scalar pair loops beat the numpy
+#: kernels (array setup dominates).  The dispatch depends only on the
+#: design's configuration count, so every group of one search -- and both
+#: engines -- use the same implementation and produce identical floats.
+_VECTORIZE_MIN_CONFIGS = 12
 
 Vec = tuple[int, int, int]
 
@@ -64,7 +99,9 @@ class _Group:
     partition serving that configuration, or ``None``.  ``usage`` is the
     bitmask of configuration indices touching any member's modes -- two
     groups may merge iff their usage masks are disjoint (the paper's
-    compatibility relation lifted to groups).
+    compatibility relation lifted to groups).  ``ids`` is the
+    numpy-encoded activity vector (shared label codec, -1 for ``None``)
+    when the group was built inside a search; ``None`` otherwise.
     """
 
     members: tuple[BasePartition, ...]
@@ -76,6 +113,7 @@ class _Group:
     switch_pairs_strict: float
     switch_pairs_lenient: float
     signature: frozenset[str]
+    ids: "np.ndarray | None" = field(default=None, repr=False, compare=False)
 
     def switch_pairs(self, policy: TransitionPolicy) -> float:
         if policy is TransitionPolicy.STRICT:
@@ -136,11 +174,32 @@ def _weighted_switch_sums(
     return strict, lenient
 
 
+def _switch_stats(
+    activity: Sequence[str | None], ids, weights
+) -> tuple[float, float]:
+    """(strict, lenient) switch stats with a size-based kernel dispatch.
+
+    The choice depends only on the configuration count and the presence
+    of encoded ids, both fixed for one search, so every group -- and the
+    pair-stat peeks in :class:`_PairStats` -- computes with the same
+    implementation and gets bit-identical values.
+    """
+    vectorize = ids is not None and len(activity) >= _VECTORIZE_MIN_CONFIGS
+    if weights is None:
+        if vectorize:
+            return switch_pair_counts_encoded(ids)
+        return _switch_pair_counts(activity)
+    if vectorize:
+        return weighted_switch_sums_encoded(ids, weights)
+    return _weighted_switch_sums(activity, weights)
+
+
 def _make_group(
     members: tuple[BasePartition, ...],
     activity: tuple[str | None, ...],
     usage: int,
     weights=None,
+    ids=None,
 ) -> _Group:
     rc = rb = rd = 0
     for p in members:
@@ -153,10 +212,7 @@ def _make_group(
             rd = r.dsp
     requirement = (rc, rb, rd)
     footprint, frames = _quantise(requirement)
-    if weights is None:
-        strict, lenient = _switch_pair_counts(activity)
-    else:
-        strict, lenient = _weighted_switch_sums(activity, weights)
+    strict, lenient = _switch_stats(activity, ids, weights)
     return _Group(
         members=members,
         activity=activity,
@@ -167,13 +223,22 @@ def _make_group(
         switch_pairs_strict=strict,
         switch_pairs_lenient=lenient,
         signature=frozenset(p.label for p in members),
+        ids=ids,
     )
 
 
 def _initial_groups(
-    design: PRDesign, cps: CandidatePartitionSet, weights=None
+    design: PRDesign,
+    cps: CandidatePartitionSet,
+    weights=None,
+    codec: dict[str, int] | None = None,
 ) -> list[_Group]:
-    """Each candidate partition in its own region."""
+    """Each candidate partition in its own region.
+
+    Passing a label ``codec`` (normally the merge cache's) additionally
+    encodes every activity vector for the vectorized kernels; groups of
+    one search must share one codec.
+    """
     config_modes = [frozenset(c.modes) for c in design.configurations]
     config_names = [c.name for c in design.configurations]
     groups: list[_Group] = []
@@ -186,7 +251,8 @@ def _initial_groups(
         for i, modes in enumerate(config_modes):
             if bp.modes & modes:
                 usage |= 1 << i
-        groups.append(_make_group((bp,), activity, usage, weights))
+        ids = encode_activity(activity, codec) if codec is not None else None
+        groups.append(_make_group((bp,), activity, usage, weights, ids))
     return groups
 
 
@@ -197,12 +263,15 @@ class _MergeCache:
     and unweighted searches requires separate caches.  ``hits``/``misses``
     are plain ints maintained unconditionally (two integer adds per merge
     -- negligible next to group construction) so tracers can report cache
-    effectiveness without touching the hot path.
+    effectiveness without touching the hot path.  ``codec`` is the shared
+    label-id mapping for the vectorized kernels; merged ids are derived
+    by overlaying the parents' encodings.
     """
 
     def __init__(self, weights=None) -> None:
         self._cache: dict[frozenset[str], _Group] = {}
         self.weights = weights
+        self.codec: dict[str, int] = {}
         self.hits = 0
         self.misses = 0
 
@@ -214,8 +283,15 @@ class _MergeCache:
             activity = tuple(
                 x if x is not None else y for x, y in zip(a.activity, b.activity)
             )
+            ids = None
+            if a.ids is not None and b.ids is not None:
+                ids = merge_encoded(a.ids, b.ids)
             merged = _make_group(
-                a.members + b.members, activity, a.usage | b.usage, self.weights
+                a.members + b.members,
+                activity,
+                a.usage | b.usage,
+                self.weights,
+                ids,
             )
             self._cache[key] = merged
         else:
@@ -241,6 +317,122 @@ def _total_cost(groups: Sequence[_Group], policy: TransitionPolicy) -> float:
     return sum(g.cost(policy) for g in groups)
 
 
+class _PairStats:
+    """Memoised (merged cost, merged footprint) of compatible pairs.
+
+    Two access paths, both reporting exactly what ``cache.merge(a, b)``
+    would (an existing cache entry is consulted first -- a cache shared
+    across the candidate sets of one design may hold a group whose
+    activity was derived under an earlier set's cover, and the reference
+    engine scores with that entry):
+
+    * :meth:`peek` never allocates the merged :class:`_Group` or touches
+      the cache's hit/miss books -- the cheap bound used to rank
+      ``initial_pairs`` (absent a cache entry it derives the value from
+      the overlay directly);
+    * :meth:`evaluate` materialises the pair through ``cache.merge`` the
+      first time -- the incremental engine uses it for every pair a
+      reference descent would itself evaluate, so both engines leave the
+      shared cache with identical contents (on which *later* searches'
+      values depend).
+
+    Callers derive the reference engine's scan values in the reference's
+    operand order (``merged - lower - upper``), keeping weighted floats
+    bit-identical.  Memos are keyed by object identity: every group of a
+    search is kept alive by the base list or the merge cache, and the
+    overlay of a *compatible* pair is symmetric, so one entry serves
+    both orders.
+    """
+
+    __slots__ = ("_strict", "_cache", "_memo", "_materialised")
+
+    def __init__(self, policy: TransitionPolicy, cache: _MergeCache) -> None:
+        self._strict = policy is TransitionPolicy.STRICT
+        self._cache = cache
+        self._memo: dict[tuple[int, int], tuple[float, Vec]] = {}
+        self._materialised: set[tuple[int, int]] = set()
+
+    def _value_of(self, merged: _Group) -> tuple[float, Vec]:
+        sw = (
+            merged.switch_pairs_strict
+            if self._strict
+            else merged.switch_pairs_lenient
+        )
+        return (merged.frames * sw, merged.footprint)
+
+    def peek(self, a: _Group, b: _Group) -> tuple[float, Vec]:
+        ka, kb = id(a), id(b)
+        key = (ka, kb) if ka < kb else (kb, ka)
+        val = self._memo.get(key)
+        if val is None:
+            cached = self._cache._cache.get(a.signature | b.signature)
+            if cached is not None:
+                val = self._value_of(cached)
+            else:
+                ra, rb = a.requirement, b.requirement
+                req = (
+                    ra[0] if ra[0] >= rb[0] else rb[0],
+                    ra[1] if ra[1] >= rb[1] else rb[1],
+                    ra[2] if ra[2] >= rb[2] else rb[2],
+                )
+                footprint, frames = _quantise(req)
+                activity = tuple(
+                    x if x is not None else y
+                    for x, y in zip(a.activity, b.activity)
+                )
+                ids = None
+                if a.ids is not None and b.ids is not None:
+                    ids = merge_encoded(a.ids, b.ids)
+                sw_strict, sw_lenient = _switch_stats(
+                    activity, ids, self._cache.weights
+                )
+                val = (
+                    frames * (sw_strict if self._strict else sw_lenient),
+                    footprint,
+                )
+            self._memo[key] = val
+        return val
+
+    def evaluate(self, a: _Group, b: _Group) -> tuple[float, Vec]:
+        ka, kb = id(a), id(b)
+        key = (ka, kb) if ka < kb else (kb, ka)
+        if key in self._materialised:
+            return self._memo[key]
+        self._materialised.add(key)
+        val = self._value_of(self._cache.merge(a, b))
+        self._memo[key] = val
+        return val
+
+
+class _HeapStats:
+    """Counters of the incremental engine's heap traffic (``merge.heap_*``)."""
+
+    __slots__ = ("pushes", "pops", "stale_drops", "rebuilds")
+
+    def __init__(self) -> None:
+        self.pushes = 0
+        self.pops = 0
+        self.stale_drops = 0
+        self.rebuilds = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "pushes": self.pushes,
+            "pops": self.pops,
+            "stale_drops": self.stale_drops,
+            "rebuilds": self.rebuilds,
+        }
+
+    def absorb(self, other: dict[str, int]) -> None:
+        self.pushes += other["pushes"]
+        self.pops += other["pops"]
+        self.stale_drops += other["stale_drops"]
+        self.rebuilds += other["rebuilds"]
+
+
+_ENGINES = ("incremental", "reference")
+
+
 @dataclass
 class AllocationOptions:
     """Tuning knobs for the merge search.
@@ -248,7 +440,12 @@ class AllocationOptions:
     Defaults follow the paper's exhaustive-restart description; the caps
     exist so very large synthetic designs stay within the paper's
     seconds-to-a-minute runtime envelope.  ``max_initial_pairs=None``
-    means every compatible pair seeds one descent.
+    means every compatible pair seeds one descent.  ``engine`` selects
+    the search implementation -- the heap-driven ``"incremental"``
+    engine (default) is bit-identical to ``"reference"`` and several
+    times faster (docs/PERFORMANCE.md).  ``parallel_restarts`` shards
+    the incremental engine's restarts over that many worker processes;
+    ``None``/1 keeps the search in-process.
     """
 
     policy: TransitionPolicy = DEFAULT_POLICY
@@ -259,12 +456,25 @@ class AllocationOptions:
     #: all-pairs count (Eq. 7) to the probability-weighted variant the
     #: paper proposes as future work.
     pair_weights: "object | None" = None
+    engine: str = "incremental"
+    parallel_restarts: int | None = None
 
     def __post_init__(self) -> None:
         if self.max_initial_pairs is not None and self.max_initial_pairs < 1:
             raise ValueError("max_initial_pairs must be positive or None")
         if self.max_descent_steps is not None and self.max_descent_steps < 1:
             raise ValueError("max_descent_steps must be positive or None")
+        if self.engine not in _ENGINES:
+            raise ValueError(
+                f"engine must be one of {_ENGINES}, got {self.engine!r}"
+            )
+        if self.parallel_restarts is not None:
+            if self.parallel_restarts < 1:
+                raise ValueError("parallel_restarts must be positive or None")
+            if self.engine != "incremental":
+                raise ValueError(
+                    "parallel_restarts requires engine='incremental'"
+                )
 
 
 @dataclass
@@ -305,17 +515,19 @@ def search_candidate_set(
     cache = merge_cache or _MergeCache(options.pair_weights)
     cache_hits0, cache_misses0 = cache.hits, cache.misses
 
-    base = _initial_groups(design, cps, options.pair_weights)
+    base = _initial_groups(design, cps, options.pair_weights, cache.codec)
     best_groups: list[_Group] | None = None
     best_cost: float | None = None
     states = 0
     feasible = 0
     seen_states: set[frozenset[frozenset[str]]] = set()
 
-    def consider(groups: list[_Group]) -> None:
+    def consider(groups: list[_Group], fits: bool | None = None) -> None:
         nonlocal best_groups, best_cost, states, feasible
         states += 1
-        if _fits(groups, cap):
+        if fits is None:
+            fits = _fits(groups, cap)
+        if fits:
             feasible += 1
             cost = _total_cost(groups, policy)
             if best_cost is None or cost < best_cost or (
@@ -329,28 +541,35 @@ def search_candidate_set(
     consider(base)
 
     # All compatible pairs at the start, ordered by the cost delta of the
-    # merge so capped runs try the most promising seeds first.
-    def pair_delta(a: _Group, b: _Group) -> float:
-        return cache.merge(a, b).cost(policy) - a.cost(policy) - b.cost(policy)
+    # merge so capped runs try the most promising seeds first.  The delta
+    # comes from the pair-stat peek -- identical to materialising the
+    # merged group, but without seeding the merge cache for pairs that
+    # max_initial_pairs would discard anyway.
+    pair_stats = _PairStats(policy, cache)
+
+    def seed_delta(ij: tuple[int, int]) -> float:
+        a, b = base[ij[0]], base[ij[1]]
+        merged_cost, _ = pair_stats.peek(a, b)
+        return merged_cost - a.cost(policy) - b.cost(policy)
 
     initial_pairs = [
         (i, j)
         for i, j in itertools.combinations(range(len(base)), 2)
         if _mergeable(base[i], base[j])
     ]
-    initial_pairs.sort(key=lambda ij: pair_delta(base[ij[0]], base[ij[1]]))
+    initial_pairs.sort(key=seed_delta)
     if options.max_initial_pairs is not None:
         initial_pairs = initial_pairs[: options.max_initial_pairs]
 
     descent_steps = 0
-    for restart, (i, j) in enumerate(initial_pairs):
-        groups = [g for k, g in enumerate(base) if k not in (i, j)]
-        groups.append(cache.merge(base[i], base[j]))
-        consider(groups)
-        descent_steps += _greedy_descent(
-            groups, cap, options, consider, seen_states, cache
-        )
-        if tracer.enabled:
+    heap_stats = _HeapStats()
+    parallel_shards = 0
+    duplicate_states = 0
+
+    progress = None
+    if tracer.enabled:
+
+        def progress(restart: int) -> None:
             tracer.progress(
                 "merge.restart",
                 restart=restart + 1,
@@ -359,18 +578,332 @@ def search_candidate_set(
                 best_cost=best_cost,
             )
 
+    if options.engine == "reference":
+        for restart, (i, j) in enumerate(initial_pairs):
+            groups = [g for k, g in enumerate(base) if k not in (i, j)]
+            groups.append(cache.merge(base[i], base[j]))
+            consider(groups)
+            descent_steps += _greedy_descent(
+                groups, cap, options, consider, seen_states, cache
+            )
+            if progress is not None:
+                progress(restart)
+    elif (
+        options.parallel_restarts is not None
+        and options.parallel_restarts > 1
+        and len(initial_pairs) > 1
+    ):
+        parallel_shards = min(options.parallel_restarts, len(initial_pairs))
+        child_options = replace(options, parallel_restarts=None)
+        payloads = [
+            (design, cps, cap, child_options, initial_pairs[k::parallel_shards])
+            for k in range(parallel_shards)
+        ]
+        # Imported lazily: repro.service depends on repro.core, not the
+        # other way around.
+        from ..service.pool import fanout_map
+
+        outcomes = fanout_map(_search_shard, payloads, parallel_shards)
+        for out in outcomes:
+            states += out["states"]
+            feasible += out["feasible"]
+            descent_steps += out["descent_steps"]
+            duplicate_states += len(out["seen"])
+            seen_states |= out["seen"]
+            heap_stats.absorb(out["heap"])
+            cache.hits += out["cache_hits"]
+            cache.misses += out["cache_misses"]
+            for key, group in out["cache_entries"].items():
+                cache._cache.setdefault(key, group)
+            shard_groups = out["best_groups"]
+            shard_cost = out["best_cost"]
+            if shard_groups is not None and (
+                best_cost is None
+                or shard_cost < best_cost
+                or (
+                    shard_cost == best_cost
+                    and best_groups is not None
+                    and len(shard_groups) < len(best_groups)
+                )
+            ):
+                best_cost = shard_cost
+                best_groups = list(shard_groups)
+            if tracer.enabled:
+                tracer.progress(
+                    "merge.shard_done",
+                    restarts=len(out["seen"]),
+                    states=out["states"],
+                    best_cost=out["best_cost"],
+                )
+        duplicate_states -= len(seen_states)
+    else:
+        descent_steps = _run_restarts_incremental(
+            base,
+            initial_pairs,
+            cap,
+            options,
+            consider,
+            seen_states,
+            cache,
+            pair_stats,
+            heap_stats,
+            progress,
+        )
+
     tracer.count("merge.states_explored", states)
     tracer.count("merge.feasible_states", feasible)
     tracer.count("merge.initial_pairs", len(initial_pairs))
     tracer.count("merge.descent_steps", descent_steps)
     tracer.count("merge.cache_hits", cache.hits - cache_hits0)
     tracer.count("merge.cache_misses", cache.misses - cache_misses0)
+    if options.engine == "incremental":
+        tracer.count("merge.heap_pushes", heap_stats.pushes)
+        tracer.count("merge.heap_pops", heap_stats.pops)
+        tracer.count("merge.heap_stale_drops", heap_stats.stale_drops)
+        tracer.count("merge.heap_rebuilds", heap_stats.rebuilds)
+    if parallel_shards:
+        tracer.count("merge.parallel_shards", parallel_shards)
+        tracer.count("merge.parallel_duplicate_states", duplicate_states)
     return AllocationOutcome(
         best_groups=best_groups,
         best_cost=best_cost,
         states_explored=states,
         feasible_states=feasible,
     )
+
+
+def _run_restarts_incremental(
+    base: list[_Group],
+    initial_pairs: list[tuple[int, int]],
+    capacity: Vec,
+    options: AllocationOptions,
+    consider: Callable[..., None],
+    seen_states: set[frozenset[frozenset[str]]],
+    cache: _MergeCache,
+    pair_stats: _PairStats,
+    heap_stats: _HeapStats,
+    progress: Callable[[int], None] | None = None,
+) -> int:
+    """Heap-driven restart loop, bit-identical to the reference engine.
+
+    Groups carry monotone *slot* numbers: base groups take 0..n-1, every
+    merged group a fresh higher slot.  The live arrangement is a dict in
+    slot (== reference list position) order, so heap entries
+    ``(key1, key2, slot_lo, slot_hi)`` break key ties exactly like the
+    reference's positional first-seen-minimum scan.  The pre-fit phase
+    keys by (-footprint saved, cost delta) and the post-fit phase by
+    (cost delta, -footprint saved); within one descent the quantised
+    footprint sum never increases under merging, so the mode flips at
+    most once (one full heap rebuild).  Stale entries naming dead slots
+    are dropped on pop; per-pair merge stats are memoised across
+    restarts, so re-seeding a heap never recomputes a merge.
+
+    Pair *evaluation* is deliberately kept congruent with the reference
+    scan: the heap for a state is only built (and new-group pairs are
+    only pushed) after that state passes the step-cap and seen-state
+    gates -- exactly when the reference engine would rescan it -- and
+    every evaluation goes through :meth:`_PairStats.evaluate`, which
+    materialises the merged group in the shared cache.  Searches later
+    in a ``partition()`` run read values out of that cache, so matching
+    its *contents* (not just this search's result) is part of the
+    bit-identical contract.
+    """
+    policy = options.policy
+    if policy is TransitionPolicy.STRICT:
+
+        def gcost(g: _Group) -> float:
+            return g.frames * g.switch_pairs_strict
+
+    else:
+
+        def gcost(g: _Group) -> float:
+            return g.frames * g.switch_pairs_lenient
+
+    cap_c, cap_b, cap_d = capacity
+    max_steps = options.max_descent_steps
+    n = len(base)
+    base_c = base_b = base_d = 0
+    for g in base:
+        fc, fb, fd = g.footprint
+        base_c += fc
+        base_b += fb
+        base_d += fd
+
+    def entry_for(slot_lo, slot_hi, lo, hi, mode_fits):
+        merged_cost, merged_fp = pair_stats.evaluate(lo, hi)
+        lo_fp = lo.footprint
+        hi_fp = hi.footprint
+        # Same operand order as the reference scan: (merged - lo) - hi.
+        delta = merged_cost - gcost(lo) - gcost(hi)
+        saved = (
+            (lo_fp[0] + hi_fp[0] - merged_fp[0])
+            + (lo_fp[1] + hi_fp[1] - merged_fp[1])
+            + (lo_fp[2] + hi_fp[2] - merged_fp[2])
+        )
+        if mode_fits:
+            return (delta, -saved, slot_lo, slot_hi)
+        return (-saved, delta, slot_lo, slot_hi)
+
+    def build_entries(items, mode_fits):
+        entries = []
+        m = len(items)
+        for x in range(m):
+            sx, gx = items[x]
+            ux = gx.usage
+            for y in range(x + 1, m):
+                sy, gy = items[y]
+                if ux & gy.usage:
+                    continue
+                entries.append(entry_for(sx, sy, gx, gy, mode_fits))
+        entries.sort()
+        return entries
+
+    total_steps = 0
+    push = heapq.heappush
+    pop = heapq.heappop
+
+    for restart, (i, j) in enumerate(initial_pairs):
+        gi, gj = base[i], base[j]
+        merged = cache.merge(gi, gj)
+        alive: dict[int, _Group] = {}
+        for k in range(n):
+            if k != i and k != j:
+                alive[k] = base[k]
+        slot = n
+        alive[slot] = merged
+
+        mc, mb, md = merged.footprint
+        run_c = base_c - gi.footprint[0] - gj.footprint[0] + mc
+        run_b = base_b - gi.footprint[1] - gj.footprint[1] + mb
+        run_d = base_d - gi.footprint[2] - gj.footprint[2] + md
+        fits_now = run_c <= cap_c and run_b <= cap_b and run_d <= cap_d
+
+        consider(list(alive.values()), fits_now)
+
+        steps = 0
+        state_sig = frozenset(g.signature for g in alive.values())
+        # max_descent_steps is validated positive, so the reference's
+        # step-cap check never fires before the first step.
+        if len(alive) > 1 and state_sig not in seen_states:
+            seen_states.add(state_sig)
+            sig_set = set(state_sig)
+            mode = fits_now
+            heap = build_entries(list(alive.items()), mode)
+            heap_stats.pushes += len(heap)
+
+            while True:
+                entry = None
+                while heap:
+                    candidate = pop(heap)
+                    if candidate[2] in alive and candidate[3] in alive:
+                        entry = candidate
+                        break
+                    heap_stats.stale_drops += 1
+                if entry is None:
+                    break
+                heap_stats.pops += 1
+                delta = entry[0] if mode else entry[1]
+                if fits_now and delta >= 0:
+                    break
+                slot_lo, slot_hi = entry[2], entry[3]
+                ga = alive.pop(slot_lo)
+                gb = alive.pop(slot_hi)
+                merged_next = cache.merge(ga, gb)
+                slot += 1
+                alive[slot] = merged_next
+                run_c += merged_next.footprint[0] - ga.footprint[0] - gb.footprint[0]
+                run_b += merged_next.footprint[1] - ga.footprint[1] - gb.footprint[1]
+                run_d += merged_next.footprint[2] - ga.footprint[2] - gb.footprint[2]
+                fits_now = run_c <= cap_c and run_b <= cap_b and run_d <= cap_d
+                sig_set.discard(ga.signature)
+                sig_set.discard(gb.signature)
+                sig_set.add(merged_next.signature)
+                consider(list(alive.values()), fits_now)
+                steps += 1
+                if len(alive) <= 1:
+                    break
+                if max_steps is not None and steps >= max_steps:
+                    break
+                state_sig = frozenset(sig_set)
+                if state_sig in seen_states:
+                    break
+                seen_states.add(state_sig)
+                if fits_now and not mode:
+                    # The arrangement started fitting: re-key every live
+                    # pair from footprint-first to cost-first.  Footprint
+                    # sums are non-increasing under merging, so this
+                    # happens at most once per descent.
+                    mode = True
+                    heap = build_entries(list(alive.items()), True)
+                    heap_stats.rebuilds += 1
+                    heap_stats.pushes += len(heap)
+                else:
+                    # fits_now never reverts, so mode == fits_now here.
+                    mu = merged_next.usage
+                    for s, g in alive.items():
+                        if s == slot or g.usage & mu:
+                            continue
+                        push(heap, entry_for(s, slot, g, merged_next, mode))
+                        heap_stats.pushes += 1
+
+        total_steps += steps
+        if progress is not None:
+            progress(restart)
+    return total_steps
+
+
+def _search_shard(payload) -> dict:
+    """Worker body of the parallel restart fan-out: one restart shard.
+
+    Rebuilds the base groups and a private merge cache (codecs derived
+    the same way in every shard, so encoded ids stay consistent when the
+    parent adopts shard cache entries), runs the incremental engine over
+    its slice of the initial pairs, and reports everything the parent
+    needs to merge deterministically.  Must stay module-level (pickled
+    to pool workers).
+    """
+    design, cps, cap, options, pairs = payload
+    policy = options.policy
+    cache = _MergeCache(options.pair_weights)
+    base = _initial_groups(design, cps, options.pair_weights, cache.codec)
+    best_groups: list[_Group] | None = None
+    best_cost: float | None = None
+    counters = [0, 0]  # states, feasible
+
+    def consider(groups: list[_Group], fits: bool | None = None) -> None:
+        nonlocal best_groups, best_cost
+        counters[0] += 1
+        if fits is None:
+            fits = _fits(groups, cap)
+        if fits:
+            counters[1] += 1
+            cost = _total_cost(groups, policy)
+            if best_cost is None or cost < best_cost or (
+                cost == best_cost
+                and best_groups is not None
+                and len(groups) < len(best_groups)
+            ):
+                best_cost = cost
+                best_groups = list(groups)
+
+    seen: set[frozenset[frozenset[str]]] = set()
+    heap_stats = _HeapStats()
+    pair_stats = _PairStats(policy, cache)
+    steps = _run_restarts_incremental(
+        base, pairs, cap, options, consider, seen, cache, pair_stats, heap_stats
+    )
+    return {
+        "best_groups": best_groups,
+        "best_cost": best_cost,
+        "states": counters[0],
+        "feasible": counters[1],
+        "descent_steps": steps,
+        "seen": seen,
+        "heap": heap_stats.as_dict(),
+        "cache_hits": cache.hits,
+        "cache_misses": cache.misses,
+        "cache_entries": cache._cache,
+    }
 
 
 def _greedy_descent(
@@ -387,6 +920,10 @@ def _greedy_descent(
     footprint most is forced (cost-delta as tiebreak); once it fits, only
     cost-improving merges are applied.  Returns the number of merge steps
     taken (for the ``merge.descent_steps`` counter).
+
+    This is the ``engine="reference"`` step loop -- the straightforward
+    O(n^2)-rescan-per-step implementation the incremental engine is
+    differentially tested against.
     """
     policy = options.policy
     steps = 0

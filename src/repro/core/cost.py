@@ -28,6 +28,9 @@ import itertools
 from dataclasses import dataclass
 from typing import Mapping
 
+import numpy as np
+
+from .kernels import encode_activity, pairwise_frames_matrix
 from .result import PartitioningScheme
 
 
@@ -56,6 +59,44 @@ class TransitionPolicy(enum.Enum):
 DEFAULT_POLICY = TransitionPolicy.LENIENT
 
 
+def _cost_arrays(
+    scheme: PartitioningScheme,
+) -> tuple[list[str], dict[str, int], "np.ndarray", "np.ndarray"]:
+    """(names, name->index, encoded activity table, region frames).
+
+    Hoisted once per scheme into its ``_cost_cache`` so the Eq. 7/10/11
+    functions below share one ``activity()`` pass instead of re-deriving
+    it for every one of the C^2 configuration pairs.
+    """
+    arrays = scheme._cost_cache.get("arrays")
+    if arrays is None:
+        names = [c.name for c in scheme.design.configurations]
+        index = {name: i for i, name in enumerate(names)}
+        codec: dict[str, int] = {}
+        ids = np.empty((len(names), len(scheme.regions)), dtype=np.int32)
+        for i, name in enumerate(names):
+            ids[i] = encode_activity(scheme.activity(name), codec)
+        frames = np.array([r.frames for r in scheme.regions], dtype=np.int64)
+        arrays = (names, index, ids, frames)
+        scheme._cost_cache["arrays"] = arrays
+    return arrays
+
+
+def _frames_matrix(
+    scheme: PartitioningScheme, policy: TransitionPolicy
+) -> "np.ndarray":
+    """Cached all-pairs transition-cost matrix (one per scheme x policy)."""
+    key = ("matrix", policy)
+    matrix = scheme._cost_cache.get(key)
+    if matrix is None:
+        _, _, ids, frames = _cost_arrays(scheme)
+        matrix = pairwise_frames_matrix(
+            ids, frames, lenient=policy is TransitionPolicy.LENIENT
+        )
+        scheme._cost_cache[key] = matrix
+    return matrix
+
+
 def transition_frames(
     scheme: PartitioningScheme,
     config_a: str,
@@ -65,15 +106,18 @@ def transition_frames(
     """Frames rewritten when switching ``config_a`` -> ``config_b`` (Eq. 8).
 
     Under both policies the value is symmetric in its arguments, matching
-    the unordered-pair sum of Eq. 7.
+    the unordered-pair sum of Eq. 7.  Served from the scheme's cached
+    transition matrix, so chains of queries (simulator traces, the
+    pairwise sums below) cost one vectorized pass total.
     """
-    act_a = scheme.activity(config_a)
-    act_b = scheme.activity(config_b)
-    total = 0
-    for region, before, after in zip(scheme.regions, act_a, act_b):
-        if policy.region_reconfigures(before, after):
-            total += region.frames
-    return total
+    _, index, _, _ = _cost_arrays(scheme)
+    ia = index.get(config_a)
+    if ia is None:
+        scheme.activity(config_a)  # raises the canonical KeyError
+    ib = index.get(config_b)
+    if ib is None:
+        scheme.activity(config_b)
+    return int(_frames_matrix(scheme, policy)[ia, ib])
 
 
 def total_reconfiguration_frames(
@@ -81,11 +125,8 @@ def total_reconfiguration_frames(
     policy: TransitionPolicy = DEFAULT_POLICY,
 ) -> int:
     """Eq. 7/10: sum of transition costs over all unordered config pairs."""
-    names = [c.name for c in scheme.design.configurations]
-    total = 0
-    for a, b in itertools.combinations(names, 2):
-        total += transition_frames(scheme, a, b, policy)
-    return total
+    matrix = _frames_matrix(scheme, policy)
+    return int(np.triu(matrix, 1).sum())
 
 
 def worst_case_frames(
@@ -93,11 +134,8 @@ def worst_case_frames(
     policy: TransitionPolicy = DEFAULT_POLICY,
 ) -> int:
     """Eq. 11: the largest single-transition cost (0 for one configuration)."""
-    names = [c.name for c in scheme.design.configurations]
-    worst = 0
-    for a, b in itertools.combinations(names, 2):
-        worst = max(worst, transition_frames(scheme, a, b, policy))
-    return worst
+    matrix = _frames_matrix(scheme, policy)
+    return int(matrix.max(initial=0))
 
 
 def transition_matrix(
@@ -105,10 +143,11 @@ def transition_matrix(
     policy: TransitionPolicy = DEFAULT_POLICY,
 ) -> dict[tuple[str, str], int]:
     """All pairwise transition costs keyed by (config_a, config_b), a < b."""
-    names = [c.name for c in scheme.design.configurations]
+    names, _, _, _ = _cost_arrays(scheme)
+    matrix = _frames_matrix(scheme, policy)
     return {
-        (a, b): transition_frames(scheme, a, b, policy)
-        for a, b in itertools.combinations(names, 2)
+        (names[i], names[j]): int(matrix[i, j])
+        for i, j in itertools.combinations(range(len(names)), 2)
     }
 
 
@@ -125,14 +164,15 @@ def weighted_total_frames(
     count towards the unordered pair), matching how the partitioner's
     weighted objective folds the same mapping into its weight matrix.
     """
-    names = [c.name for c in scheme.design.configurations]
+    names, _, _, _ = _cost_arrays(scheme)
+    matrix = _frames_matrix(scheme, policy)
     total = 0.0
-    for a, b in itertools.combinations(names, 2):
+    for (i, a), (j, b) in itertools.combinations(enumerate(names), 2):
         w = probabilities.get((a, b), 0.0) + probabilities.get((b, a), 0.0)
         if w < 0:
             raise ValueError(f"negative transition probability for {(a, b)}")
         if w:
-            total += w * transition_frames(scheme, a, b, policy)
+            total += w * int(matrix[i, j])
     return total
 
 

@@ -105,6 +105,12 @@ class PartitioningScheme:
     # Cached activity table {config name: tuple[label | None per region]}.
     _activity: dict = field(default_factory=dict, repr=False, compare=False)
 
+    # Lazy cost-model cache (repro.core.cost): encoded activity tables and
+    # per-policy all-pairs transition matrices, built on first use so the
+    # Eq. 7/10/11 functions share one pass instead of re-deriving
+    # ``activity()`` per configuration pair.
+    _cost_cache: dict = field(default_factory=dict, repr=False, compare=False)
+
     # ------------------------------------------------------------------
     # validation
     # ------------------------------------------------------------------

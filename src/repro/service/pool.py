@@ -37,6 +37,7 @@ timeouts, worker utilisation).
 
 from __future__ import annotations
 
+import atexit
 import heapq
 import json
 import multiprocessing
@@ -520,6 +521,62 @@ def run_batch(
         failed_ids=tuple(j.id for j in failed_ids),
         results=results,
     )
+
+
+_FANOUT_POOLS: dict[int, Any] = {}
+
+
+def fanout_map(fn, payloads, workers: int) -> list[Any]:
+    """Map ``fn`` over ``payloads`` on a reusable process pool.
+
+    Generic fan-out primitive for CPU-bound shards (used by
+    ``repro.core.allocation``'s ``parallel_restarts``).  ``fn`` must be a
+    picklable module-level function.  Pools are cached per worker count
+    and reused across calls -- spawning a pool per search would dwarf the
+    shard work -- and torn down at interpreter exit.
+
+    Falls back to inline execution (preserving order and exceptions)
+    when pooling cannot help or cannot work: a single payload,
+    ``workers <= 1``, or when called from a daemonic worker process
+    (e.g. inside a supervised batch worker), which is not allowed to
+    fork children.
+    """
+    payloads = list(payloads)
+    if (
+        workers <= 1
+        or len(payloads) <= 1
+        or multiprocessing.current_process().daemon
+    ):
+        return [fn(p) for p in payloads]
+    workers = min(workers, len(payloads))
+    pool = _FANOUT_POOLS.get(workers)
+    if pool is None:
+        pool = multiprocessing.get_context().Pool(processes=workers)
+        _FANOUT_POOLS[workers] = pool
+    try:
+        return pool.map(fn, payloads)
+    except Exception:
+        # A broken pool (killed/crashed worker) stays broken: retire it
+        # so the next call starts fresh, then surface the error.
+        _FANOUT_POOLS.pop(workers, None)
+        try:
+            pool.terminate()
+        except Exception:
+            pass
+        raise
+
+
+def _shutdown_fanout_pools() -> None:
+    while _FANOUT_POOLS:
+        _, pool = _FANOUT_POOLS.popitem()
+        try:
+            pool.terminate()
+            pool.join()
+        except Exception:
+            pass
+
+
+atexit.register(_shutdown_fanout_pools)
 
 
 def _drain_supervised(

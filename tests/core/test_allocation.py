@@ -262,6 +262,45 @@ class TestSearch:
         with pytest.raises(ValueError):
             AllocationOptions(max_descent_steps=0)
 
+    def test_engine_validation(self):
+        with pytest.raises(ValueError):
+            AllocationOptions(engine="quantum")
+        with pytest.raises(ValueError):
+            AllocationOptions(parallel_restarts=0)
+        with pytest.raises(ValueError):
+            AllocationOptions(engine="reference", parallel_restarts=2)
+        # Both engines and the sharded incremental engine are accepted.
+        AllocationOptions(engine="reference")
+        AllocationOptions(engine="incremental", parallel_restarts=2)
+
+    def test_heap_counters_emitted(self, paper_example):
+        from repro.obs import RecordingTracer
+
+        cps = first_cps(paper_example)
+        capacity = ResourceVector(10_000, 100, 100)
+        tracer = RecordingTracer()
+        search_candidate_set(
+            paper_example, cps, capacity, tracer=tracer
+        )
+        assert tracer.counters["merge.heap_pushes"] > 0
+        assert tracer.counters["merge.heap_pops"] > 0
+        assert "merge.heap_stale_drops" in tracer.counters
+        assert "merge.heap_rebuilds" in tracer.counters
+
+    def test_reference_engine_emits_no_heap_counters(self, paper_example):
+        from repro.obs import RecordingTracer
+
+        cps = first_cps(paper_example)
+        tracer = RecordingTracer()
+        search_candidate_set(
+            paper_example,
+            cps,
+            ResourceVector(10_000, 100, 100),
+            AllocationOptions(engine="reference"),
+            tracer=tracer,
+        )
+        assert "merge.heap_pushes" not in tracer.counters
+
 
 class TestGroupsToScheme:
     def test_materialised_scheme_valid_and_deterministic(self, paper_example):

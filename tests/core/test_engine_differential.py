@@ -1,0 +1,267 @@
+"""Differential gate: incremental engine bit-identical to the reference.
+
+The ``"incremental"`` engine (heap-driven pair selection, memoised pair
+stats, vectorized switch kernels) must reproduce the ``"reference"``
+engine bit-for-bit: same best cost (exact float equality), same winning
+arrangement (region member order included), same states-explored and
+feasible-states counters, same seen-state sets -- under both transition
+policies, with and without pair weights, with and without restart/step
+caps, and across the shared-merge-cache coupling of a full
+``partition()`` run (searches later in a run read merged groups cached
+by earlier ones, so cache *contents* are part of the contract).
+
+``REPRO_DIFF_DESIGNS`` scales the random-design sweep (default small for
+CI; the committed BENCH run used 200).
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.arch.resources import ResourceVector
+from repro.arch.tiles import quantised_footprint
+from repro.core.allocation import (
+    AllocationOptions,
+    _MergeCache,
+    search_candidate_set,
+)
+from repro.core.baselines import single_region_scheme
+from repro.core.clustering import enumerate_base_partitions
+from repro.core.cost import TransitionPolicy
+from repro.core.covering import candidate_partition_sets
+from repro.core.matrix import ConnectivityMatrix
+from repro.core.partitioner import PartitionerOptions, partition
+from repro.eval.casestudy import CASESTUDY_BUDGET, casestudy_design
+from repro.obs import RecordingTracer
+from repro.synth.generator import GeneratorConfig, generate_design
+from repro.synth.profiles import CIRCUIT_CLASSES, CircuitClass
+
+DIFF_DESIGNS = int(os.environ.get("REPRO_DIFF_DESIGNS", "12"))
+
+SETTINGS = settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@st.composite
+def synthetic_designs(draw):
+    seed = draw(st.integers(0, 2**32 - 1))
+    cls = draw(st.sampled_from(list(CircuitClass)))
+    rng = np.random.default_rng(seed)
+    cfg = GeneratorConfig(max_modules=4, max_modes=3)
+    return generate_design(rng, cls, name=f"diff-{seed}", config=cfg)
+
+
+def budget_for(design, scale=1.4):
+    need = single_region_scheme(design).resource_usage()
+    return ResourceVector(
+        int(need.clb * scale) + 20,
+        int(need.bram * scale) + 4,
+        int(need.dsp * scale) + 8,
+    )
+
+
+def weight_matrix(design, seed=0):
+    n = len(design.configurations)
+    rng = np.random.default_rng(seed)
+    W = rng.random((n, n))
+    return W + W.T
+
+
+def search_fingerprint(design, capacity, engine, policy, weights=None,
+                       alloc_kwargs=None):
+    """Run every candidate set through one shared cache, like partition()."""
+    opts = AllocationOptions(
+        policy=policy,
+        engine=engine,
+        pair_weights=weights,
+        **(alloc_kwargs or {}),
+    )
+    cache = _MergeCache(weights)
+    out = []
+    cm = ConnectivityMatrix.from_design(design)
+    bps = enumerate_base_partitions(design, cm)
+    for cps in candidate_partition_sets(bps, cm, max_sets=4):
+        res = search_candidate_set(design, cps, capacity, opts, cache)
+        groups = None
+        if res.best_groups is not None:
+            groups = tuple(
+                tuple(p.label for p in g.members) for g in res.best_groups
+            )
+        out.append(
+            (groups, res.best_cost, res.states_explored, res.feasible_states)
+        )
+    # Cache contents feed later searches; key set and member order are
+    # part of the bit-identical contract.
+    out.append(sorted(tuple(sorted(k)) for k in cache._cache))
+    return out
+
+
+def partition_fingerprint(design, capacity, engine, policy, weights=None):
+    opts = PartitionerOptions(
+        policy=policy,
+        allocation=AllocationOptions(policy=policy, engine=engine),
+        pair_probabilities=weights,
+    )
+    tracer = RecordingTracer()
+    result = partition(design, capacity, opts, tracer)
+    counters = {
+        k: v
+        for k, v in sorted(tracer.counters.items())
+        if not k.startswith("merge.heap") and not k.startswith("merge.cache")
+    }
+    regions = tuple(
+        (r.name, r.labels, r.frames) for r in result.scheme.regions
+    )
+    return (
+        regions,
+        result.total_frames,
+        result.worst_frames,
+        result.objective,
+        counters,
+    )
+
+
+class TestSearchLevelDifferential:
+    @SETTINGS
+    @given(synthetic_designs(), st.sampled_from(list(TransitionPolicy)),
+           st.booleans())
+    def test_hypothesis_search_identical(self, design, policy, weighted):
+        capacity = budget_for(design)
+        weights = weight_matrix(design) if weighted else None
+        ref = search_fingerprint(design, capacity, "reference", policy, weights)
+        inc = search_fingerprint(design, capacity, "incremental", policy,
+                                 weights)
+        assert ref == inc
+
+    @pytest.mark.parametrize("policy", list(TransitionPolicy))
+    @pytest.mark.parametrize(
+        "caps",
+        [
+            {"max_initial_pairs": 1},
+            {"max_initial_pairs": 3, "max_descent_steps": 2},
+            {"max_descent_steps": 1},
+        ],
+    )
+    def test_capped_options_identical(self, policy, caps):
+        for k in range(6):
+            rng = np.random.default_rng(900 + k)
+            design = generate_design(
+                rng, CIRCUIT_CLASSES[k % len(CIRCUIT_CLASSES)], f"cap{k}",
+                GeneratorConfig(max_modules=4, max_modes=3),
+            )
+            capacity = budget_for(design)
+            ref = search_fingerprint(
+                design, capacity, "reference", policy, alloc_kwargs=caps
+            )
+            inc = search_fingerprint(
+                design, capacity, "incremental", policy, alloc_kwargs=caps
+            )
+            assert ref == inc, f"design {k} caps {caps}"
+
+    def test_random_design_sweep(self):
+        """The scaled version of the committed 200-design gate."""
+        for k in range(DIFF_DESIGNS):
+            rng = np.random.default_rng(3000 + k)
+            design = generate_design(
+                rng, CIRCUIT_CLASSES[k % len(CIRCUIT_CLASSES)], f"sweep{k}",
+                GeneratorConfig(max_modules=5, max_modes=3),
+            )
+            capacity = budget_for(design)
+            for policy in TransitionPolicy:
+                ref = search_fingerprint(design, capacity, "reference", policy)
+                inc = search_fingerprint(
+                    design, capacity, "incremental", policy
+                )
+                assert ref == inc, f"design {k} policy {policy}"
+
+
+class TestPartitionLevelDifferential:
+    @pytest.mark.parametrize("policy", list(TransitionPolicy))
+    def test_case_study_identical(self, policy):
+        design = casestudy_design()
+        ref = partition_fingerprint(design, CASESTUDY_BUDGET, "reference",
+                                    policy)
+        inc = partition_fingerprint(design, CASESTUDY_BUDGET, "incremental",
+                                    policy)
+        assert ref == inc
+
+    def test_case_study_weighted_identical(self):
+        design = casestudy_design()
+        names = [c.name for c in design.configurations]
+        weights = {(names[0], names[1]): 0.6, (names[-1], names[0]): 1.7}
+        ref = partition_fingerprint(
+            design, CASESTUDY_BUDGET, "reference", TransitionPolicy.LENIENT,
+            weights,
+        )
+        inc = partition_fingerprint(
+            design, CASESTUDY_BUDGET, "incremental", TransitionPolicy.LENIENT,
+            weights,
+        )
+        assert ref == inc
+
+    def test_random_partitions_identical(self):
+        for k in range(max(2, DIFF_DESIGNS // 3)):
+            rng = np.random.default_rng(5000 + k)
+            design = generate_design(
+                rng, CIRCUIT_CLASSES[k % len(CIRCUIT_CLASSES)], f"part{k}",
+                GeneratorConfig(max_modules=4, max_modes=3),
+            )
+            capacity = budget_for(design)
+            ref = partition_fingerprint(
+                design, capacity, "reference", TransitionPolicy.LENIENT
+            )
+            inc = partition_fingerprint(
+                design, capacity, "incremental", TransitionPolicy.LENIENT
+            )
+            assert ref == inc, f"design {k}"
+
+
+class TestParallelFanout:
+    def _run(self, design, capacity, parallel):
+        opts = PartitionerOptions(
+            allocation=AllocationOptions(parallel_restarts=parallel)
+        )
+        result = partition(design, capacity, opts)
+        return (
+            tuple((r.name, r.labels) for r in result.scheme.regions),
+            result.objective,
+            result.total_frames,
+        )
+
+    def test_parallel_deterministic_and_no_worse(self):
+        rng = np.random.default_rng(77)
+        design = generate_design(
+            rng, CircuitClass.LOGIC, "par",
+            GeneratorConfig(max_modules=4, max_modes=3),
+        )
+        capacity = budget_for(design)
+        serial = self._run(design, capacity, None)
+        first = self._run(design, capacity, 2)
+        second = self._run(design, capacity, 2)
+        assert first == second  # deterministic across runs
+        # Private per-shard seen-state sets explore a superset of the
+        # sequential states, so the fan-out is never worse.
+        assert first[1] <= serial[1]
+
+    def test_parallel_counters_emitted(self):
+        rng = np.random.default_rng(78)
+        design = generate_design(
+            rng, CircuitClass.DSP, "parc",
+            GeneratorConfig(max_modules=4, max_modes=3),
+        )
+        capacity = budget_for(design)
+        tracer = RecordingTracer()
+        opts = PartitionerOptions(
+            allocation=AllocationOptions(parallel_restarts=2)
+        )
+        partition(design, capacity, opts, tracer)
+        assert tracer.counters.get("merge.parallel_shards", 0) > 0
+        assert "merge.parallel_duplicate_states" in tracer.counters

@@ -160,3 +160,43 @@ class TestArtifactOutput:
         assert "system.ucf" in names
         assert any(n.endswith("_wrapper.v") for n in names)
         assert any(n.endswith(".bit") for n in names)
+
+
+class TestEngineFlags:
+    def test_reference_engine_matches_default(self, design_xml, capsys):
+        assert main(["partition", design_xml, "--device", "LX30"]) == 0
+        default_out = capsys.readouterr().out
+        assert main(
+            ["partition", design_xml, "--device", "LX30",
+             "--engine", "reference"]
+        ) == 0
+        assert capsys.readouterr().out == default_out  # bit-identical
+
+    def test_parallel_restarts(self, design_xml, capsys):
+        assert main(
+            ["partition", design_xml, "--device", "LX30",
+             "--parallel-restarts", "2"]
+        ) == 0
+        assert "total reconfiguration:" in capsys.readouterr().out
+
+    def test_invalid_engine_rejected(self, design_xml):
+        with pytest.raises(SystemExit):
+            main(["partition", design_xml, "--engine", "quantum"])
+
+    def test_parallel_requires_incremental(self, design_xml, capsys):
+        with pytest.raises(ValueError):
+            main(
+                ["partition", design_xml, "--device", "LX30",
+                 "--engine", "reference", "--parallel-restarts", "2"]
+            )
+
+
+class TestProfile:
+    def test_profile_prints_hot_functions(self, design_xml, capsys):
+        assert main(
+            ["--profile", "partition", design_xml, "--device", "LX30"]
+        ) == 0
+        captured = capsys.readouterr()
+        assert "total reconfiguration:" in captured.out
+        assert "cumulative" in captured.err
+        assert "profile (top 25" in captured.err

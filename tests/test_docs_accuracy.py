@@ -60,6 +60,7 @@ class TestDocsMentionRealSymbols:
             "API.md",
             "FAQ.md",
             "OBSERVABILITY.md",
+            "PERFORMANCE.md",
             "REPRODUCING.md",
             "SERVICE.md",
         ],
