@@ -12,7 +12,10 @@ Subcommands mirror the deliverables:
 * ``devices`` -- print the reconstructed Virtex-5 library;
 * ``batch submit|run|status`` -- the batch partitioning service
   (job queue + worker pool + content-addressed result cache,
-  docs/SERVICE.md).
+  docs/SERVICE.md);
+* ``obs report|export-prom|bench-diff`` -- the telemetry toolchain
+  over durable sink directories and BENCH artifacts
+  (docs/OBSERVABILITY.md).
 """
 
 from __future__ import annotations
@@ -289,12 +292,22 @@ def _cmd_batch_run(args: argparse.Namespace) -> int:
 
     store, cache = _queue_stores(args)
     tracer = _make_tracer(args)
+    if args.telemetry_dir and not isinstance(tracer, RecordingTracer):
+        # Durable telemetry wants the full picture: a recording tracer
+        # gives the run record counters/gauges/histograms, not just the
+        # per-job outcome lines.
+        tracer = RecordingTracer()
     if args.progress and not isinstance(tracer, RecordingTracer):
         tracer = RecordingTracer()
     if isinstance(tracer, RecordingTracer) and args.progress:
         tracer.on_progress(
             lambda e: print(f"... {e.name} {dict(e.payload)}", file=sys.stderr)
         )
+    sink = None
+    if args.telemetry_dir:
+        from .obs import TelemetrySink
+
+        sink = TelemetrySink(args.telemetry_dir)
     faults = None
     if args.inject_fault:
         try:
@@ -314,15 +327,73 @@ def _cmd_batch_run(args: argparse.Namespace) -> int:
             heartbeat_interval_s=args.heartbeat_interval,
             heartbeat_timeout_s=args.heartbeat_timeout,
             faults=faults,
+            sink=sink,
         )
     except ServiceError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
     print(render_batch_report(report))
+    if sink is not None:
+        print(
+            f"telemetry: {sink.records_written} records in {sink.directory}",
+            file=sys.stderr,
+        )
     if report.failed:
         print(f"failed jobs: {', '.join(report.failed_ids)}", file=sys.stderr)
     _emit_trace(tracer, args)
     return 0 if report.failed == 0 else 3
+
+
+def _cmd_obs_report(args: argparse.Namespace) -> int:
+    from .obs import SinkError, aggregate_run, render_run_report
+
+    try:
+        report = aggregate_run(args.telemetry_dir)
+    except SinkError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    print(render_run_report(report))
+    if args.json:
+        import json as _json
+
+        print(_json.dumps(report.to_dict(), indent=1))
+    return 0
+
+
+def _cmd_obs_export_prom(args: argparse.Namespace) -> int:
+    from .obs import SinkError, export_prometheus_dir
+
+    try:
+        text = export_prometheus_dir(args.telemetry_dir, prefix=args.prefix)
+    except SinkError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    if args.out:
+        from pathlib import Path
+
+        try:
+            Path(args.out).write_text(text, encoding="utf-8")
+        except OSError as exc:
+            print(f"error: cannot write {args.out}: {exc}", file=sys.stderr)
+            return 1
+        print(f"wrote exposition to {args.out}", file=sys.stderr)
+    else:
+        print(text, end="")
+    return 0
+
+
+def _cmd_obs_bench_diff(args: argparse.Namespace) -> int:
+    from .obs import BenchDiffError, bench_diff, load_bench, render_bench_diff
+
+    try:
+        diff = bench_diff(
+            load_bench(args.old), load_bench(args.new), threshold=args.threshold
+        )
+    except BenchDiffError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    print(render_bench_diff(diff))
+    return 3 if diff.regressions else 0
 
 
 def _cmd_batch_status(args: argparse.Namespace) -> int:
@@ -519,6 +590,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="(testing only) inject a deterministic fault into matching "
         "jobs: hang, crash, slow or fail-once -- see repro.service.faults",
     )
+    p.add_argument(
+        "--telemetry-dir", metavar="DIR",
+        help="persist the run's telemetry (events, per-job outcomes, "
+        "run summary) to a durable sink directory for `repro obs`",
+    )
     _add_trace_flags(p)
     p.set_defaults(func=_cmd_batch_run)
 
@@ -529,6 +605,46 @@ def build_parser() -> argparse.ArgumentParser:
         help="also print recorded failure tracebacks",
     )
     p.set_defaults(func=_cmd_batch_status)
+
+    obs = sub.add_parser(
+        "obs", help="telemetry toolchain (docs/OBSERVABILITY.md)"
+    )
+    obs_sub = obs.add_subparsers(dest="obs_command", required=True)
+
+    p = obs_sub.add_parser(
+        "report", help="aggregate a telemetry directory into a run report"
+    )
+    p.add_argument("telemetry_dir", metavar="DIR",
+                   help="telemetry sink directory (from --telemetry-dir)")
+    p.add_argument("--json", action="store_true",
+                   help="also print the machine-readable report document")
+    p.set_defaults(func=_cmd_obs_report)
+
+    p = obs_sub.add_parser(
+        "export-prom",
+        help="export a telemetry directory as Prometheus text exposition",
+    )
+    p.add_argument("telemetry_dir", metavar="DIR",
+                   help="telemetry sink directory (from --telemetry-dir)")
+    p.add_argument("--prefix", default=None,
+                   help="metric name prefix (default: repro_)")
+    p.add_argument("--out", metavar="FILE",
+                   help="write to FILE (a node_exporter textfile) "
+                   "instead of stdout")
+    p.set_defaults(func=_cmd_obs_export_prom)
+
+    p = obs_sub.add_parser(
+        "bench-diff",
+        help="compare two BENCH_*.json artifacts for perf regressions",
+    )
+    p.add_argument("old", help="baseline BENCH_*.json (e.g. committed)")
+    p.add_argument("new", help="candidate BENCH_*.json (e.g. fresh run)")
+    p.add_argument(
+        "--threshold", type=float, default=0.25, metavar="FRAC",
+        help="relative regression threshold (default 0.25 = 25%%); "
+        "exit code 3 when any benchmark regresses past it",
+    )
+    p.set_defaults(func=_cmd_obs_bench_diff)
 
     return parser
 

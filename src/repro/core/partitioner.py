@@ -19,6 +19,7 @@ larger device and re-partition.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Mapping
 
@@ -179,6 +180,7 @@ def partition(
             tracer=tracer,
         ):
             sets_explored += 1
+            step_started = time.perf_counter()
             with tracer.span(
                 "merge_search",
                 candidate_set=sets_explored,
@@ -192,6 +194,7 @@ def partition(
                     merge_cache=merge_cache,
                     tracer=tracer,
                 )
+            tracer.observe("merge.search_s", time.perf_counter() - step_started)
             states += outcome.states_explored
             feasible += outcome.feasible_states
             if tracer.enabled:

@@ -1,11 +1,44 @@
 """Observability for the partitioning pipeline: tracing, metrics, events.
 
-See docs/OBSERVABILITY.md for the full API and the JSON trace schema.
+See docs/OBSERVABILITY.md for the full API, the JSON trace schema and
+the durable telemetry pipeline (sink format, ``repro obs`` toolchain).
 Dependency-free by design -- :mod:`repro.core` imports this package, so
-it must not import anything above :mod:`repro.obs` itself.
+it must not import anything above :mod:`repro.obs` itself
+(:mod:`repro.util` sits below and is fair game).
 """
 
+from .export import (
+    PrometheusFormatError,
+    PrometheusMetric,
+    parse_prometheus,
+    prometheus_text,
+)
+from .metrics import (
+    DEFAULT_BOUNDS,
+    Histogram,
+    MetricsError,
+    QuantileSummary,
+    merge_histogram_maps,
+)
 from .render import render_trace_summary, stage_summary_rows
+from .report import (
+    BenchDiff,
+    BenchDiffError,
+    RunReport,
+    aggregate_run,
+    bench_diff,
+    export_prometheus_dir,
+    load_bench,
+    render_bench_diff,
+    render_run_report,
+)
+from .sink import (
+    SINK_VERSION,
+    SinkError,
+    TelemetrySink,
+    iter_telemetry,
+    load_telemetry,
+)
 from .tracer import (
     NULL_TRACER,
     TRACE_FORMAT,
@@ -21,15 +54,38 @@ from .tracer import (
 )
 
 __all__ = [
+    "BenchDiff",
+    "BenchDiffError",
+    "DEFAULT_BOUNDS",
+    "Histogram",
+    "MetricsError",
     "NULL_TRACER",
     "ProgressEvent",
+    "PrometheusFormatError",
+    "PrometheusMetric",
+    "QuantileSummary",
     "RecordingTracer",
+    "RunReport",
+    "SINK_VERSION",
+    "SinkError",
     "Span",
     "TRACE_FORMAT",
     "TRACE_VERSION",
+    "TelemetrySink",
     "Trace",
     "TraceError",
     "Tracer",
+    "aggregate_run",
+    "bench_diff",
+    "export_prometheus_dir",
+    "iter_telemetry",
+    "load_bench",
+    "load_telemetry",
+    "merge_histogram_maps",
+    "parse_prometheus",
+    "prometheus_text",
+    "render_bench_diff",
+    "render_run_report",
     "render_trace_summary",
     "stage_summary_rows",
     "trace_from_dict",

@@ -1,0 +1,217 @@
+"""Prometheus text-exposition export of recorded metrics.
+
+Turns tracer metrics (counters, gauges, histograms) into the Prometheus
+text format, version 0.0.4 -- the dialect node_exporter's
+textfile collector scrapes, so ``repro obs export-prom RUN_DIR >
+/var/lib/node_exporter/repro.prom`` is the whole integration.
+
+Counters export as ``<name>_total``; histograms as the standard
+``_bucket{le=...}`` / ``_sum`` / ``_count`` triplet with cumulative
+bucket values and a closing ``le="+Inf"`` bucket.  Metric names are
+sanitised (``service.cache_hits`` -> ``repro_service_cache_hits``).
+
+:func:`parse_prometheus` is the matching reader: a small, strict parser
+used by the round-trip tests to guarantee the emitted text *is* valid
+exposition format, and available to anyone post-processing the output.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from .metrics import Histogram
+
+#: Prefix of every exported metric name.
+DEFAULT_PREFIX = "repro_"
+
+_NAME_OK = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_SAMPLE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r"\s+(?P<value>\S+)\s*$"
+)
+_LABEL = re.compile(r'^(?P<key>[a-zA-Z_][a-zA-Z0-9_]*)="(?P<value>[^"]*)"$')
+
+
+class PrometheusFormatError(ValueError):
+    """Raised by :func:`parse_prometheus` for invalid exposition text."""
+
+
+def metric_name(name: str, prefix: str = DEFAULT_PREFIX) -> str:
+    """Sanitise a tracer metric name into a Prometheus metric name."""
+    flat = re.sub(r"[^a-zA-Z0-9_:]", "_", prefix + name)
+    if not _NAME_OK.match(flat):
+        flat = "_" + flat
+    return flat
+
+
+def _fmt(value: float) -> str:
+    if value != value:  # NaN
+        return "NaN"
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def prometheus_text(
+    counters: Mapping[str, float] | None = None,
+    gauges: Mapping[str, float] | None = None,
+    histograms: Mapping[str, Histogram] | None = None,
+    prefix: str = DEFAULT_PREFIX,
+) -> str:
+    """Render metrics as Prometheus text exposition (ends with newline)."""
+    lines: list[str] = []
+    for name, value in sorted((counters or {}).items()):
+        flat = metric_name(name, prefix) + "_total"
+        lines.append(f"# TYPE {flat} counter")
+        lines.append(f"{flat} {_fmt(value)}")
+    for name, value in sorted((gauges or {}).items()):
+        flat = metric_name(name, prefix)
+        lines.append(f"# TYPE {flat} gauge")
+        lines.append(f"{flat} {_fmt(value)}")
+    for name, histogram in sorted((histograms or {}).items()):
+        flat = metric_name(name, prefix)
+        lines.append(f"# TYPE {flat} histogram")
+        for bound, cumulative in histogram.cumulative_buckets():
+            lines.append(
+                f'{flat}_bucket{{le="{_fmt(bound)}"}} {cumulative}'
+            )
+        lines.append(f"{flat}_sum {_fmt(histogram.total)}")
+        lines.append(f"{flat}_count {histogram.count}")
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+@dataclass
+class PrometheusMetric:
+    """One parsed metric family: declared type plus its samples."""
+
+    name: str
+    type: str
+    #: (sample name, labels, value) triples in document order.
+    samples: list[tuple[str, dict[str, str], float]] = field(
+        default_factory=list
+    )
+
+
+def parse_prometheus(text: str) -> dict[str, PrometheusMetric]:
+    """Parse text exposition format into metric families, strictly.
+
+    Enforces what a scraper would: every sample belongs to a declared
+    ``# TYPE`` family (histogram samples belong to their base name),
+    names are legal, values are floats, histogram bucket series are
+    cumulative and end with ``le="+Inf"`` matching ``_count``.
+    """
+    families: dict[str, PrometheusMetric] = {}
+    current: PrometheusMetric | None = None
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split()
+            if len(parts) != 4:
+                raise PrometheusFormatError(f"line {lineno}: malformed TYPE")
+            _, _, name, mtype = parts
+            if not _NAME_OK.match(name):
+                raise PrometheusFormatError(
+                    f"line {lineno}: illegal metric name {name!r}"
+                )
+            if mtype not in ("counter", "gauge", "histogram", "summary",
+                             "untyped"):
+                raise PrometheusFormatError(
+                    f"line {lineno}: unknown metric type {mtype!r}"
+                )
+            if name in families:
+                raise PrometheusFormatError(
+                    f"line {lineno}: duplicate TYPE for {name}"
+                )
+            current = families[name] = PrometheusMetric(name=name, type=mtype)
+            continue
+        if line.startswith("#"):
+            continue  # HELP / comments
+        match = _SAMPLE.match(line)
+        if not match:
+            raise PrometheusFormatError(f"line {lineno}: malformed sample")
+        name = match.group("name")
+        labels: dict[str, str] = {}
+        if match.group("labels"):
+            for part in match.group("labels").split(","):
+                lm = _LABEL.match(part.strip())
+                if not lm:
+                    raise PrometheusFormatError(
+                        f"line {lineno}: malformed label {part!r}"
+                    )
+                labels[lm.group("key")] = lm.group("value")
+        try:
+            value = float(match.group("value"))
+        except ValueError as exc:
+            raise PrometheusFormatError(
+                f"line {lineno}: non-numeric value"
+            ) from exc
+        family = _family_of(families, name, current)
+        if family is None:
+            raise PrometheusFormatError(
+                f"line {lineno}: sample {name} has no TYPE declaration"
+            )
+        family.samples.append((name, labels, value))
+    for family in families.values():
+        if family.type == "histogram":
+            _check_histogram(family)
+    return families
+
+
+def _family_of(
+    families: dict[str, PrometheusMetric],
+    sample_name: str,
+    current: PrometheusMetric | None,
+) -> PrometheusMetric | None:
+    if sample_name in families:
+        return families[sample_name]
+    for suffix in ("_bucket", "_sum", "_count"):
+        if sample_name.endswith(suffix):
+            base = sample_name[: -len(suffix)]
+            family = families.get(base)
+            if family is not None and family.type in ("histogram", "summary"):
+                return family
+    return None
+
+
+def _check_histogram(family: PrometheusMetric) -> None:
+    buckets = [
+        (labels["le"], value)
+        for name, labels, value in family.samples
+        if name == f"{family.name}_bucket" and "le" in labels
+    ]
+    if not buckets:
+        raise PrometheusFormatError(f"histogram {family.name} has no buckets")
+    if buckets[-1][0] != "+Inf":
+        raise PrometheusFormatError(
+            f"histogram {family.name} must end with an le=\"+Inf\" bucket"
+        )
+    previous = -math.inf
+    cumulative = -1.0
+    for le, value in buckets:
+        bound = math.inf if le == "+Inf" else float(le)
+        if bound <= previous:
+            raise PrometheusFormatError(
+                f"histogram {family.name}: bucket bounds not increasing"
+            )
+        if value < cumulative:
+            raise PrometheusFormatError(
+                f"histogram {family.name}: bucket counts not cumulative"
+            )
+        previous, cumulative = bound, value
+    counts = [
+        value
+        for name, labels, value in family.samples
+        if name == f"{family.name}_count"
+    ]
+    if counts and counts[0] != buckets[-1][1]:
+        raise PrometheusFormatError(
+            f"histogram {family.name}: _count ({counts[0]:g}) disagrees "
+            f"with the +Inf bucket ({buckets[-1][1]:g})"
+        )

@@ -36,6 +36,10 @@ def _fmt_metric(value: float) -> str:
     return str(int(value))
 
 
+def _fmt_quantile(value: float | None) -> str:
+    return "-" if value is None else f"{value:.4g}"
+
+
 def stage_summary_rows(
     trace: Trace,
 ) -> list[tuple[str, int, float, float]]:
@@ -97,6 +101,22 @@ def render_trace_summary(trace: Trace | RecordingTracer) -> str:
                 f"  {k.ljust(width)} : {_fmt_metric(v)}"
                 for k, v in sorted(trace.gauges.items())
             )
+        )
+    if trace.histograms:
+        rows = [
+            (
+                name,
+                h.count,
+                _fmt_quantile(h.percentile(50)),
+                _fmt_quantile(h.percentile(90)),
+                _fmt_quantile(h.percentile(99)),
+                _fmt_quantile(h.maximum),
+            )
+            for name, h in sorted(trace.histograms.items())
+        ]
+        blocks.append(
+            "histograms:\n"
+            + _table(("histogram", "count", "p50", "p90", "p99", "max"), rows)
         )
     if trace.events:
         blocks.append(f"progress events: {trace.events}")

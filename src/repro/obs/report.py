@@ -1,0 +1,337 @@
+"""Aggregation toolchain over telemetry directories and BENCH files.
+
+Three consumers of the durable telemetry the sink writes:
+
+* :func:`aggregate_run` folds a telemetry directory into a
+  :class:`RunReport` -- job-latency percentiles, cache hit rate,
+  timeout/retry counts, merged counters/gauges/histograms across every
+  ``run`` record (multi-run directories sum associatively);
+* :func:`render_run_report` renders it for ``repro obs report``;
+* :func:`bench_diff` compares two committed ``BENCH_*.json`` artifacts
+  (benchmarks/conftest.py writes them) against a configurable
+  regression threshold for ``repro obs bench-diff`` -- the CI smoke
+  that notices a slowdown before a human does.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Mapping
+
+from .metrics import Histogram, merge_histogram_maps
+from .sink import iter_telemetry
+
+#: Default relative regression threshold of ``bench_diff`` (25% -- wide
+#: enough for shared-runner noise, tight enough to catch real cliffs).
+DEFAULT_BENCH_THRESHOLD = 0.25
+
+
+def _percentile(ordered: list[float], pct: float) -> float | None:
+    """Exact linear-interpolated percentile of a pre-sorted list."""
+    if not ordered:
+        return None
+    pos = (pct / 100.0) * (len(ordered) - 1)
+    lo = int(pos)
+    hi = min(lo + 1, len(ordered) - 1)
+    frac = pos - lo
+    return ordered[lo] * (1.0 - frac) + ordered[hi] * frac
+
+
+@dataclass
+class RunReport:
+    """Aggregate view of one telemetry directory."""
+
+    directory: str
+    runs: int = 0
+    jobs_done: int = 0
+    jobs_cached: int = 0
+    jobs_failed: int = 0
+    retries: int = 0
+    timeouts: int = 0
+    events: int = 0
+    #: Sorted wall times of *computed* (non-cached) job completions.
+    job_latencies_s: list[float] = field(default_factory=list)
+    counters: dict[str, float] = field(default_factory=dict)
+    gauges: dict[str, float] = field(default_factory=dict)
+    histograms: dict[str, Histogram] = field(default_factory=dict)
+
+    @property
+    def jobs_total(self) -> int:
+        return self.jobs_done + self.jobs_cached + self.jobs_failed
+
+    @property
+    def cache_hit_rate(self) -> float:
+        total = self.jobs_total
+        return self.jobs_cached / total if total else 0.0
+
+    def latency_percentile(self, pct: float) -> float | None:
+        return _percentile(self.job_latencies_s, pct)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "directory": self.directory,
+            "runs": self.runs,
+            "jobs_total": self.jobs_total,
+            "jobs_done": self.jobs_done,
+            "jobs_cached": self.jobs_cached,
+            "jobs_failed": self.jobs_failed,
+            "retries": self.retries,
+            "timeouts": self.timeouts,
+            "events": self.events,
+            "cache_hit_rate": self.cache_hit_rate,
+            "latency_p50_s": self.latency_percentile(50),
+            "latency_p90_s": self.latency_percentile(90),
+            "latency_p99_s": self.latency_percentile(99),
+            "counters": dict(self.counters),
+            "gauges": dict(self.gauges),
+            "histograms": {
+                name: h.to_dict() for name, h in self.histograms.items()
+            },
+        }
+
+
+def aggregate_run(directory: str | Path) -> RunReport:
+    """Fold every record of a telemetry directory into a report.
+
+    ``job`` records drive the outcome counts and exact latency
+    percentiles; ``run`` records contribute counters/gauges/histograms
+    (summed / last-write / merged respectively across runs); ``event``
+    records are counted.  Unknown kinds are skipped -- forward
+    compatibility within a schema version.
+    """
+    report = RunReport(directory=str(directory))
+    for record in iter_telemetry(directory):
+        kind = record["kind"]
+        if kind == "event":
+            report.events += 1
+        elif kind == "job":
+            status = record.get("status")
+            if status == "cached":
+                report.jobs_cached += 1
+            elif status == "done":
+                report.jobs_done += 1
+                latency = record.get("compute_s")
+                if latency is not None:
+                    report.job_latencies_s.append(float(latency))
+            elif status == "failed":
+                report.jobs_failed += 1
+            elif status == "retried":
+                report.retries += 1
+            if record.get("timeout"):
+                report.timeouts += 1
+        elif kind == "run":
+            report.runs += 1
+            for name, value in (record.get("counters") or {}).items():
+                report.counters[name] = report.counters.get(name, 0) + value
+            report.gauges.update(record.get("gauges") or {})
+            merge_histogram_maps(
+                report.histograms,
+                {
+                    name: Histogram.from_dict(doc)
+                    for name, doc in (record.get("histograms") or {}).items()
+                },
+            )
+    report.job_latencies_s.sort()
+    return report
+
+
+def render_run_report(report: RunReport) -> str:
+    """Human-readable summary for ``repro obs report``."""
+    def fmt_s(value: float | None) -> str:
+        return "-" if value is None else f"{value:.4f} s"
+
+    lines = [
+        f"telemetry: {report.directory}",
+        f"runs: {report.runs}; events: {report.events}",
+        (
+            f"jobs: {report.jobs_total} total = {report.jobs_done} computed"
+            f" + {report.jobs_cached} cached + {report.jobs_failed} failed"
+        ),
+        (
+            f"cache hit rate: {100.0 * report.cache_hit_rate:.1f}%; "
+            f"timeouts: {report.timeouts}; retries: {report.retries}"
+        ),
+        (
+            "job latency (computed): "
+            f"p50 {fmt_s(report.latency_percentile(50))}, "
+            f"p90 {fmt_s(report.latency_percentile(90))}, "
+            f"p99 {fmt_s(report.latency_percentile(99))}"
+        ),
+    ]
+    if report.histograms:
+        lines.append("per-stage distributions:")
+        width = max(len(name) for name in report.histograms)
+        for name, h in sorted(report.histograms.items()):
+            lines.append(
+                f"  {name.ljust(width)} : n={h.count}"
+                f" p50={_fmt_opt(h.percentile(50))}"
+                f" p90={_fmt_opt(h.percentile(90))}"
+                f" p99={_fmt_opt(h.percentile(99))}"
+                f" max={_fmt_opt(h.maximum)}"
+            )
+    if report.counters:
+        lines.append("counters:")
+        width = max(len(name) for name in report.counters)
+        for name, value in sorted(report.counters.items()):
+            lines.append(f"  {name.ljust(width)} : {value:g}")
+    return "\n".join(lines)
+
+
+def _fmt_opt(value: float | None) -> str:
+    return "-" if value is None else f"{value:.4g}"
+
+
+# ----------------------------------------------------------------------
+# BENCH_*.json comparison
+# ----------------------------------------------------------------------
+
+class BenchDiffError(ValueError):
+    """Raised for unreadable or structurally invalid BENCH documents."""
+
+
+@dataclass(frozen=True)
+class BenchDelta:
+    """One benchmark compared across two BENCH documents."""
+
+    name: str
+    old: float
+    new: float
+
+    @property
+    def ratio(self) -> float:
+        return self.new / self.old if self.old > 0 else float("inf")
+
+    @property
+    def delta_pct(self) -> float:
+        return 100.0 * (self.ratio - 1.0)
+
+
+@dataclass
+class BenchDiff:
+    """The comparison of two BENCH documents at a threshold."""
+
+    threshold: float
+    deltas: list[BenchDelta] = field(default_factory=list)
+    only_old: list[str] = field(default_factory=list)
+    only_new: list[str] = field(default_factory=list)
+
+    @property
+    def regressions(self) -> list[BenchDelta]:
+        return [d for d in self.deltas if d.ratio > 1.0 + self.threshold]
+
+    @property
+    def improvements(self) -> list[BenchDelta]:
+        return [d for d in self.deltas if d.ratio < 1.0 - self.threshold]
+
+
+def load_bench(path: str | Path) -> dict[str, Any]:
+    """Load and structurally validate one ``BENCH_*.json`` document."""
+    path = Path(path)
+    try:
+        doc = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        raise BenchDiffError(f"cannot read {path}: {exc}") from exc
+    if not isinstance(doc, Mapping) or "suite" not in doc:
+        raise BenchDiffError(f"{path}: not a BENCH document (no 'suite')")
+    return dict(doc)
+
+
+def _bench_timings(doc: Mapping[str, Any]) -> dict[str, float]:
+    """name -> representative seconds (mean, falling back to min)."""
+    out: dict[str, float] = {}
+    for bench in doc.get("benchmarks") or []:
+        if not isinstance(bench, Mapping) or "name" not in bench:
+            continue
+        value = bench.get("mean", bench.get("min"))
+        if isinstance(value, (int, float)) and value > 0:
+            out[str(bench["name"])] = float(value)
+    return out
+
+
+def bench_diff(
+    old: Mapping[str, Any],
+    new: Mapping[str, Any],
+    threshold: float = DEFAULT_BENCH_THRESHOLD,
+) -> BenchDiff:
+    """Compare two BENCH documents; flag timings past the threshold.
+
+    ``threshold`` is relative: 0.25 flags any benchmark whose
+    representative time grew (regression) or shrank (improvement) by
+    more than 25%.  Benchmarks present on only one side are listed but
+    never flagged -- suite membership changes are not slowdowns.
+    """
+    if threshold < 0:
+        raise BenchDiffError("threshold must be non-negative")
+    old_timings = _bench_timings(old)
+    new_timings = _bench_timings(new)
+    diff = BenchDiff(threshold=threshold)
+    for name in sorted(old_timings.keys() & new_timings.keys()):
+        diff.deltas.append(
+            BenchDelta(name=name, old=old_timings[name], new=new_timings[name])
+        )
+    diff.only_old = sorted(old_timings.keys() - new_timings.keys())
+    diff.only_new = sorted(new_timings.keys() - old_timings.keys())
+    return diff
+
+
+def render_bench_diff(diff: BenchDiff) -> str:
+    """Comparison table plus a one-line verdict."""
+    lines = []
+    if diff.deltas:
+        width = max(len(d.name) for d in diff.deltas)
+        for d in diff.deltas:
+            flag = ""
+            if d.ratio > 1.0 + diff.threshold:
+                flag = "  REGRESSION"
+            elif d.ratio < 1.0 - diff.threshold:
+                flag = "  improved"
+            lines.append(
+                f"  {d.name.ljust(width)} : {d.old:.6g} s -> {d.new:.6g} s "
+                f"({d.delta_pct:+.1f}%){flag}"
+            )
+    for name in diff.only_old:
+        lines.append(f"  {name} : removed")
+    for name in diff.only_new:
+        lines.append(f"  {name} : new")
+    if not lines:
+        lines.append("  (no comparable benchmarks)")
+    verdict = (
+        f"{len(diff.regressions)} regression(s) past "
+        f"{100.0 * diff.threshold:.0f}% of {len(diff.deltas)} compared"
+    )
+    return "\n".join([f"bench-diff (threshold {100.0 * diff.threshold:.0f}%):",
+                      *lines, verdict])
+
+
+def export_prometheus_dir(directory: str | Path, prefix: str | None = None) -> str:
+    """Prometheus exposition of an aggregated telemetry directory.
+
+    Adds the derived run-level series (job totals, cache hit rate,
+    latency quantile gauges) next to the raw merged tracer metrics.
+    """
+    from .export import DEFAULT_PREFIX, prometheus_text
+
+    report = aggregate_run(directory)
+    counters = dict(report.counters)
+    counters.update({
+        "report.jobs_done": report.jobs_done,
+        "report.jobs_cached": report.jobs_cached,
+        "report.jobs_failed": report.jobs_failed,
+        "report.retries": report.retries,
+        "report.timeouts": report.timeouts,
+        "report.events": report.events,
+    })
+    gauges = dict(report.gauges)
+    gauges["report.cache_hit_rate"] = report.cache_hit_rate
+    for pct in (50, 90, 99):
+        value = report.latency_percentile(pct)
+        if value is not None:
+            gauges[f"report.job_latency_p{pct}_s"] = value
+    return prometheus_text(
+        counters=counters,
+        gauges=gauges,
+        histograms=report.histograms,
+        prefix=DEFAULT_PREFIX if prefix is None else prefix,
+    )

@@ -1,0 +1,194 @@
+"""Durable telemetry: a crash-safe, rotating JSONL event sink.
+
+An in-process :class:`~repro.obs.tracer.RecordingTracer` evaporates with
+its process; the sink is the persistent half of the pipeline.  A
+telemetry directory holds numbered segment files::
+
+    telemetry-00000.jsonl
+    telemetry-00001.jsonl      # opened when the previous hit max_bytes
+    ...
+
+Each line is one self-describing record -- ``{"v": 1, "kind": ...,
+"ts": <unix seconds>, ...}`` -- flushed per append, so a crash can tear
+at most the final line of the *newest* segment.  Loading tolerates (and
+repairs) exactly that tear via the shared
+:func:`repro.util.jsonl.replay_jsonl` discipline; damage anywhere else
+raises :class:`SinkError`.
+
+Record kinds written by the batch service (docs/OBSERVABILITY.md has
+the schema table):
+
+* ``event`` -- one tracer progress event (name + payload);
+* ``job``   -- one job outcome, keyed by job id **and** the
+  content-addressed ``problem_key`` so records join cleanly against the
+  result cache;
+* ``run``   -- one end-of-run summary: the ``BatchReport`` dict plus
+  the tracer's counters/gauges/histograms.
+
+``repro obs report`` / ``export-prom`` aggregate these directories.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from typing import Any, Callable, Iterator, Mapping
+
+from ..util.jsonl import JsonlError, replay_jsonl
+from .tracer import ProgressEvent, Tracer
+
+#: Schema version stamped into every record (the ``v`` field).
+SINK_VERSION = 1
+
+#: Segment rotation threshold (bytes) -- generous; telemetry lines are
+#: small, so one segment typically holds an entire run.
+DEFAULT_MAX_BYTES = 16 * 1024 * 1024
+
+_SEGMENT_PREFIX = "telemetry-"
+_SEGMENT_SUFFIX = ".jsonl"
+
+
+class SinkError(ValueError):
+    """Raised for corrupt telemetry directories or malformed records."""
+
+
+def _segments(directory: Path) -> list[Path]:
+    """Segment files of a telemetry directory, in rotation order."""
+    return sorted(directory.glob(f"{_SEGMENT_PREFIX}*{_SEGMENT_SUFFIX}"))
+
+
+class TelemetrySink:
+    """Append-only telemetry writer for one directory.
+
+    Safe to reopen over an existing directory: writing resumes on the
+    newest segment (after tail repair) and rotation continues the
+    numbering.  Not multi-writer safe -- one sink per run directory,
+    like one :class:`~repro.service.jobs.JobStore` per queue.
+    """
+
+    def __init__(
+        self,
+        directory: str | Path,
+        max_bytes: int = DEFAULT_MAX_BYTES,
+        clock: Callable[[], float] = time.time,
+    ):
+        if max_bytes < 1:
+            raise SinkError("max_bytes must be positive")
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.max_bytes = max_bytes
+        self._clock = clock
+        self.records_written = 0
+        self._attached: set[int] = set()
+        existing = _segments(self.directory)
+        if existing:
+            # Heal a torn tail before appending to it.
+            replay_jsonl(existing[-1])
+            self._index = self._segment_index(existing[-1])
+        else:
+            self._index = 0
+
+    @staticmethod
+    def _segment_index(path: Path) -> int:
+        stem = path.name[len(_SEGMENT_PREFIX):-len(_SEGMENT_SUFFIX)]
+        try:
+            return int(stem)
+        except ValueError as exc:
+            raise SinkError(f"not a telemetry segment: {path.name}") from exc
+
+    @property
+    def segment_path(self) -> Path:
+        return self.directory / (
+            f"{_SEGMENT_PREFIX}{self._index:05d}{_SEGMENT_SUFFIX}"
+        )
+
+    # -- writing ---------------------------------------------------------
+    def append(self, kind: str, /, **fields: Any) -> dict[str, Any]:
+        """Write one record; returns the full dict that landed on disk.
+
+        ``v``/``kind``/``ts`` are reserved header fields; the rest of the
+        record is the caller's payload (must be JSON-serialisable).
+        """
+        record = {"v": SINK_VERSION, "kind": str(kind), "ts": self._clock()}
+        for key, value in fields.items():
+            if key in record:
+                raise SinkError(f"field {key!r} is a reserved header field")
+            record[key] = value
+        path = self.segment_path
+        if path.exists() and path.stat().st_size >= self.max_bytes:
+            self._index += 1
+            path = self.segment_path
+        with path.open("a", encoding="utf-8") as fh:
+            fh.write(json.dumps(record, sort_keys=True) + "\n")
+            fh.flush()
+        self.records_written += 1
+        return record
+
+    def attach(self, tracer: Tracer) -> None:
+        """Persist every progress event of ``tracer`` as it happens.
+
+        Idempotent per tracer -- attaching the same tracer again (e.g.
+        across several ``run_batch`` calls sharing one sink) does not
+        double-write events.
+        """
+        if id(tracer) in self._attached:
+            return
+        self._attached.add(id(tracer))
+        tracer.on_progress(self._on_event)
+
+    def _on_event(self, event: ProgressEvent) -> None:
+        self.append("event", name=event.name, payload=dict(event.payload))
+
+
+def iter_telemetry(directory: str | Path) -> Iterator[dict[str, Any]]:
+    """Yield every record of a telemetry directory, oldest first.
+
+    Tolerates a torn final line on the newest segment (a crash
+    mid-append) -- without repairing the files, so read-only checkouts
+    and concurrent readers are safe.  A torn line in any *older* segment
+    is real corruption (rotation closed that file long before the crash)
+    and raises :class:`SinkError`, as does any structurally invalid
+    record.
+    """
+    directory = Path(directory)
+    if not directory.is_dir():
+        raise SinkError(f"not a telemetry directory: {directory}")
+    segments = _segments(directory)
+    if not segments:
+        raise SinkError(f"no telemetry segments in {directory}")
+    for i, segment in enumerate(segments):
+        newest = i == len(segments) - 1
+        try:
+            records = replay_jsonl(segment, repair=False)
+        except JsonlError as exc:
+            raise SinkError(str(exc)) from exc
+        if not newest:
+            # replay_jsonl silently drops a torn *final* line; on a
+            # rotated-away segment that tear cannot be crash damage.
+            text = segment.read_text(encoding="utf-8")
+            if text and not text.endswith("\n"):
+                raise SinkError(
+                    f"{segment}: rotated segment has a torn final line"
+                )
+        for lineno, record in enumerate(records, start=1):
+            if not isinstance(record, Mapping):
+                raise SinkError(
+                    f"{segment}:{lineno}: telemetry record must be an object"
+                )
+            if record.get("v") != SINK_VERSION:
+                raise SinkError(
+                    f"{segment}:{lineno}: unsupported telemetry version "
+                    f"{record.get('v')!r}"
+                )
+            if not isinstance(record.get("kind"), str):
+                raise SinkError(
+                    f"{segment}:{lineno}: telemetry record has no kind"
+                )
+            yield dict(record)
+
+
+def load_telemetry(directory: str | Path) -> list[dict[str, Any]]:
+    """Every record of a telemetry directory, oldest first (see
+    :func:`iter_telemetry`)."""
+    return list(iter_telemetry(directory))

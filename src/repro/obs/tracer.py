@@ -21,12 +21,18 @@ from __future__ import annotations
 
 import json
 import time
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Any, Callable, Iterator, Mapping, Sequence
+from typing import Any, Callable, Iterable, Iterator, Mapping, Sequence
+
+from .metrics import Histogram, merge_histogram_maps
 
 #: Embedded in every serialised trace; bumped on schema changes.
+#: Version 2 added the optional ``histograms`` block; version-1 traces
+#: (no histograms) still load.
 TRACE_FORMAT = "repro-trace"
-TRACE_VERSION = 1
+TRACE_VERSION = 2
+_READABLE_VERSIONS = (1, 2)
 
 
 class TraceError(ValueError):
@@ -79,11 +85,20 @@ class Tracer:
     def gauge(self, name: str, value: float) -> None:
         """Set the named gauge to its latest value."""
 
+    def observe(
+        self, name: str, value: float, bounds: Iterable[float] | None = None
+    ) -> None:
+        """Record one sample into the named histogram."""
+
     def progress(self, name: str, **payload: Any) -> None:
         """Emit one progress event to registered callbacks."""
 
     def on_progress(self, callback: Callable[[ProgressEvent], None]) -> None:
         """Register a progress callback -- ignored by the no-op tracer."""
+
+    def now(self) -> float:
+        """Seconds since the tracer's epoch (0.0 on the no-op tracer)."""
+        return 0.0
 
 
 #: Shared no-op instance; instrumented code does ``tracer or NULL_TRACER``.
@@ -158,6 +173,7 @@ class Trace:
     spans: list[Span] = field(default_factory=list)
     counters: dict[str, float] = field(default_factory=dict)
     gauges: dict[str, float] = field(default_factory=dict)
+    histograms: dict[str, Histogram] = field(default_factory=dict)
     events: int = 0
 
     @property
@@ -175,7 +191,7 @@ class Trace:
         return {s.name for _, s in self.walk()}
 
     def to_dict(self) -> dict[str, Any]:
-        return {
+        doc: dict[str, Any] = {
             "format": TRACE_FORMAT,
             "version": TRACE_VERSION,
             "counters": dict(self.counters),
@@ -183,6 +199,11 @@ class Trace:
             "events": self.events,
             "spans": [s.to_dict() for s in self.spans],
         }
+        if self.histograms:
+            doc["histograms"] = {
+                name: h.to_dict() for name, h in self.histograms.items()
+            }
+        return doc
 
     def to_json(self, indent: int | None = 1) -> str:
         return json.dumps(self.to_dict(), indent=indent)
@@ -192,12 +213,20 @@ def trace_from_dict(doc: Mapping[str, Any]) -> Trace:
     """Rebuild a :class:`Trace` from its :meth:`Trace.to_dict` form."""
     if doc.get("format") != TRACE_FORMAT:
         raise TraceError("not a repro trace document")
-    if doc.get("version") != TRACE_VERSION:
+    if doc.get("version") not in _READABLE_VERSIONS:
         raise TraceError(f"unsupported trace version {doc.get('version')!r}")
+    try:
+        histograms = {
+            name: Histogram.from_dict(h)
+            for name, h in doc.get("histograms", {}).items()
+        }
+    except ValueError as exc:
+        raise TraceError(f"invalid histogram block: {exc}") from exc
     return Trace(
         spans=[Span.from_dict(s) for s in doc.get("spans", [])],
         counters=dict(doc.get("counters", {})),
         gauges=dict(doc.get("gauges", {})),
+        histograms=histograms,
         events=int(doc.get("events", 0)),
     )
 
@@ -209,6 +238,13 @@ def trace_from_json(text: str) -> Trace:
     except json.JSONDecodeError as exc:
         raise TraceError(f"invalid JSON: {exc}") from exc
     return trace_from_dict(doc)
+
+
+def _shift_span(span: Span, offset: float) -> None:
+    """Move a span subtree onto a new time base (recursively)."""
+    span.start_s += offset
+    for child in span.children:
+        _shift_span(child, offset)
 
 
 class _RecordingSpan:
@@ -238,9 +274,11 @@ class RecordingTracer(Tracer):
     Metrics land on the innermost open span *and* on the trace-wide
     totals; spans opened with no parent become trace roots (a device
     escalation produces several root ``partition`` spans).  Progress
-    events are retained up to ``max_events`` (the stream keeps flowing to
-    callbacks; only retention is capped) so unbounded searches cannot
-    exhaust memory.
+    events are retained in a **ring buffer** of ``max_events`` (the
+    stream keeps flowing to callbacks; only retention is capped, and the
+    buffer keeps the *newest* events) so unbounded searches cannot
+    exhaust memory -- each overwrite bumps ``events_dropped`` and the
+    ``obs.events_dropped`` counter.
     """
 
     enabled = True
@@ -258,7 +296,8 @@ class RecordingTracer(Tracer):
         self.spans: list[Span] = []
         self.counters: dict[str, float] = {}
         self.gauges: dict[str, float] = {}
-        self.events: list[ProgressEvent] = []
+        self.histograms: dict[str, Histogram] = {}
+        self.events: deque[ProgressEvent] = deque(maxlen=max_events)
         self.events_dropped = 0
 
     # -- span lifecycle -------------------------------------------------
@@ -296,18 +335,91 @@ class RecordingTracer(Tracer):
         if self._stack:
             self._stack[-1].gauges[name] = value
 
+    def observe(
+        self, name: str, value: float, bounds: Iterable[float] | None = None
+    ) -> None:
+        """Record one sample into the named trace-wide histogram.
+
+        ``bounds`` customises the bucket layout on *first* observation of
+        a name; later calls reuse the existing layout.  Histograms are
+        trace-wide only -- per-span distribution tracking would bloat
+        every span for data the report never slices that way.
+        """
+        histogram = self.histograms.get(name)
+        if histogram is None:
+            histogram = self.histograms[name] = (
+                Histogram() if bounds is None else Histogram(bounds)
+            )
+        histogram.observe(value)
+
     # -- progress stream -------------------------------------------------
     def on_progress(self, callback: Callable[[ProgressEvent], None]) -> None:
         self._callbacks.append(callback)
 
     def progress(self, name: str, **payload: Any) -> None:
         event = ProgressEvent(name=name, payload=payload)
-        if len(self.events) < self.max_events:
-            self.events.append(event)
-        else:
+        if len(self.events) == self.max_events:
+            # The ring is full: appending evicts the oldest retained
+            # event.  Count the loss so long runs stay honest about it.
             self.events_dropped += 1
+            self.count("obs.events_dropped")
+        self.events.append(event)
         for callback in self._callbacks:
             callback(event)
+
+    # -- cross-process adoption -------------------------------------------
+    def now(self) -> float:
+        """Seconds since this tracer's epoch (the span time base)."""
+        return self._clock() - self._epoch
+
+    def adopt_trace(
+        self,
+        trace: "Trace | Mapping[str, Any]",
+        name: str = "job",
+        start_s: float | None = None,
+        **attrs: Any,
+    ) -> Span:
+        """Re-root another tracer's completed trace under this one.
+
+        The workhorse of cross-process telemetry: a supervised worker
+        records its run on a private :class:`RecordingTracer`, ships
+        ``tracer.trace().to_dict()`` back over the result channel, and
+        the parent adopts it here so ``render_trace_summary`` shows one
+        coherent tree for the whole batch.
+
+        A synthetic span ``name`` (carrying ``attrs``) is appended under
+        the currently open span (or as a root), its children are the
+        adopted trace's root spans shifted onto this tracer's time base
+        (``start_s`` -- when the worker actually started, default now;
+        relative order and nesting inside the adopted trace are
+        preserved exactly), and its duration is the adopted spans' total
+        extent.  Counters and histograms merge associatively into the
+        trace-wide totals; gauges are last-write-wins; the worker's
+        event *count* folds into ``obs.worker_events``.
+        """
+        if isinstance(trace, Mapping):
+            trace = trace_from_dict(trace)
+        if start_s is None:
+            start_s = self.now()
+        span = self._open(name, dict(attrs))
+        span.start_s = start_s
+        extent = 0.0
+        for root in trace.spans:
+            _shift_span(root, start_s)
+            span.children.append(root)
+            extent = max(extent, root.start_s + (root.duration_s or 0.0)
+                         - start_s)
+        span.counters = dict(trace.counters)
+        span.gauges = dict(trace.gauges)
+        self._stack.pop()
+        span.duration_s = extent
+        for key, value in trace.counters.items():
+            self.counters[key] = self.counters.get(key, 0) + value
+        self.gauges.update(trace.gauges)
+        merge_histogram_maps(self.histograms, trace.histograms)
+        if trace.events:
+            self.count("obs.worker_events", trace.events)
+        return span
 
     # -- snapshot ---------------------------------------------------------
     def trace(self) -> Trace:
@@ -316,6 +428,10 @@ class RecordingTracer(Tracer):
             spans=list(self.spans),
             counters=dict(self.counters),
             gauges=dict(self.gauges),
+            histograms={
+                name: Histogram.from_dict(h.to_dict())
+                for name, h in self.histograms.items()
+            },
             events=len(self.events) + self.events_dropped,
         )
 

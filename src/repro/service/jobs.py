@@ -30,6 +30,7 @@ from typing import Iterable, Mapping
 
 from ..core.model import PRDesign
 from ..flow.xmlio import design_to_xml
+from ..util.jsonl import JsonlError, replay_jsonl
 
 #: The legal job states, in lifecycle order.
 JOB_STATES = ("pending", "running", "done", "failed")
@@ -129,29 +130,15 @@ class JobStore:
     # log replay
     # ------------------------------------------------------------------
     def _load(self) -> None:
-        if not self.path.exists():
-            return
+        # Torn-tail recovery (truncate a mid-append fragment, restore a
+        # missing final newline) is the shared append-only-log discipline
+        # in repro.util.jsonl -- the telemetry sink reloads the same way.
         known = {f.name for f in fields(Job)}
-        text = self.path.read_text(encoding="utf-8")
-        terminated = text.endswith("\n")
-        lines = text.split("\n")
-        # Drop the trailing empty fragment of a cleanly terminated log.
-        if lines and not lines[-1]:
-            lines.pop()
-        for i, line in enumerate(lines):
-            try:
-                raw = json.loads(line)
-            except json.JSONDecodeError as exc:
-                if i == len(lines) - 1:
-                    # Torn final append from a crash: the previous record
-                    # for that job stands.  Truncate the fragment away,
-                    # otherwise the next append would concatenate onto it
-                    # and corrupt the log for every later load.
-                    self._truncate_to(lines[:i])
-                    break
-                raise JobStoreError(
-                    f"{self.path}:{i + 1}: corrupt job record: {exc}"
-                ) from exc
+        try:
+            records = replay_jsonl(self.path)
+        except JsonlError as exc:
+            raise JobStoreError(f"corrupt job record: {exc}") from exc
+        for i, raw in enumerate(records):
             if not isinstance(raw, Mapping):
                 raise JobStoreError(
                     f"{self.path}:{i + 1}: job record must be an object"
@@ -163,21 +150,6 @@ class JobStore:
                     f"{self.path}:{i + 1}: invalid job record: {exc}"
                 ) from exc
             self._remember(job)
-        else:
-            if lines and not terminated:
-                # A crash can tear the final append exactly between the
-                # record and its newline: the record is complete JSON
-                # (so it stands), but the next append would concatenate
-                # onto it and corrupt both records.  Restore the
-                # terminator now (found by the torn-tail property test).
-                with self.path.open("a", encoding="utf-8") as fh:
-                    fh.write("\n")
-
-    def _truncate_to(self, good_lines: list[str]) -> None:
-        """Cut the log back to its valid prefix (newline-terminated)."""
-        good = "".join(line + "\n" for line in good_lines)
-        with self.path.open("rb+") as fh:
-            fh.truncate(len(good.encode("utf-8")))
 
     def _remember(self, job: Job) -> None:
         if job.id not in self._jobs:

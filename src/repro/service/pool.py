@@ -58,7 +58,7 @@ from ..core.partitioner import (
     partition,
     partition_with_device_selection,
 )
-from ..obs import NULL_TRACER, Tracer
+from ..obs import NULL_TRACER, RecordingTracer, TelemetrySink, Tracer
 from .cache import ResultCache
 from .faults import FaultPlan, inject, spec_from_payload
 from .jobs import Job, JobStore
@@ -113,17 +113,19 @@ def job_problem_key(job: Job, library: DeviceLibrary | None = None) -> str:
     )
 
 
-def _compute(problem: ResolvedProblem, options: PartitionerOptions) -> tuple[
-    PartitionResult, str
-]:
+def _compute(
+    problem: ResolvedProblem,
+    options: PartitionerOptions,
+    tracer: Tracer = NULL_TRACER,
+) -> tuple[PartitionResult, str]:
     """Run the partitioner for a resolved problem; returns (result, device)."""
     if problem.device is not None:
         assert problem.capacity is not None
-        return partition(problem.design, problem.capacity, options), (
-            problem.device.name
-        )
+        return partition(
+            problem.design, problem.capacity, options, tracer=tracer
+        ), problem.device.name
     selected = partition_with_device_selection(
-        problem.design, problem.library, options
+        problem.design, problem.library, options, tracer=tracer
     )
     return selected.result, selected.device.name
 
@@ -171,10 +173,16 @@ def execute_job_payload(payload: dict[str, Any]) -> dict[str, Any]:
     Optional payload slots: ``heartbeat_path``/``heartbeat_interval_s``
     start a :class:`_Heartbeat` for the duration of the job; ``fault``
     (a :meth:`FaultSpec.to_payload` dict) fires a deterministic
-    injected fault before the compute.
+    injected fault before the compute; ``collect_trace`` runs the
+    pipeline under a private :class:`~repro.obs.RecordingTracer` and
+    ships its serialised trace back in the outcome (``"trace"``) so the
+    parent can re-root it -- the worker half of cross-process telemetry.
     """
     started = time.perf_counter()
     heartbeat = None
+    worker_tracer: RecordingTracer | None = None
+    if payload.get("collect_trace"):
+        worker_tracer = RecordingTracer()
     if payload.get("heartbeat_path"):
         heartbeat = _Heartbeat(
             payload["heartbeat_path"],
@@ -187,7 +195,9 @@ def execute_job_payload(payload: dict[str, Any]) -> dict[str, Any]:
             payload["design_xml"], payload["device"], payload.get("library")
         )
         options = _job_options(payload["max_candidate_sets"])
-        result, device_name = _compute(problem, options)
+        result, device_name = _compute(
+            problem, options, worker_tracer or NULL_TRACER
+        )
         compute_s = time.perf_counter() - started
         ResultCache(payload["cache_root"]).put(
             payload["key"],
@@ -195,7 +205,7 @@ def execute_job_payload(payload: dict[str, Any]) -> dict[str, Any]:
             device_name=device_name,
             compute_s=compute_s,
         )
-        return {
+        outcome = {
             "job_id": payload["job_id"],
             "ok": True,
             "key": payload["key"],
@@ -203,15 +213,22 @@ def execute_job_payload(payload: dict[str, Any]) -> dict[str, Any]:
             "total_frames": result.total_frames,
             "compute_s": compute_s,
         }
+        if worker_tracer is not None:
+            outcome["trace"] = worker_tracer.trace().to_dict()
+        return outcome
     except (KeyboardInterrupt, SystemExit):
         raise
     except BaseException:
-        return {
+        outcome = {
             "job_id": payload["job_id"],
             "ok": False,
             "error": traceback.format_exc(),
             "compute_s": time.perf_counter() - started,
         }
+        if worker_tracer is not None:
+            # The spans up to the failure point still tell the story.
+            outcome["trace"] = worker_tracer.trace().to_dict()
+        return outcome
     finally:
         if heartbeat is not None:
             heartbeat.stop()
@@ -328,6 +345,8 @@ def run_batch(
     heartbeat_timeout_s: float | None = None,
     faults: FaultPlan | None = None,
     poll_s: float = DEFAULT_POLL_S,
+    sink: TelemetrySink | None = None,
+    collect_worker_traces: bool | None = None,
 ) -> BatchReport:
     """Drain every pending job in ``store`` through ``cache`` + pool.
 
@@ -339,6 +358,14 @@ def run_batch(
     (no supervision possible -- nothing can preempt the caller's own
     thread).  ``faults`` is the deterministic test-only fault plan
     (:mod:`repro.service.faults`).
+
+    ``sink`` persists the run's telemetry (progress events, one ``job``
+    record per outcome keyed by job id + problem key, one end-of-run
+    ``run`` record) to a :class:`~repro.obs.TelemetrySink` directory.
+    ``collect_worker_traces`` makes each worker record its pipeline run
+    on a private tracer and ship the spans back for re-rooting under
+    this run's ``batch_run`` span; it defaults to on exactly when
+    someone is looking (a recording ``tracer`` or a ``sink``).
     """
     if workers < 1:
         raise ServiceError("workers must be at least 1")
@@ -357,11 +384,16 @@ def run_batch(
             "to ever be detected -- refusing to deadlock the batch"
         )
     tracer = tracer or NULL_TRACER
+    if collect_worker_traces is None:
+        collect_worker_traces = tracer.enabled or sink is not None
+    if sink is not None:
+        sink.attach(tracer)
     started = time.perf_counter()
     hits = computed = failed = retries = timeouts = 0
     busy_s = 0.0
     failed_ids: list[Job] = []
     results: dict[str, str] = {}
+    job_started_rel: dict[str, float] = {}
     initial = len(store.pending())
 
     with tracer.span(
@@ -386,15 +418,30 @@ def run_batch(
                 failed_ids.append(job)
                 if tracer.enabled:
                     tracer.progress(
-                        "batch.job_failed", job=job.id, attempts=job.attempts
+                        "batch.job_failed",
+                        job=job.id,
+                        key=None,
+                        attempts=job.attempts,
+                    )
+                if sink is not None:
+                    sink.append(
+                        "job", job=job.id, key=None, status="failed",
+                        attempts=job.attempts, timeout=False,
                     )
                 continue
-            if cache.probe(key):
+            probe_started = time.perf_counter()
+            hit = cache.probe(key)
+            tracer.observe(
+                "service.cache_probe_s", time.perf_counter() - probe_started
+            )
+            if hit:
                 store.mark_done(job.id, key, cache_hit=True)
                 results[job.id] = key
                 hits += 1
                 if tracer.enabled:
                     tracer.progress("batch.job_cached", job=job.id, key=key)
+                if sink is not None:
+                    sink.append("job", job=job.id, key=key, status="cached")
             else:
                 misses.append((job, key))
         tracer.count("service.cache_hits", hits)
@@ -417,10 +464,25 @@ def run_batch(
         for job, key in misses:
             push(job, key)
 
+        def adopt(outcome: dict[str, Any], job_id: str, key: str) -> None:
+            """Re-root a worker's shipped trace under the batch span."""
+            if not outcome.get("trace"):
+                return
+            if isinstance(tracer, RecordingTracer):
+                tracer.adopt_trace(
+                    outcome["trace"],
+                    name="job",
+                    start_s=job_started_rel.get(job_id),
+                    job=job_id,
+                    key=key,
+                )
+
         def handle(outcome: dict[str, Any]) -> None:
             nonlocal computed, failed, retries, timeouts, busy_s
             busy_s += outcome.get("compute_s") or 0.0
             job_id = outcome["job_id"]
+            key = key_of[job_id]
+            adopt(outcome, job_id, key)
             if outcome["ok"]:
                 store.mark_done(
                     job_id,
@@ -430,6 +492,7 @@ def run_batch(
                 )
                 results[job_id] = outcome["key"]
                 computed += 1
+                tracer.observe("service.job_wall_s", outcome["compute_s"])
                 if tracer.enabled:
                     tracer.progress(
                         "batch.job_done",
@@ -438,27 +501,48 @@ def run_batch(
                         total_frames=outcome["total_frames"],
                         compute_s=outcome["compute_s"],
                     )
+                if sink is not None:
+                    sink.append(
+                        "job", job=job_id, key=outcome["key"], status="done",
+                        compute_s=outcome["compute_s"],
+                        total_frames=outcome["total_frames"],
+                    )
                 return
-            if outcome.get("timeout"):
+            timed_out = bool(outcome.get("timeout"))
+            if timed_out:
                 timeouts += 1
             job = store.mark_failed(job_id, outcome["error"])
             if job.state == "failed":
                 failed += 1
                 failed_ids.append(job)
+                status = "failed"
                 if tracer.enabled:
                     tracer.progress(
-                        "batch.job_failed", job=job_id, attempts=job.attempts
+                        "batch.job_failed",
+                        job=job_id,
+                        key=key,
+                        attempts=job.attempts,
                     )
             else:
                 retries += 1
-                push(job, key_of[job_id])
+                push(job, key)
+                status = "retried"
                 if tracer.enabled:
                     tracer.progress(
-                        "batch.job_retried", job=job_id, attempts=job.attempts
+                        "batch.job_retried",
+                        job=job_id,
+                        key=key,
+                        attempts=job.attempts,
                     )
+            if sink is not None:
+                sink.append(
+                    "job", job=job_id, key=key, status=status,
+                    attempts=job.attempts, timeout=timed_out,
+                )
 
         def payload_for(job: Job, key: str) -> dict[str, Any]:
             claimed = store.mark_running(job.id)
+            job_started_rel[job.id] = tracer.now()
             if tracer.enabled:
                 tracer.progress("batch.job_started", job=job.id, key=key)
             payload: dict[str, Any] = {
@@ -469,6 +553,7 @@ def run_batch(
                 "cache_root": str(cache.root),
                 "key": key,
                 "library": library,
+                "collect_trace": collect_worker_traces,
             }
             if faults:
                 payload["fault"] = faults.payload_for(job.name, claimed.attempts)
@@ -507,7 +592,7 @@ def run_batch(
             hits / initial if initial else 0.0,
         )
 
-    return BatchReport(
+    report = BatchReport(
         total=initial,
         done=hits + computed,
         failed=failed,
@@ -521,6 +606,17 @@ def run_batch(
         failed_ids=tuple(j.id for j in failed_ids),
         results=results,
     )
+    if sink is not None:
+        record: dict[str, Any] = {"report": report.to_dict()}
+        if isinstance(tracer, RecordingTracer):
+            trace = tracer.trace()
+            record["counters"] = dict(trace.counters)
+            record["gauges"] = dict(trace.gauges)
+            record["histograms"] = {
+                name: h.to_dict() for name, h in trace.histograms.items()
+            }
+        sink.append("run", **record)
+    return report
 
 
 _FANOUT_POOLS: dict[int, Any] = {}
@@ -686,6 +782,7 @@ def _drain_supervised(
                         tracer.progress(
                             "batch.heartbeat",
                             job=job_id,
+                            key=entry.key,
                             elapsed_s=time.perf_counter() - entry.started_perf,
                         )
                 # Channels 3 + 4: deadline and heartbeat staleness.
@@ -710,6 +807,7 @@ def _drain_supervised(
                     tracer.progress(
                         "batch.job_timeout",
                         job=job_id,
+                        key=entry.key,
                         reason=reason,
                         elapsed_s=elapsed,
                     )

@@ -1,6 +1,14 @@
 """Small shared utilities."""
 
+from .jsonl import JsonlError, replay_jsonl
 from .ordering import argsort_by, stable_unique
 from .validation import require, require_positive
 
-__all__ = ["argsort_by", "require", "require_positive", "stable_unique"]
+__all__ = [
+    "JsonlError",
+    "argsort_by",
+    "replay_jsonl",
+    "require",
+    "require_positive",
+    "stable_unique",
+]

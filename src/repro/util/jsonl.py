@@ -1,0 +1,73 @@
+"""Crash-tolerant JSON-lines replay, shared by every append-only log.
+
+The batch service's job store and the telemetry sink both persist as
+append-only ``*.jsonl`` files written one ``json.dumps(...) + "\\n"`` at
+a time.  A crash mid-append can leave exactly two kinds of damage, both
+confined to the *end* of the file:
+
+* a **torn final line** -- the record was cut mid-JSON.  The fragment is
+  dropped (and, with ``repair=True``, truncated off the file so the next
+  append starts on a fresh line instead of concatenating onto garbage);
+* a **missing terminator** -- the record is complete JSON but the
+  trailing newline never made it to disk.  The record stands; with
+  ``repair=True`` the newline is restored so the next append cannot fuse
+  two records into one.
+
+Anything malformed *before* the final line is real corruption and raises
+:class:`JsonlError` -- silent data loss in the middle of a log is never
+acceptable recovery.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+
+class JsonlError(ValueError):
+    """Raised for corruption that torn-tail recovery cannot explain."""
+
+
+def replay_jsonl(path: str | Path, repair: bool = True) -> list[Any]:
+    """Parsed records of an append-only JSONL log, recovering the tail.
+
+    Returns the decoded objects in file order.  A torn final line is
+    dropped; every other malformed line raises :class:`JsonlError` with
+    a ``path:line`` prefix.  With ``repair=True`` (the default) the file
+    itself is healed in place: the torn fragment is truncated away and a
+    missing final newline is restored -- the job-store recovery
+    discipline, available to any log.  A missing file is an empty log.
+    """
+    path = Path(path)
+    try:
+        text = path.read_text(encoding="utf-8")
+    except FileNotFoundError:
+        return []
+    terminated = text.endswith("\n")
+    lines = text.split("\n")
+    if lines and not lines[-1]:
+        lines.pop()
+    records: list[Any] = []
+    for i, line in enumerate(lines):
+        try:
+            records.append(json.loads(line))
+        except json.JSONDecodeError as exc:
+            if i == len(lines) - 1:
+                if repair:
+                    _truncate_to(path, lines[:i])
+                return records
+            raise JsonlError(
+                f"{path}:{i + 1}: corrupt record: {exc}"
+            ) from exc
+    if repair and lines and not terminated:
+        with path.open("a", encoding="utf-8") as fh:
+            fh.write("\n")
+    return records
+
+
+def _truncate_to(path: Path, good_lines: list[str]) -> None:
+    """Cut the log back to its valid prefix (newline-terminated)."""
+    good = "".join(line + "\n" for line in good_lines)
+    with path.open("rb+") as fh:
+        fh.truncate(len(good.encode("utf-8")))

@@ -223,10 +223,25 @@ class TestSerialisation:
     def test_schema_header(self):
         doc = self._sample_tracer().trace().to_dict()
         assert doc["format"] == "repro-trace"
-        assert doc["version"] == 1
+        assert doc["version"] == 2
         assert set(doc) == {
             "format", "version", "counters", "gauges", "events", "spans",
         }
+
+    def test_histograms_block_appears_only_when_observed(self):
+        tracer = self._sample_tracer()
+        assert "histograms" not in tracer.trace().to_dict()
+        tracer.observe("stage.latency_s", 0.25)
+        doc = tracer.trace().to_dict()
+        assert set(doc["histograms"]) == {"stage.latency_s"}
+
+    def test_version_1_documents_still_load(self):
+        doc = self._sample_tracer().trace().to_dict()
+        doc["version"] = 1
+        doc.pop("histograms", None)
+        rebuilt = trace_from_dict(doc)
+        assert rebuilt.histograms == {}
+        assert rebuilt.span_names() == {"root", "child"}
 
     def test_json_is_plain_json(self):
         text = self._sample_tracer().to_json()

@@ -1,0 +1,138 @@
+"""The telemetry CLI surface: ``batch run --telemetry-dir`` and the
+``obs report|export-prom|bench-diff`` toolchain, through ``main(argv)``.
+
+Exercises the ISSUE acceptance flow: drain a queue with telemetry on,
+then aggregate the directory and round-trip the Prometheus export.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.flow.xmlio import save_design
+from repro.obs import load_telemetry, parse_prometheus
+
+
+@pytest.fixture
+def design_file(tmp_path, tiny_design):
+    path = tmp_path / "design.xml"
+    save_design(tiny_design, path)
+    return str(path)
+
+
+@pytest.fixture
+def telemetry_dir(tmp_path, design_file, capsys):
+    """A telemetry directory produced by a real 2-worker batch run."""
+    queue = str(tmp_path / "queue")
+    tele = str(tmp_path / "tele")
+    main(["batch", "submit", "--queue", queue, design_file,
+          "--device", "LX30"])
+    rc = main(["batch", "run", "--queue", queue, "--workers", "2",
+               "--telemetry-dir", tele])
+    assert rc == 0
+    capsys.readouterr()
+    return tele
+
+
+class TestBatchRunTelemetryFlag:
+    def test_run_writes_durable_records(self, telemetry_dir):
+        records = load_telemetry(telemetry_dir)
+        kinds = {r["kind"] for r in records}
+        assert kinds >= {"event", "job", "run"}
+        (job,) = [r for r in records if r["kind"] == "job"]
+        assert job["status"] == "done" and job["key"]
+
+    def test_run_reports_record_count(self, tmp_path, design_file, capsys):
+        queue = str(tmp_path / "q2")
+        tele = str(tmp_path / "t2")
+        main(["batch", "submit", "--queue", queue, design_file,
+              "--device", "LX30"])
+        rc = main(["batch", "run", "--queue", queue,
+                   "--telemetry-dir", tele])
+        assert rc == 0
+        assert "telemetry:" in capsys.readouterr().err
+
+
+class TestObsReport:
+    def test_report_prints_percentiles_and_rates(self, telemetry_dir, capsys):
+        rc = main(["obs", "report", telemetry_dir])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "p50" in out and "p90" in out and "p99" in out
+        assert "cache hit rate" in out
+        assert "timeouts: 0" in out and "retries: 0" in out
+        assert "merge.search_s" in out  # per-stage breakdown
+
+    def test_report_json_flag(self, telemetry_dir, capsys):
+        rc = main(["obs", "report", telemetry_dir, "--json"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        doc = json.loads(out[out.index("{"):])
+        assert doc["jobs_done"] == 1
+
+    def test_report_missing_directory_errors(self, tmp_path, capsys):
+        rc = main(["obs", "report", str(tmp_path / "absent")])
+        assert rc == 1
+        assert "error" in capsys.readouterr().err
+
+
+class TestObsExportProm:
+    def test_export_parses_as_valid_exposition(self, telemetry_dir, capsys):
+        rc = main(["obs", "export-prom", telemetry_dir])
+        assert rc == 0
+        text = capsys.readouterr().out
+        families = parse_prometheus(text)
+        assert "repro_report_jobs_done_total" in families
+        assert any(f.type == "histogram" for f in families.values())
+
+    def test_export_to_file(self, telemetry_dir, tmp_path, capsys):
+        out_file = tmp_path / "repro.prom"
+        rc = main(["obs", "export-prom", telemetry_dir,
+                   "--out", str(out_file)])
+        assert rc == 0
+        parse_prometheus(out_file.read_text(encoding="utf-8"))
+
+    def test_export_missing_directory_errors(self, tmp_path, capsys):
+        rc = main(["obs", "export-prom", str(tmp_path / "absent")])
+        assert rc == 1
+        assert "error" in capsys.readouterr().err
+
+
+class TestObsBenchDiff:
+    def _write(self, path, **timings):
+        path.write_text(json.dumps({
+            "suite": "s",
+            "benchmarks": [
+                {"name": n, "mean": m} for n, m in timings.items()
+            ],
+        }))
+        return str(path)
+
+    def test_clean_diff_exits_zero(self, tmp_path, capsys):
+        old = self._write(tmp_path / "old.json", a=1.0)
+        new = self._write(tmp_path / "new.json", a=1.1)
+        rc = main(["obs", "bench-diff", old, new])
+        assert rc == 0
+        assert "0 regression(s)" in capsys.readouterr().out
+
+    def test_regression_exits_three(self, tmp_path, capsys):
+        old = self._write(tmp_path / "old.json", a=1.0)
+        new = self._write(tmp_path / "new.json", a=2.0)
+        rc = main(["obs", "bench-diff", old, new])
+        assert rc == 3
+        assert "REGRESSION" in capsys.readouterr().out
+
+    def test_threshold_flag_widens_tolerance(self, tmp_path, capsys):
+        old = self._write(tmp_path / "old.json", a=1.0)
+        new = self._write(tmp_path / "new.json", a=2.0)
+        rc = main(["obs", "bench-diff", old, new, "--threshold", "1.5"])
+        assert rc == 0
+
+    def test_unreadable_bench_errors(self, tmp_path, capsys):
+        old = self._write(tmp_path / "old.json", a=1.0)
+        rc = main(["obs", "bench-diff", old, str(tmp_path / "absent.json")])
+        assert rc == 1
+        assert "error" in capsys.readouterr().err

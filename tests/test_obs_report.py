@@ -1,0 +1,306 @@
+"""The obs toolchain: run aggregation, Prometheus export, bench diff.
+
+The export tests are *round-trip* tests: everything ``prometheus_text``
+emits must survive the strict :func:`parse_prometheus` reader -- the
+guarantee that a real scraper (node_exporter textfile collector) can
+consume ``repro obs export-prom`` output.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs import (
+    BenchDiffError,
+    Histogram,
+    PrometheusFormatError,
+    TelemetrySink,
+    aggregate_run,
+    bench_diff,
+    export_prometheus_dir,
+    load_bench,
+    parse_prometheus,
+    prometheus_text,
+    render_bench_diff,
+    render_run_report,
+)
+from repro.obs.report import DEFAULT_BENCH_THRESHOLD
+
+
+def _write_run(directory, jobs=(), counters=None, gauges=None, histograms=None):
+    sink = TelemetrySink(directory)
+    for fields in jobs:
+        sink.append("job", **fields)
+    sink.append(
+        "run",
+        report={"total": len(jobs)},
+        counters=counters or {},
+        gauges=gauges or {},
+        histograms=histograms or {},
+    )
+    return sink
+
+
+class TestAggregateRun:
+    def test_job_statuses_and_latencies(self, tmp_path):
+        _write_run(
+            tmp_path / "t",
+            jobs=[
+                {"job": "a", "key": "k1", "status": "done", "compute_s": 1.0},
+                {"job": "b", "key": "k2", "status": "done", "compute_s": 3.0},
+                {"job": "c", "key": "k1", "status": "cached"},
+                {"job": "d", "key": "k3", "status": "retried", "attempts": 1,
+                 "timeout": True},
+                {"job": "d", "key": "k3", "status": "failed", "attempts": 2,
+                 "timeout": True},
+            ],
+        )
+        report = aggregate_run(tmp_path / "t")
+        assert report.runs == 1
+        assert report.jobs_done == 2
+        assert report.jobs_cached == 1
+        assert report.jobs_failed == 1
+        assert report.retries == 1
+        assert report.timeouts == 2
+        assert report.jobs_total == 4
+        assert report.cache_hit_rate == pytest.approx(0.25)
+        assert report.latency_percentile(50) == pytest.approx(2.0)
+        assert report.latency_percentile(0) == 1.0
+        assert report.latency_percentile(100) == 3.0
+
+    def test_multi_run_directories_sum(self, tmp_path):
+        h = Histogram(bounds=(1.0,))
+        h.observe(0.5)
+        sink = _write_run(
+            tmp_path / "t",
+            jobs=[{"job": "a", "key": "k", "status": "done", "compute_s": 1.0}],
+            counters={"service.jobs_done": 1},
+            gauges={"service.cache_hit_rate": 0.0},
+            histograms={"stage_s": h.to_dict()},
+        )
+        sink.append(
+            "job", job="b", key="k", status="cached"
+        )
+        sink.append(
+            "run",
+            report={"total": 1},
+            counters={"service.jobs_done": 1},
+            gauges={"service.cache_hit_rate": 1.0},
+            histograms={"stage_s": h.to_dict()},
+        )
+        report = aggregate_run(tmp_path / "t")
+        assert report.runs == 2
+        assert report.counters == {"service.jobs_done": 2}
+        assert report.gauges == {"service.cache_hit_rate": 1.0}  # last wins
+        assert report.histograms["stage_s"].count == 2
+
+    def test_unknown_kinds_skipped(self, tmp_path):
+        sink = TelemetrySink(tmp_path / "t")
+        sink.append("mystery", anything=1)
+        sink.append("job", job="a", key="k", status="done", compute_s=0.5)
+        report = aggregate_run(tmp_path / "t")
+        assert report.jobs_done == 1
+
+    def test_render_and_to_dict(self, tmp_path):
+        _write_run(
+            tmp_path / "t",
+            jobs=[{"job": "a", "key": "k", "status": "done", "compute_s": 2.0}],
+            counters={"service.jobs_done": 1},
+        )
+        report = aggregate_run(tmp_path / "t")
+        text = render_run_report(report)
+        assert "p50 2.0000 s" in text
+        assert "cache hit rate: 0.0%" in text
+        assert "service.jobs_done" in text
+        doc = report.to_dict()
+        assert doc["jobs_done"] == 1
+        assert doc["latency_p50_s"] == pytest.approx(2.0)
+        json.dumps(doc)  # machine-readable
+
+    def test_empty_latency_renders_dashes(self, tmp_path):
+        _write_run(tmp_path / "t", jobs=[
+            {"job": "a", "key": "k", "status": "cached"},
+        ])
+        report = aggregate_run(tmp_path / "t")
+        assert report.latency_percentile(50) is None
+        assert "p50 -" in render_run_report(report)
+
+
+class TestPrometheusRoundTrip:
+    def test_counters_gauges_histograms(self):
+        h = Histogram(bounds=(0.1, 1.0))
+        for v in (0.05, 0.5, 0.5, 5.0):
+            h.observe(v)
+        text = prometheus_text(
+            counters={"service.cache_hits": 3},
+            gauges={"service.cache_hit_rate": 0.75},
+            histograms={"job.wall_s": h},
+        )
+        families = parse_prometheus(text)
+        assert families["repro_service_cache_hits_total"].type == "counter"
+        assert families["repro_service_cache_hits_total"].samples[0][2] == 3
+        assert families["repro_service_cache_hit_rate"].type == "gauge"
+        hist = families["repro_job_wall_s"]
+        assert hist.type == "histogram"
+        buckets = [
+            (labels["le"], value)
+            for name, labels, value in hist.samples
+            if name == "repro_job_wall_s_bucket"
+        ]
+        assert buckets == [("0.1", 1.0), ("1", 3.0), ("+Inf", 4.0)]
+
+    def test_empty_is_empty(self):
+        assert prometheus_text() == ""
+        assert parse_prometheus("") == {}
+
+    def test_name_sanitisation(self):
+        text = prometheus_text(counters={"merge.heap-pops/total": 1})
+        assert "repro_merge_heap_pops_total_total 1" in text
+        parse_prometheus(text)
+
+    def test_export_prometheus_dir(self, tmp_path):
+        h = Histogram(bounds=(1.0,))
+        h.observe(0.5)
+        _write_run(
+            tmp_path / "t",
+            jobs=[
+                {"job": "a", "key": "k", "status": "done", "compute_s": 1.5},
+                {"job": "b", "key": "k", "status": "cached"},
+            ],
+            counters={"service.jobs_done": 2},
+            histograms={"merge.search_s": h.to_dict()},
+        )
+        text = export_prometheus_dir(tmp_path / "t")
+        families = parse_prometheus(text)  # must be valid exposition
+        assert "repro_report_jobs_done_total" in families
+        assert "repro_report_cache_hit_rate" in families
+        assert "repro_report_job_latency_p50_s" in families
+        assert families["repro_merge_search_s"].type == "histogram"
+
+    def test_custom_prefix(self, tmp_path):
+        _write_run(tmp_path / "t", jobs=[
+            {"job": "a", "key": "k", "status": "done", "compute_s": 1.0},
+        ])
+        text = export_prometheus_dir(tmp_path / "t", prefix="acme_")
+        assert all(
+            line.split()[-2].startswith("acme_") or line.startswith("#")
+            for line in text.splitlines()
+            if line
+        )
+        parse_prometheus(text)
+
+
+class TestPrometheusParserStrictness:
+    def test_undeclared_sample_rejected(self):
+        with pytest.raises(PrometheusFormatError, match="no TYPE"):
+            parse_prometheus("orphan_metric 1\n")
+
+    def test_malformed_type_rejected(self):
+        with pytest.raises(PrometheusFormatError, match="TYPE"):
+            parse_prometheus("# TYPE lonely\n")
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(PrometheusFormatError, match="unknown"):
+            parse_prometheus("# TYPE m sideways\n")
+
+    def test_duplicate_type_rejected(self):
+        with pytest.raises(PrometheusFormatError, match="duplicate"):
+            parse_prometheus("# TYPE m counter\n# TYPE m counter\n")
+
+    def test_non_numeric_value_rejected(self):
+        with pytest.raises(PrometheusFormatError, match="non-numeric"):
+            parse_prometheus("# TYPE m gauge\nm banana\n")
+
+    def test_malformed_label_rejected(self):
+        with pytest.raises(PrometheusFormatError, match="label"):
+            parse_prometheus('# TYPE m gauge\nm{le=0.5} 1\n')
+
+    def test_histogram_without_inf_bucket_rejected(self):
+        with pytest.raises(PrometheusFormatError, match="Inf"):
+            parse_prometheus(
+                '# TYPE h histogram\nh_bucket{le="1"} 1\nh_count 1\n'
+            )
+
+    def test_non_cumulative_buckets_rejected(self):
+        with pytest.raises(PrometheusFormatError, match="cumulative"):
+            parse_prometheus(
+                '# TYPE h histogram\n'
+                'h_bucket{le="1"} 5\n'
+                'h_bucket{le="+Inf"} 3\n'
+            )
+
+    def test_count_bucket_mismatch_rejected(self):
+        with pytest.raises(PrometheusFormatError, match="_count"):
+            parse_prometheus(
+                '# TYPE h histogram\n'
+                'h_bucket{le="+Inf"} 3\n'
+                'h_count 4\n'
+            )
+
+
+def _bench_doc(**timings):
+    return {
+        "suite": "allocation",
+        "benchmarks": [
+            {"name": name, "mean": mean} for name, mean in timings.items()
+        ],
+    }
+
+
+class TestBenchDiff:
+    def test_flags_regressions_past_threshold(self):
+        diff = bench_diff(
+            _bench_doc(a=1.0, b=1.0, c=1.0),
+            _bench_doc(a=1.1, b=1.6, c=0.5),
+            threshold=0.25,
+        )
+        assert [d.name for d in diff.regressions] == ["b"]
+        assert [d.name for d in diff.improvements] == ["c"]
+        assert diff.deltas[1].delta_pct == pytest.approx(60.0)
+
+    def test_membership_changes_listed_not_flagged(self):
+        diff = bench_diff(_bench_doc(a=1.0, gone=1.0), _bench_doc(a=1.0, new=1.0))
+        assert diff.only_old == ["gone"]
+        assert diff.only_new == ["new"]
+        assert diff.regressions == []
+
+    def test_render(self):
+        diff = bench_diff(_bench_doc(a=1.0), _bench_doc(a=2.0))
+        text = render_bench_diff(diff)
+        assert "REGRESSION" in text
+        assert "1 regression(s)" in text
+
+    def test_default_threshold(self):
+        assert DEFAULT_BENCH_THRESHOLD == 0.25
+
+    def test_negative_threshold_rejected(self):
+        with pytest.raises(BenchDiffError):
+            bench_diff(_bench_doc(), _bench_doc(), threshold=-0.1)
+
+    def test_load_bench_validates(self, tmp_path):
+        good = tmp_path / "BENCH_x.json"
+        good.write_text(json.dumps(_bench_doc(a=1.0)))
+        assert load_bench(good)["suite"] == "allocation"
+        bad = tmp_path / "bad.json"
+        bad.write_text("{}")
+        with pytest.raises(BenchDiffError, match="suite"):
+            load_bench(bad)
+        with pytest.raises(BenchDiffError, match="cannot read"):
+            load_bench(tmp_path / "absent.json")
+
+    def test_mean_falls_back_to_min(self):
+        old = {"suite": "s", "benchmarks": [{"name": "a", "min": 1.0}]}
+        new = {"suite": "s", "benchmarks": [{"name": "a", "min": 2.0}]}
+        diff = bench_diff(old, new, threshold=0.25)
+        assert diff.deltas[0].ratio == pytest.approx(2.0)
+
+    def test_committed_artifact_diffs_against_itself(self):
+        from pathlib import Path
+
+        path = Path(__file__).parent.parent / "benchmarks" / "BENCH_allocation.json"
+        doc = load_bench(path)
+        diff = bench_diff(doc, doc)
+        assert diff.regressions == []
+        assert diff.deltas  # the committed artifact has benchmarks
