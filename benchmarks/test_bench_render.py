@@ -1,0 +1,82 @@
+"""Rendering-layer benches: how cheap is a deterministic artifact?
+
+The renderers (docs/REPORTING.md) are pure string builders, so they
+should be noise next to the partitioning they visualise -- these benches
+pin that claim with numbers, and record the artifact sizes so a layout
+change that balloons the output shows up in the BENCH diff.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.arch import ResourceVector
+from repro.arch.library import get_device, virtex5_ladder
+from repro.core.partitioner import partition
+from repro.eval.casestudy import CASESTUDY_BUDGET, casestudy_design
+from repro.eval.example_design import example_design
+from repro.flow import floorplan, plan_on_smallest_device
+from repro.render import (
+    render_bench_trend_html,
+    render_floorplan_svg,
+    render_scheme_svg,
+)
+
+
+@pytest.fixture(scope="module")
+def example_result():
+    return partition(example_design(), ResourceVector(520, 16, 16))
+
+
+@pytest.fixture(scope="module")
+def casestudy_result():
+    return partition(casestudy_design(), CASESTUDY_BUDGET)
+
+
+def test_render_scheme_casestudy(benchmark, casestudy_result, bench_record):
+    svg = benchmark(render_scheme_svg, casestudy_result)
+    assert svg == render_scheme_svg(casestudy_result)  # deterministic
+    bench_record(scheme_svg_bytes=len(svg.encode("utf-8")))
+
+
+def test_render_floorplan_casestudy(benchmark, casestudy_result, bench_record):
+    plan = floorplan(casestudy_result.scheme, get_device("FX70T"))
+    svg = benchmark(render_floorplan_svg, plan)
+    assert svg == render_floorplan_svg(plan)
+    bench_record(floorplan_svg_bytes=len(svg.encode("utf-8")))
+
+
+def test_render_end_to_end_example(benchmark, example_result):
+    """Partition-to-both-diagrams, the `repro-pr render` hot path."""
+
+    def both():
+        plan = plan_on_smallest_device(
+            example_result.scheme, virtex5_ladder()
+        )
+        return render_scheme_svg(example_result) + render_floorplan_svg(plan)
+
+    text = benchmark(both)
+    assert "repro.render/scheme v" in text
+    assert "repro.render/floorplan v" in text
+
+
+def test_render_bench_trend_scaling(benchmark, bench_record):
+    """A 50-document history (a year of weekly CI records) renders fast."""
+    history = [
+        (
+            f"BENCH_{i:03d}.json",
+            {
+                "suite": "synthetic",
+                "benchmarks": [
+                    {"name": name, "mean": 0.5 + 0.001 * i * (j + 1)}
+                    for j, name in enumerate(
+                        ("partition", "floorplan", "sweep", "cover")
+                    )
+                ],
+            },
+        )
+        for i in range(50)
+    ]
+    page = benchmark(render_bench_trend_html, history)
+    assert page == render_bench_trend_html(history)
+    bench_record(trend_history_docs=len(history))

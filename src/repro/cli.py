@@ -15,7 +15,11 @@ Subcommands mirror the deliverables:
   docs/SERVICE.md);
 * ``obs report|export-prom|bench-diff`` -- the telemetry toolchain
   over durable sink directories and BENCH artifacts
-  (docs/OBSERVABILITY.md).
+  (docs/OBSERVABILITY.md);
+* ``render scheme|floorplan|report|bench`` -- the deterministic
+  SVG/HTML rendering layer over the same inputs, with ``--check``
+  drift detection and a content-addressed artifact cache
+  (docs/REPORTING.md).
 """
 
 from __future__ import annotations
@@ -396,6 +400,193 @@ def _cmd_obs_bench_diff(args: argparse.Namespace) -> int:
     return 3 if diff.regressions else 0
 
 
+#: Builtin design names `repro render scheme|floorplan` accept in place
+#: of an XML path -- the paper's two worked problems, so the gallery and
+#: the golden tests need no design files checked in.
+RENDER_BUILTINS = ("example", "casestudy")
+
+
+def _render_problem(design_arg: str, device_name: str | None):
+    """(design, capacity, device | None) for a render target.
+
+    ``design_arg`` is a builtin name (:data:`RENDER_BUILTINS`) or a
+    path to a design XML file.  ``device`` stays ``None`` when nothing
+    names one -- the floorplan renderer then picks the smallest ladder
+    device that places the scheme (:func:`plan_on_smallest_device`),
+    keeping the output deterministic without a device argument.
+    """
+    from .arch.library import get_device
+
+    if design_arg == "example":
+        from .arch.resources import ResourceVector
+        from .eval.example_design import example_design
+
+        # The docs/ALGORITHM.md walkthrough budget for the Sec. IV design.
+        device = get_device(device_name) if device_name else None
+        return example_design(), ResourceVector(520, 16, 16), device
+    if design_arg == "casestudy":
+        from .eval.casestudy import CASESTUDY_BUDGET, casestudy_design
+
+        # Sec. V pins the case study to the FX70T; honour an override.
+        device = get_device(device_name or "FX70T")
+        return casestudy_design(), CASESTUDY_BUDGET, device
+    problem = resolve_problem(design_arg, device_name).with_selected_device()
+    return problem.design, problem.capacity, problem.device
+
+
+def _cached_render(args: argparse.Namespace, key: str, compute) -> str:
+    """``compute()`` through the artifact cache when --cache was given."""
+    if not getattr(args, "cache", None):
+        return compute()
+    from .service import ArtifactStore
+
+    store = ArtifactStore(args.cache)
+    text = store.get(key)
+    if text is None:
+        text = compute()
+        store.put(key, text)
+        print(f"artifact cache miss: stored {key[:12]}", file=sys.stderr)
+    else:
+        print(f"artifact cache hit: {key[:12]}", file=sys.stderr)
+    return text
+
+
+def _finish_render(args: argparse.Namespace, text: str) -> int:
+    """Write or check a rendered artifact against --out.
+
+    ``--check`` never writes: it byte-compares a fresh render against
+    the file and exits 3 on drift (mirroring ``obs bench-diff``), which
+    is how CI keeps committed goldens and the README gallery honest.
+    """
+    from pathlib import Path
+
+    if getattr(args, "check", False):
+        if args.out == "-":
+            print("error: --check needs a file --out, not '-'", file=sys.stderr)
+            return 1
+        try:
+            existing = Path(args.out).read_text(encoding="utf-8")
+        except OSError as exc:
+            print(f"error: cannot read {args.out}: {exc}", file=sys.stderr)
+            return 1
+        if existing != text:
+            print(
+                f"render drift: {args.out} ({len(existing)} bytes) differs "
+                f"from a fresh render ({len(text)} bytes); re-run without "
+                "--check to refresh it",
+                file=sys.stderr,
+            )
+            return 3
+        print(f"{args.out}: up to date ({len(text)} bytes)", file=sys.stderr)
+        return 0
+    if args.out == "-":
+        print(text, end="")
+        return 0
+    try:
+        Path(args.out).write_text(text, encoding="utf-8")
+    except OSError as exc:
+        print(f"error: cannot write {args.out}: {exc}", file=sys.stderr)
+        return 1
+    print(f"wrote {args.out} ({len(text)} bytes)", file=sys.stderr)
+    return 0
+
+
+def _cmd_render_scheme(args: argparse.Namespace) -> int:
+    from .core import problem_key
+    from .render import artifact_key, render_scheme_svg
+
+    try:
+        design, capacity, _device = _render_problem(args.design, args.device)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    key = artifact_key(problem_key(design, capacity), "scheme")
+
+    def compute() -> str:
+        return render_scheme_svg(partition(design, capacity))
+
+    try:
+        text = _cached_render(args, key, compute)
+    except InfeasibleError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    return _finish_render(args, text)
+
+
+def _cmd_render_floorplan(args: argparse.Namespace) -> int:
+    from .core import problem_key
+    from .flow.floorplan import plan_on_smallest_device
+    from .render import artifact_key, render_floorplan_svg
+
+    try:
+        design, capacity, device = _render_problem(args.design, args.device)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    key = artifact_key(
+        problem_key(
+            design,
+            capacity,
+            extra={"device": device.name if device else "auto"},
+        ),
+        "floorplan",
+    )
+
+    def compute() -> str:
+        result = partition(design, capacity)
+        if device is not None:
+            plan = floorplan(result.scheme, device)
+        else:
+            plan = plan_on_smallest_device(result.scheme, virtex5_ladder())
+        return render_floorplan_svg(plan)
+
+    try:
+        text = _cached_render(args, key, compute)
+    except InfeasibleError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except FloorplanError as exc:
+        print(f"floorplanning failed: {exc}", file=sys.stderr)
+        return 2
+    return _finish_render(args, text)
+
+
+def _cmd_render_report(args: argparse.Namespace) -> int:
+    from .obs import SinkError, aggregate_run
+    from .render import render_report_html
+
+    try:
+        report = aggregate_run(args.telemetry_dir)
+    except SinkError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    return _finish_render(args, render_report_html(report))
+
+
+def _cmd_render_bench(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from .obs import BenchDiffError, load_bench
+    from .render import render_bench_trend_html
+
+    paths: list[Path] = []
+    for raw in args.artifacts:
+        p = Path(raw)
+        if p.is_dir():
+            paths.extend(sorted(p.glob("BENCH_*.json")))
+        else:
+            paths.append(p)
+    history = []
+    try:
+        for p in paths:
+            history.append((p.name, load_bench(p)))
+    except BenchDiffError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    text = render_bench_trend_html(history, threshold=args.threshold)
+    return _finish_render(args, text)
+
+
 def _cmd_batch_status(args: argparse.Namespace) -> int:
     store, cache = _queue_stores(args)
     rows = []
@@ -645,6 +836,83 @@ def build_parser() -> argparse.ArgumentParser:
         "exit code 3 when any benchmark regresses past it",
     )
     p.set_defaults(func=_cmd_obs_bench_diff)
+
+    render = sub.add_parser(
+        "render",
+        help="deterministic SVG/HTML rendering layer (docs/REPORTING.md)",
+    )
+    render_sub = render.add_subparsers(dest="render_command", required=True)
+
+    def _add_render_out_flags(parser: argparse.ArgumentParser) -> None:
+        parser.add_argument(
+            "--out", required=True, metavar="FILE",
+            help="output file ('-' for stdout)",
+        )
+        parser.add_argument(
+            "--check", action="store_true",
+            help="don't write: re-render and byte-compare against FILE; "
+            "exit 3 on drift (CI mode for committed artifacts)",
+        )
+
+    def _add_render_cache_flag(parser: argparse.ArgumentParser) -> None:
+        parser.add_argument(
+            "--cache", metavar="DIR",
+            help="content-addressed artifact cache directory (keyed by "
+            "problem key + renderer version)",
+        )
+
+    p = render_sub.add_parser(
+        "scheme", help="partitioning-scheme diagram (SVG)"
+    )
+    p.add_argument(
+        "design",
+        help="design XML file, or a builtin problem: 'example' (Sec. IV) "
+        "| 'casestudy' (Sec. V)",
+    )
+    p.add_argument("--device", help="target device name")
+    _add_render_cache_flag(p)
+    _add_render_out_flags(p)
+    p.set_defaults(func=_cmd_render_scheme)
+
+    p = render_sub.add_parser(
+        "floorplan", help="placed-floorplan diagram (SVG)"
+    )
+    p.add_argument(
+        "design",
+        help="design XML file, or a builtin problem: 'example' | 'casestudy'",
+    )
+    p.add_argument(
+        "--device",
+        help="target device name (else the smallest ladder device that "
+        "places the scheme)",
+    )
+    _add_render_cache_flag(p)
+    _add_render_out_flags(p)
+    p.set_defaults(func=_cmd_render_floorplan)
+
+    p = render_sub.add_parser(
+        "report", help="run dashboard (HTML) over a telemetry directory"
+    )
+    p.add_argument("telemetry_dir", metavar="DIR",
+                   help="telemetry sink directory (from --telemetry-dir)")
+    _add_render_out_flags(p)
+    p.set_defaults(func=_cmd_render_report)
+
+    p = render_sub.add_parser(
+        "bench", help="benchmark trend page (HTML) over BENCH_*.json files"
+    )
+    p.add_argument(
+        "artifacts", nargs="+", metavar="PATH",
+        help="BENCH_*.json files in order, or a directory to scan "
+        "(sorted by file name)",
+    )
+    p.add_argument(
+        "--threshold", type=float, default=0.25, metavar="FRAC",
+        help="relative change flagged as regression/improvement "
+        "(default 0.25 = 25%%, matching obs bench-diff)",
+    )
+    _add_render_out_flags(p)
+    p.set_defaults(func=_cmd_render_bench)
 
     return parser
 

@@ -27,6 +27,7 @@ from .floorplan import (
     Placement,
     floorplan,
     placement_frames,
+    plan_on_smallest_device,
 )
 from .netlist import (
     STREAM_PORTS,
@@ -88,6 +89,7 @@ __all__ = [
     "parse_ranges",
     "partition_and_place",
     "placement_frames",
+    "plan_on_smallest_device",
     "save_design",
     "synthesise",
     "synthesise_module",

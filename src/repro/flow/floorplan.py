@@ -201,6 +201,25 @@ def floorplan(scheme: PartitioningScheme, device: Device) -> Floorplan:
     return plan
 
 
+def plan_on_smallest_device(scheme: PartitioningScheme, library) -> Floorplan:
+    """Floorplan ``scheme`` on the smallest library device that places it.
+
+    Walks the device ladder in library order (ascending capacity) and
+    returns the first successful placement -- the deterministic device
+    choice used when a scheme was partitioned against a bare budget and
+    no target device was named (``repro render floorplan`` on builtin
+    designs, the golden-file tests).  Raises :class:`FloorplanError`
+    when no device in the library can place the scheme.
+    """
+    last: FloorplanError | None = None
+    for device in library:
+        try:
+            return floorplan(scheme, device)
+        except FloorplanError as exc:
+            last = exc
+    raise last or FloorplanError("the device library is empty")
+
+
 def placement_frames(plan: Floorplan, region_name: str) -> int:
     """Frames actually spanned by a placed rectangle.
 

@@ -1,66 +1,15 @@
-"""ASCII floorplan rendering.
+"""Compatibility shim -- the ASCII floorplan renderer moved.
 
-Draws the device grid (one character per tile) with each placed region
-shown by a letter and resource columns marked in the footer -- the
-quickest way to eyeball a floorplan in a terminal or a test log.
-
-Legend: ``.`` free CLB tile, ``b`` free BRAM tile, ``d`` free DSP tile,
-letters ``A``-``Z`` (then ``a``...) the placed regions, row 0 printed at
-the bottom like the Xilinx coordinate system.
+The ad-hoc visualiser that lived here was absorbed into the
+deterministic rendering layer as :mod:`repro.render.ascii` (PR 6),
+next to its SVG counterpart :func:`repro.render.render_floorplan_svg`.
+This module remains so existing imports
+(``from repro.flow.visualize import render_floorplan``) keep working;
+new code should import from :mod:`repro.render`.
 """
 
 from __future__ import annotations
 
-from ..arch.device import Device
-from ..arch.resources import ResourceType
-from .floorplan import Floorplan
+from ..render.ascii import occupancy, render_floorplan
 
-_FREE = {
-    ResourceType.CLB: ".",
-    ResourceType.BRAM: "b",
-    ResourceType.DSP: "d",
-}
-
-_REGION_CHARS = "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz"
-
-
-def render_floorplan(plan: Floorplan, max_width: int = 120) -> str:
-    """Render a floorplan as a tile map.
-
-    Devices wider than ``max_width`` columns are split into horizontal
-    bands so the output stays readable.
-    """
-    device: Device = plan.device
-    grid = [
-        [_FREE[col.rtype] for col in device.columns]
-        for _ in range(device.rows)
-    ]
-    legend: list[str] = []
-    for k, placement in enumerate(plan.placements):
-        char = _REGION_CHARS[k % len(_REGION_CHARS)]
-        legend.append(f"{char}={placement.region_name}")
-        for row, col in placement.tiles():
-            grid[row][col] = char
-
-    lines: list[str] = [f"{device.name}: {device.rows} rows x {device.column_count} columns"]
-    for band_start in range(0, device.column_count, max_width):
-        band_end = min(band_start + max_width, device.column_count)
-        if band_start:
-            lines.append(f"-- columns {band_start}..{band_end - 1} --")
-        for row in range(device.rows - 1, -1, -1):  # row 0 at the bottom
-            lines.append(
-                f"r{row:<2} " + "".join(grid[row][band_start:band_end])
-            )
-    lines.append("legend: " + "  ".join(legend))
-    lines.append("free tiles: . CLB   b BRAM   d DSP")
-    return "\n".join(lines)
-
-
-def occupancy(plan: Floorplan) -> float:
-    """Fraction of device tiles covered by placed regions."""
-    device = plan.device
-    total = device.rows * device.column_count
-    covered = sum(
-        p.n_rows * p.n_cols for p in plan.placements
-    )
-    return covered / total if total else 0.0
+__all__ = ["occupancy", "render_floorplan"]

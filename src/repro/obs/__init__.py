@@ -27,6 +27,7 @@ from .report import (
     RunReport,
     aggregate_run,
     bench_diff,
+    bench_timings,
     export_prometheus_dir,
     load_bench,
     render_bench_diff,
@@ -77,6 +78,7 @@ __all__ = [
     "Tracer",
     "aggregate_run",
     "bench_diff",
+    "bench_timings",
     "export_prometheus_dir",
     "iter_telemetry",
     "load_bench",

@@ -21,7 +21,7 @@ from pathlib import Path
 from typing import Any, Mapping
 
 from .metrics import Histogram, merge_histogram_maps
-from .sink import iter_telemetry
+from .sink import _segments, iter_telemetry
 
 #: Default relative regression threshold of ``bench_diff`` (25% -- wide
 #: enough for shared-runner noise, tight enough to catch real cliffs).
@@ -62,6 +62,25 @@ class RunReport:
         return self.jobs_done + self.jobs_cached + self.jobs_failed
 
     @property
+    def is_empty(self) -> bool:
+        """True when the directory contributed no records at all.
+
+        An empty (or record-less) telemetry directory is a normal state
+        -- a sink that was opened but never written, or a run that died
+        before its first record -- so consumers render explicit "no
+        data" output instead of failing (``repro obs report`` exits 0).
+        """
+        return (
+            self.runs == 0
+            and self.jobs_total == 0
+            and self.retries == 0
+            and self.events == 0
+            and not self.counters
+            and not self.gauges
+            and not self.histograms
+        )
+
+    @property
     def cache_hit_rate(self) -> float:
         total = self.jobs_total
         return self.jobs_cached / total if total else 0.0
@@ -100,8 +119,17 @@ def aggregate_run(directory: str | Path) -> RunReport:
     (summed / last-write / merged respectively across runs); ``event``
     records are counted.  Unknown kinds are skipped -- forward
     compatibility within a schema version.
+
+    A directory that exists but holds no telemetry segments yet (a sink
+    opened and never written, a run killed before its first record)
+    aggregates to an *empty* report (:attr:`RunReport.is_empty`) rather
+    than raising -- only a missing directory or structurally corrupt
+    records raise :class:`~repro.obs.sink.SinkError`.
     """
     report = RunReport(directory=str(directory))
+    path = Path(directory)
+    if path.is_dir() and not _segments(path):
+        return report
     for record in iter_telemetry(directory):
         kind = record["kind"]
         if kind == "event":
@@ -141,6 +169,18 @@ def render_run_report(report: RunReport) -> str:
     """Human-readable summary for ``repro obs report``."""
     def fmt_s(value: float | None) -> str:
         return "-" if value is None else f"{value:.4f} s"
+
+    if report.is_empty:
+        return "\n".join(
+            [
+                f"telemetry: {report.directory}",
+                "runs: no data",
+                "jobs: no data",
+                "job latency: no data",
+                "(no telemetry records -- run the batch service with "
+                "--telemetry-dir to populate this directory)",
+            ]
+        )
 
     lines = [
         f"telemetry: {report.directory}",
@@ -238,8 +278,13 @@ def load_bench(path: str | Path) -> dict[str, Any]:
     return dict(doc)
 
 
-def _bench_timings(doc: Mapping[str, Any]) -> dict[str, float]:
-    """name -> representative seconds (mean, falling back to min)."""
+def bench_timings(doc: Mapping[str, Any]) -> dict[str, float]:
+    """name -> representative seconds (mean, falling back to min).
+
+    Shared by :func:`bench_diff` and the bench-trend renderer
+    (:func:`repro.render.render_bench_trend_html`), so both agree on
+    what "the" time of a benchmark is.
+    """
     out: dict[str, float] = {}
     for bench in doc.get("benchmarks") or []:
         if not isinstance(bench, Mapping) or "name" not in bench:
@@ -264,8 +309,8 @@ def bench_diff(
     """
     if threshold < 0:
         raise BenchDiffError("threshold must be non-negative")
-    old_timings = _bench_timings(old)
-    new_timings = _bench_timings(new)
+    old_timings = bench_timings(old)
+    new_timings = bench_timings(new)
     diff = BenchDiff(threshold=threshold)
     for name in sorted(old_timings.keys() & new_timings.keys()):
         diff.deltas.append(

@@ -1,0 +1,265 @@
+"""Deterministic markup primitives shared by the renderers.
+
+Everything in :mod:`repro.render` is a pure function ``input -> str``;
+this module supplies the string-level building blocks with one hard
+rule: **no source of nondeterminism**.  No clocks, no randomness, no
+filesystem, no environment -- number formatting goes through fixed
+format specs and iteration always happens in an order derived from the
+input, so the same input object renders to the same bytes on every
+platform and Python version.
+
+The HTML scaffold deliberately emits XML-well-formed markup (explicitly
+closed tags, self-closed voids) so the cheapest possible structural
+check -- ``xml.etree.ElementTree.fromstring`` -- validates both the SVG
+and the HTML artifacts.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+#: Categorical palette shared by the scheme and floorplan renderers so a
+#: region keeps its colour across both diagrams of one result.
+PALETTE: tuple[str, ...] = (
+    "#4e79a7", "#f28e2b", "#59a14f", "#e15759", "#b07aa1", "#edc948",
+    "#76b7b2", "#ff9da7", "#9c755f", "#86bcb6", "#d37295", "#bab0ac",
+)
+
+#: Free-tile shades keyed by resource kind (light, so placed regions pop).
+FREE_TILE_FILL = {"CLB": "#f2f2f2", "BRAM": "#dce9f7", "DSP": "#e0f2e0"}
+
+
+def esc(value: object) -> str:
+    """XML/HTML-escape ``value`` (attribute-safe)."""
+    return (
+        str(value)
+        .replace("&", "&amp;")
+        .replace("<", "&lt;")
+        .replace(">", "&gt;")
+        .replace('"', "&quot;")
+    )
+
+
+def fnum(value: float | int | None, digits: int = 4) -> str:
+    """Deterministic compact number formatting; ``-`` for ``None``."""
+    if value is None:
+        return "-"
+    if isinstance(value, int) or float(value).is_integer():
+        return str(int(value))
+    return f"{float(value):.{digits}g}"
+
+
+def coord(value: float) -> str:
+    """Fixed two-decimal SVG coordinate (stable across platforms)."""
+    text = f"{value:.2f}"
+    return "0.00" if text == "-0.00" else text
+
+
+def color_for(index: int) -> str:
+    """Palette colour for the ``index``-th category."""
+    return PALETTE[index % len(PALETTE)]
+
+
+def svg_document(width: float, height: float, body: str, *, meta: str) -> str:
+    """A standalone SVG document around ``body``.
+
+    ``meta`` is the renderer stamp (name + version) embedded as a
+    comment so artifacts self-describe which renderer produced them.
+    """
+    return (
+        '<svg xmlns="http://www.w3.org/2000/svg" '
+        f'width="{coord(width)}" height="{coord(height)}" '
+        f'viewBox="0 0 {coord(width)} {coord(height)}" '
+        'font-family="Helvetica, Arial, sans-serif">\n'
+        f"<!-- {esc(meta)} -->\n"
+        f"{body}"
+        "</svg>\n"
+    )
+
+
+def svg_text(
+    x: float,
+    y: float,
+    text: object,
+    *,
+    size: int = 12,
+    anchor: str = "start",
+    fill: str = "#1a1a1a",
+    weight: str | None = None,
+) -> str:
+    bold = f' font-weight="{weight}"' if weight else ""
+    return (
+        f'<text x="{coord(x)}" y="{coord(y)}" font-size="{size}" '
+        f'text-anchor="{anchor}" fill="{fill}"{bold}>{esc(text)}</text>\n'
+    )
+
+
+def svg_rect(
+    x: float,
+    y: float,
+    w: float,
+    h: float,
+    *,
+    fill: str,
+    stroke: str | None = None,
+    opacity: float | None = None,
+    dash: str | None = None,
+    rx: float | None = None,
+) -> str:
+    parts = [
+        f'<rect x="{coord(x)}" y="{coord(y)}" width="{coord(w)}" '
+        f'height="{coord(h)}" fill="{fill}"'
+    ]
+    if stroke is not None:
+        parts.append(f' stroke="{stroke}" stroke-width="1"')
+    if dash is not None:
+        parts.append(f' stroke-dasharray="{dash}"')
+    if opacity is not None:
+        parts.append(f' fill-opacity="{coord(opacity)}"')
+    if rx is not None:
+        parts.append(f' rx="{coord(rx)}"')
+    parts.append("/>\n")
+    return "".join(parts)
+
+
+def sparkline(
+    values: Sequence[float],
+    *,
+    width: float = 140.0,
+    height: float = 30.0,
+    color: str = "#4e79a7",
+) -> str:
+    """An inline sparkline SVG fragment for ``values`` in input order.
+
+    Degenerate inputs stay valid documents: no points renders an empty
+    frame, a single point renders one dot, an all-equal series renders a
+    centred flat line.
+    """
+    frame = svg_rect(0, 0, width, height, fill="none", stroke="#d9d9d9")
+    body = frame
+    if values:
+        lo, hi = min(values), max(values)
+        span = hi - lo
+        pad = 3.0
+
+        def point(i: int, v: float) -> tuple[float, float]:
+            if len(values) == 1:
+                x = width / 2.0
+            else:
+                x = pad + (width - 2 * pad) * i / (len(values) - 1)
+            if span == 0:
+                y = height / 2.0
+            else:
+                y = height - pad - (height - 2 * pad) * (v - lo) / span
+            return x, y
+
+        pts = [point(i, v) for i, v in enumerate(values)]
+        if len(pts) > 1:
+            path = " ".join(f"{coord(x)},{coord(y)}" for x, y in pts)
+            body += (
+                f'<polyline points="{path}" fill="none" stroke="{color}" '
+                'stroke-width="1.5"/>\n'
+            )
+        lx, ly = pts[-1]
+        body += (
+            f'<circle cx="{coord(lx)}" cy="{coord(ly)}" r="2.2" '
+            f'fill="{color}"/>\n'
+        )
+    return (
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{coord(width)}" '
+        f'height="{coord(height)}" viewBox="0 0 {coord(width)} '
+        f'{coord(height)}" role="img">\n{body}</svg>'
+    )
+
+
+_PAGE_CSS = """
+body { font-family: Helvetica, Arial, sans-serif; margin: 2em auto;
+       max-width: 64em; color: #1a1a1a; background: #ffffff; }
+h1 { font-size: 1.5em; border-bottom: 2px solid #4e79a7;
+     padding-bottom: 0.25em; }
+h2 { font-size: 1.15em; margin-top: 1.6em; }
+table { border-collapse: collapse; margin: 0.6em 0; }
+th, td { border: 1px solid #d9d9d9; padding: 0.3em 0.7em;
+         font-size: 0.9em; text-align: left; }
+th { background: #f2f5f9; }
+td.num { text-align: right; font-variant-numeric: tabular-nums; }
+.tiles { display: flex; flex-wrap: wrap; gap: 0.8em; margin: 1em 0; }
+.tile { border: 1px solid #d9d9d9; border-radius: 6px;
+        padding: 0.6em 1em; min-width: 7em; background: #fafbfc; }
+.tile .v { font-size: 1.4em; font-weight: bold; }
+.tile .k { font-size: 0.8em; color: #555555; }
+.nodata { color: #777777; font-style: italic; }
+.flag-bad { color: #c0392b; font-weight: bold; }
+.flag-good { color: #1e8449; font-weight: bold; }
+footer { margin-top: 2.5em; font-size: 0.8em; color: #777777; }
+"""
+
+
+def html_page(title: str, sections: Iterable[str], *, meta: str) -> str:
+    """A self-contained, well-formed HTML document.
+
+    ``sections`` are pre-rendered fragments; ``meta`` is the renderer
+    stamp placed in both a comment and the footer.  No external assets,
+    no scripts -- the page is inert and byte-stable.
+    """
+    body = "\n".join(sections)
+    return (
+        "<!DOCTYPE html>\n"
+        '<html lang="en">\n<head>\n'
+        '<meta charset="utf-8"/>\n'
+        f"<title>{esc(title)}</title>\n"
+        f"<style>{_PAGE_CSS}</style>\n"
+        f"</head>\n<body>\n<!-- {esc(meta)} -->\n"
+        f"<h1>{esc(title)}</h1>\n"
+        f"{body}\n"
+        f"<footer>{esc(meta)} &#183; deterministic artifact &#8212; "
+        "re-rendering the same input reproduces this file byte-for-byte"
+        "</footer>\n"
+        "</body>\n</html>\n"
+    )
+
+
+def stat_tiles(pairs: Sequence[tuple[str, str]]) -> str:
+    """A row of stat tiles from (label, value) pairs."""
+    tiles = "".join(
+        f'<div class="tile"><div class="v">{esc(v)}</div>'
+        f'<div class="k">{esc(k)}</div></div>\n'
+        for k, v in pairs
+    )
+    return f'<div class="tiles">\n{tiles}</div>'
+
+
+def html_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    *,
+    numeric: Sequence[int] = (),
+) -> str:
+    """A plain HTML table; columns in ``numeric`` get right alignment.
+
+    Cells already containing markup (sparklines, flag spans) are passed
+    through when wrapped in :class:`Raw`; everything else is escaped.
+    """
+    head = "".join(f"<th>{esc(h)}</th>" for h in headers)
+    body = []
+    for row in rows:
+        cells = []
+        for i, cell in enumerate(row):
+            klass = ' class="num"' if i in numeric else ""
+            text = cell.text if isinstance(cell, Raw) else esc(cell)
+            cells.append(f"<td{klass}>{text}</td>")
+        body.append("<tr>" + "".join(cells) + "</tr>")
+    return (
+        "<table>\n<thead><tr>" + head + "</tr></thead>\n<tbody>\n"
+        + "\n".join(body)
+        + "\n</tbody>\n</table>"
+    )
+
+
+class Raw:
+    """Marks a string as pre-rendered markup for :func:`html_table`."""
+
+    __slots__ = ("text",)
+
+    def __init__(self, text: str):
+        self.text = text

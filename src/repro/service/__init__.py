@@ -24,7 +24,7 @@ design-space sweeps, per-device what-if queries and CI re-runs:
 Full guide: docs/SERVICE.md.  CLI: ``repro-pr batch submit|run|status``.
 """
 
-from .cache import CachedResult, ResultCache
+from .cache import ArtifactStore, CachedResult, ResultCache
 from .faults import (
     FAULT_KINDS,
     FaultError,
@@ -44,6 +44,7 @@ from .pool import BatchReport, ServiceError, job_problem_key, run_batch
 from .problem import ResolvedProblem, resolve_problem, resolve_problem_text
 
 __all__ = [
+    "ArtifactStore",
     "BatchReport",
     "CachedResult",
     "DEFAULT_MAX_ATTEMPTS",

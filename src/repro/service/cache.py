@@ -231,3 +231,78 @@ class ResultCache:
             self.path_for(key).unlink(missing_ok=True)
             removed += 1
         return removed
+
+
+class ArtifactStore:
+    """Content-addressed store of rendered text artifacts (SVG/HTML).
+
+    The rendering layer (:mod:`repro.render`) is deterministic, so a
+    rendered artifact is as cacheable as the result it was rendered
+    from: :func:`repro.render.artifact_key` folds the problem key, the
+    renderer identity and ``RENDERER_VERSION`` into one SHA-256, and
+    this store maps that key to the artifact text.  It reuses the
+    :class:`ResultCache` disciplines -- sharded layout
+    (``<root>/ab/<key>.txt``), atomic writes (temp file +
+    ``os.replace``), per-instance hit/miss counters -- but holds plain
+    UTF-8 text instead of JSON entries: the artifact *is* the payload,
+    and byte-determinism means no envelope is needed for validation.
+    """
+
+    SUFFIX = ".txt"
+
+    def __init__(self, root: str | Path):
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+
+    def path_for(self, key: str) -> Path:
+        if len(key) < 3:
+            raise PersistenceError(f"artifact key too short: {key!r}")
+        return self.root / key[:2] / f"{key}{self.SUFFIX}"
+
+    def __contains__(self, key: str) -> bool:
+        return self.path_for(key).exists()
+
+    def keys(self) -> Iterator[str]:
+        """All stored keys (directory scan; order unspecified)."""
+        for shard in sorted(self.root.iterdir()):
+            if not shard.is_dir():
+                continue
+            for entry in sorted(shard.glob(f"*{self.SUFFIX}")):
+                yield entry.stem
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.keys())
+
+    def get(self, key: str) -> str | None:
+        """The artifact text for ``key``, ``None`` on a miss."""
+        try:
+            text = self.path_for(key).read_text(encoding="utf-8")
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return text
+
+    def put(self, key: str, text: str) -> Path:
+        """Store ``text`` under ``key`` atomically; returns the path."""
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(
+            dir=path.parent, prefix=f".{key[:8]}-", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                fh.write(text)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        return path
+
+    def stats(self) -> Mapping[str, int]:
+        return {"hits": self.hits, "misses": self.misses, "entries": len(self)}

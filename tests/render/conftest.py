@@ -1,0 +1,36 @@
+"""Fixtures for the rendering-layer tests."""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.arch import ResourceVector, virtex5_ladder
+from repro.core.partitioner import partition
+from repro.eval.example_design import example_design
+from repro.flow.floorplan import plan_on_smallest_device
+
+
+def parse_markup(text: str) -> ET.Element:
+    """Structural well-formedness check for SVG and HTML artifacts.
+
+    Both artifact kinds are emitted XML-well-formed by design
+    (explicitly closed tags, self-closed voids), so one parser covers
+    them; only the HTML doctype line has to go first.
+    """
+    if text.startswith("<!DOCTYPE"):
+        text = text.split("\n", 1)[1]
+    return ET.fromstring(text)
+
+
+@pytest.fixture(scope="session")
+def example_result():
+    """The Sec. IV example partitioned under the walkthrough budget."""
+    return partition(example_design(), ResourceVector(520, 16, 16))
+
+
+@pytest.fixture(scope="session")
+def example_plan(example_result):
+    """The example scheme placed on the smallest fitting ladder device."""
+    return plan_on_smallest_device(example_result.scheme, virtex5_ladder())

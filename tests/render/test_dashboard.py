@@ -1,0 +1,62 @@
+"""Run-dashboard renderer over RunReport objects."""
+
+from __future__ import annotations
+
+from repro.obs.report import RunReport
+from repro.render import render_report_html, renderer_meta
+
+from .conftest import parse_markup
+from .sample_inputs import sample_report
+
+
+class TestPopulatedReport:
+    def test_well_formed_and_stamped(self):
+        text = render_report_html(sample_report())
+        parse_markup(text)
+        assert f"<!-- {renderer_meta('report')} -->" in text
+
+    def test_job_tiles_carry_the_counts(self):
+        report = sample_report()
+        text = render_report_html(report)
+        assert str(report.jobs_total) in text
+        assert "cache hit rate" in text
+        assert "30.0%" in text  # 3 cached of 10
+
+    def test_latency_percentiles_and_sparkline(self):
+        text = render_report_html(sample_report())
+        assert "p50" in text and "p99" in text
+        assert "polyline" in text  # the latency profile sparkline
+
+    def test_histograms_counters_gauges_tabulated(self):
+        text = render_report_html(sample_report())
+        assert "service.job_wall_s" in text
+        assert "batch.jobs.done" in text
+        assert "batch.queue.depth" in text
+
+    def test_double_render_is_byte_identical(self):
+        report = sample_report()
+        assert render_report_html(report) == render_report_html(report)
+
+
+class TestEmptyReport:
+    def test_empty_report_renders_no_data_sections(self):
+        report = RunReport(directory="/tmp/empty")
+        assert report.is_empty
+        text = render_report_html(report)
+        parse_markup(text)
+        assert text.count("no data recorded") >= 4
+        assert "contains no records yet" in text
+        assert "--telemetry-dir" in text
+
+    def test_empty_report_is_still_deterministic(self):
+        report = RunReport(directory="/tmp/empty")
+        assert render_report_html(report) == render_report_html(report)
+
+    def test_partial_report_mixes_data_and_no_data(self):
+        report = RunReport(directory="d")
+        report.runs = 1
+        report.jobs_cached = 2  # jobs, but no computed latencies
+        text = render_report_html(report)
+        parse_markup(text)
+        assert "contains no records yet" not in text
+        assert "no data recorded" in text  # the latency section

@@ -1,0 +1,104 @@
+"""Floorplan renderer + the free-space analysis underneath it."""
+
+from __future__ import annotations
+
+from repro.arch import get_device
+from repro.flow.floorplan import Floorplan
+from repro.render import (
+    fragmentation_stats,
+    largest_free_rectangle,
+    render_floorplan_svg,
+    renderer_meta,
+)
+
+from .conftest import parse_markup
+
+
+def grid(rows: list[str]) -> list[list[bool]]:
+    """'#' = occupied, '.' = free; row 0 first."""
+    return [[c == "#" for c in row] for row in rows]
+
+
+class TestLargestFreeRectangle:
+    def test_empty_grid(self):
+        assert largest_free_rectangle([]) is None
+
+    def test_fully_occupied(self):
+        assert largest_free_rectangle(grid(["##", "##"])) is None
+
+    def test_fully_free_takes_everything(self):
+        assert largest_free_rectangle(grid(["...", "..."])) == (0, 0, 1, 2)
+
+    def test_l_shaped_hole(self):
+        # Free space is an L; the best rectangle is the 2x2 block.
+        g = grid([
+            "..#",
+            "..#",
+            "###",
+        ])
+        assert largest_free_rectangle(g) == (0, 0, 1, 1)
+
+    def test_prefers_wide_over_narrow(self):
+        g = grid([
+            "....",
+            "####",
+            "..##",
+        ])
+        assert largest_free_rectangle(g) == (0, 0, 0, 3)
+
+    def test_column_spanning_rectangle(self):
+        g = grid([
+            "#.#",
+            "#.#",
+            "#.#",
+        ])
+        assert largest_free_rectangle(g) == (0, 1, 2, 1)
+
+
+class TestFragmentationStats:
+    def test_empty_plan_is_one_solid_rectangle(self):
+        device = get_device("LX20T")
+        stats = fragmentation_stats(Floorplan(device=device, placements=()))
+        assert stats["occupancy"] == 0.0
+        assert stats["fragmentation"] == 0.0
+        assert stats["free_tiles"] == float(
+            device.rows * device.column_count
+        )
+        assert stats["largest_free_rect"] == stats["free_tiles"]
+
+    def test_placed_plan_reduces_free_space(self, example_plan):
+        stats = fragmentation_stats(example_plan)
+        total = example_plan.device.rows * example_plan.device.column_count
+        covered = sum(
+            p.n_rows * p.n_cols for p in example_plan.placements
+        )
+        assert stats["occupancy"] == covered / total
+        assert 0.0 <= stats["fragmentation"] <= 1.0
+        assert stats["largest_free_rect"] <= stats["free_tiles"]
+
+
+class TestRenderFloorplan:
+    def test_well_formed_and_stamped(self, example_plan):
+        text = render_floorplan_svg(example_plan)
+        parse_markup(text)
+        assert f"<!-- {renderer_meta('floorplan')} -->" in text
+
+    def test_shows_device_regions_and_stats(self, example_plan):
+        text = render_floorplan_svg(example_plan)
+        assert example_plan.device.name in text
+        for placement in example_plan.placements:
+            assert placement.region_name in text
+        assert "occupancy" in text
+        assert "largest free rectangle" in text
+
+    def test_zero_placement_plan_renders_bare_grid(self):
+        device = get_device("LX20T")
+        text = render_floorplan_svg(Floorplan(device=device, placements=()))
+        parse_markup(text)
+        assert "0 regions" in text
+        assert "occupancy 0.0%" in text
+
+    def test_double_render_is_byte_identical(self, example_plan):
+        assert render_floorplan_svg(example_plan) == render_floorplan_svg(
+            example_plan
+        )

@@ -1,0 +1,93 @@
+"""Unit tests of the deterministic markup primitives."""
+
+from __future__ import annotations
+
+from repro.render._markup import (
+    PALETTE,
+    Raw,
+    color_for,
+    coord,
+    esc,
+    fnum,
+    html_page,
+    html_table,
+    sparkline,
+    stat_tiles,
+    svg_document,
+    svg_rect,
+    svg_text,
+)
+
+from .conftest import parse_markup
+
+
+class TestFormatting:
+    def test_esc_covers_markup_characters(self):
+        assert esc('<a href="x">&</a>') == (
+            "&lt;a href=&quot;x&quot;&gt;&amp;&lt;/a&gt;"
+        )
+
+    def test_fnum_integers_stay_integers(self):
+        assert fnum(3330) == "3330"
+        assert fnum(4.0) == "4"
+
+    def test_fnum_compact_floats_and_none(self):
+        assert fnum(0.123456) == "0.1235"
+        assert fnum(None) == "-"
+
+    def test_coord_is_two_decimal_and_kills_negative_zero(self):
+        assert coord(3.14159) == "3.14"
+        assert coord(-0.0000001) == "0.00"
+
+    def test_color_for_wraps_palette(self):
+        assert color_for(0) == PALETTE[0]
+        assert color_for(len(PALETTE)) == PALETTE[0]
+
+
+class TestSparkline:
+    def test_empty_series_is_a_valid_frame(self):
+        text = sparkline([])
+        parse_markup(text)
+        assert "polyline" not in text and "circle" not in text
+
+    def test_single_point_renders_one_dot(self):
+        text = sparkline([1.0])
+        parse_markup(text)
+        assert "polyline" not in text and "circle" in text
+
+    def test_flat_series_centres_the_line(self):
+        text = sparkline([2.0, 2.0, 2.0], height=30)
+        parse_markup(text)
+        assert "15.00" in text  # the vertical centre
+
+    def test_deterministic(self):
+        series = [0.1, 0.9, 0.4, 0.4]
+        assert sparkline(series) == sparkline(series)
+
+
+class TestScaffold:
+    def test_svg_document_embeds_meta_comment(self):
+        text = svg_document(10, 10, svg_rect(0, 0, 5, 5, fill="#fff"),
+                            meta="repro.render/test v1")
+        parse_markup(text)
+        assert "<!-- repro.render/test v1 -->" in text
+
+    def test_svg_text_escapes_content(self):
+        assert "&lt;b&gt;" in svg_text(0, 0, "<b>")
+
+    def test_html_page_is_well_formed_and_self_contained(self):
+        text = html_page("t", ["<p>hello</p>"], meta="m v1")
+        parse_markup(text)
+        assert "<style>" in text
+        assert "http" not in text  # no external assets
+
+    def test_html_table_escapes_unless_raw(self):
+        text = html_table(("h",), [("<x>",), (Raw("<em>ok</em>"),)],
+                          numeric=(0,))
+        assert "&lt;x&gt;" in text
+        assert "<em>ok</em>" in text
+        assert 'class="num"' in text
+
+    def test_stat_tiles(self):
+        text = stat_tiles([("jobs", "12")])
+        assert "jobs" in text and "12" in text

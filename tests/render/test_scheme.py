@@ -1,0 +1,76 @@
+"""Scheme-diagram renderer: content, degenerate inputs, purity."""
+
+from __future__ import annotations
+
+from repro.arch import ResourceVector
+from repro.core.partitioner import partition
+from repro.core.result import PartitioningScheme
+from repro.render import render_scheme_svg, renderer_meta
+from tests.conftest import make_design
+
+from .conftest import parse_markup
+
+
+class TestContent:
+    def test_well_formed_and_stamped(self, example_result):
+        text = render_scheme_svg(example_result)
+        parse_markup(text)
+        assert f"<!-- {renderer_meta('scheme')} -->" in text
+
+    def test_shows_regions_configs_and_costs(self, example_result):
+        text = render_scheme_svg(example_result)
+        scheme = example_result.scheme
+        for region in scheme.regions:
+            assert region.name in text
+            assert f"{region.frames} frames" in text
+        for config in scheme.design.configurations:
+            assert config.name in text
+        assert f"total reconfiguration {example_result.total_frames} " in text
+        assert f"worst case {example_result.worst_frames} frames" in text
+
+    def test_budget_footer_only_with_a_result(self, example_result):
+        with_budget = render_scheme_svg(example_result)
+        bare = render_scheme_svg(example_result.scheme)
+        assert "of budget 520/16/16" in with_budget
+        assert "of budget" not in bare
+
+    def test_accepts_bare_scheme(self, example_result):
+        parse_markup(render_scheme_svg(example_result.scheme))
+
+
+class TestDegenerate:
+    def test_zero_region_scheme_renders_placeholders(self):
+        design = make_design({"A": {"A1": (40, 0, 0)}}, [("A1",)])
+        scheme = PartitioningScheme(
+            design=design,
+            regions=(),
+            cover={"Conf.1": ()},
+            static_modes=frozenset({"A1"}),
+            strategy="static",
+        )
+        text = render_scheme_svg(scheme)
+        parse_markup(text)
+        assert "fully static scheme" in text
+
+    def test_single_configuration_has_no_transition_matrix(self):
+        design = make_design(
+            {"A": {"A1": (40, 0, 0)}, "B": {"B1": (50, 0, 0)}},
+            [("A1", "B1")],
+        )
+        result = partition(design, ResourceVector(520, 16, 16))
+        text = render_scheme_svg(result)
+        parse_markup(text)
+        assert "no transitions" in text
+        assert "Eq. 8" not in text
+
+
+class TestPurity:
+    def test_double_render_is_byte_identical(self, example_result):
+        assert render_scheme_svg(example_result) == render_scheme_svg(
+            example_result
+        )
+
+    def test_no_mutation_of_the_input(self, example_result):
+        before = example_result.scheme.describe()
+        render_scheme_svg(example_result)
+        assert example_result.scheme.describe() == before

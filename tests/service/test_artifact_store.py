@@ -1,0 +1,73 @@
+"""ArtifactStore: the text-artifact sibling of ResultCache."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import problem_key
+from repro.eval.example_design import example_design
+from repro.render import artifact_key
+from repro.service import ArtifactStore
+from repro.eval.persistence import PersistenceError
+
+
+@pytest.fixture
+def store(tmp_path):
+    return ArtifactStore(tmp_path / "artifacts")
+
+
+def key_for(renderer: str = "scheme") -> str:
+    return artifact_key(problem_key(example_design()), renderer)
+
+
+class TestRoundTrip:
+    def test_miss_then_hit(self, store):
+        key = key_for()
+        assert store.get(key) is None
+        store.put(key, "<svg/>")
+        assert store.get(key) == "<svg/>"
+        assert store.stats() == {"hits": 1, "misses": 1, "entries": 1}
+
+    def test_contains_and_len(self, store):
+        key = key_for()
+        assert key not in store
+        store.put(key, "x")
+        assert key in store
+        assert len(store) == 1
+        assert list(store.keys()) == [key]
+
+    def test_overwrite_replaces_text(self, store):
+        key = key_for()
+        store.put(key, "one")
+        store.put(key, "two")
+        assert store.get(key) == "two"
+        assert len(store) == 1
+
+    def test_unicode_survives(self, store):
+        key = key_for()
+        store.put(key, "…&#183;·")
+        assert store.get(key) == "…&#183;·"
+
+
+class TestLayout:
+    def test_sharded_by_key_prefix(self, store):
+        key = key_for()
+        path = store.put(key, "x")
+        assert path.parent.name == key[:2]
+        assert path.name == f"{key}.txt"
+        assert path == store.path_for(key)
+
+    def test_short_key_rejected(self, store):
+        with pytest.raises(PersistenceError, match="too short"):
+            store.path_for("ab")
+
+    def test_no_temp_debris_after_put(self, store):
+        key = key_for()
+        store.put(key, "x")
+        debris = list(store.root.rglob("*.tmp"))
+        assert debris == []
+
+    def test_distinct_renderers_distinct_slots(self, store):
+        store.put(key_for("scheme"), "s")
+        store.put(key_for("floorplan"), "f")
+        assert len(store) == 2

@@ -78,6 +78,30 @@ class TestObsReport:
         assert rc == 1
         assert "error" in capsys.readouterr().err
 
+    def test_report_empty_directory_degrades_gracefully(
+        self, tmp_path, capsys
+    ):
+        # A sink directory that exists but was never written to is a
+        # normal state (sink opened, run died early): exit 0 with
+        # explicit no-data lines, not a SinkError.
+        empty = tmp_path / "empty"
+        empty.mkdir()
+        rc = main(["obs", "report", str(empty)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "runs: no data" in out
+        assert "jobs: no data" in out
+        assert "--telemetry-dir" in out
+
+    def test_report_empty_directory_json_flag(self, tmp_path, capsys):
+        empty = tmp_path / "empty"
+        empty.mkdir()
+        rc = main(["obs", "report", str(empty), "--json"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        doc = json.loads(out[out.index("{"):])
+        assert doc["jobs_total"] == 0 and doc["runs"] == 0
+
 
 class TestObsExportProm:
     def test_export_parses_as_valid_exposition(self, telemetry_dir, capsys):

@@ -127,6 +127,32 @@ class TestAggregateRun:
         assert report.latency_percentile(50) is None
         assert "p50 -" in render_run_report(report)
 
+    def test_segmentless_directory_aggregates_to_empty_report(self, tmp_path):
+        empty = tmp_path / "t"
+        empty.mkdir()
+        report = aggregate_run(empty)
+        assert report.is_empty
+        assert report.jobs_total == 0 and report.runs == 0
+
+    def test_missing_directory_still_raises(self, tmp_path):
+        from repro.obs import SinkError
+
+        with pytest.raises(SinkError):
+            aggregate_run(tmp_path / "absent")
+
+    def test_empty_report_renders_no_data_lines(self, tmp_path):
+        empty = tmp_path / "t"
+        empty.mkdir()
+        text = render_run_report(aggregate_run(empty))
+        assert "runs: no data" in text
+        assert "jobs: no data" in text
+        assert "job latency: no data" in text
+        assert "--telemetry-dir" in text
+
+    def test_populated_report_is_not_empty(self, tmp_path):
+        _write_run(tmp_path / "t")
+        assert not aggregate_run(tmp_path / "t").is_empty
+
 
 class TestPrometheusRoundTrip:
     def test_counters_gauges_histograms(self):

@@ -20,6 +20,7 @@ PACKAGES = [
     "repro.synth",
     "repro.eval",
     "repro.obs",
+    "repro.render",
     "repro.service",
     "repro.util",
 ]
