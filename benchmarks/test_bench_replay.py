@@ -1,0 +1,151 @@
+"""Replay-subsystem benches: engine throughput and the fleet sweep.
+
+Two quantities the docs quote (docs/REPLAY.md "Measured numbers"):
+
+* engine throughput -- events/second of the pure replay loop on a
+  10k-event bursty trace over the case-study scheme, per policy;
+* the fleet sweep -- ``REPRO_BENCH_REPLAY_TRACES`` synthesized traces
+  (default 1000, the paper's population scale) x 3 policies through
+  ``run_batch``, cold vs. fully cached.
+
+The warm-sweep assertion is architectural and must always hold: a
+second submission of the same suite serves every feasible cell from
+the replay store in phase 1 of the batch runner, so only the designs
+the device library cannot fit (the synthetic generator intentionally
+overshoots sometimes) re-enter a worker.  Those infeasible designs
+fail identically on both runs -- they are counted, recorded, and
+excluded from the cache-hit accounting.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+
+from repro.core.partitioner import partition
+from repro.eval.casestudy import CASESTUDY_BUDGET, casestudy_design
+from repro.eval.report import render_table
+from repro.replay import (
+    TraceSpec,
+    WorkloadSuite,
+    iter_trace,
+    replay_store_for,
+    replay_trace,
+    submit_replay_suite,
+)
+from repro.replay.trace import config_names
+from repro.service import JobStore, ResultCache, run_batch
+
+#: Fleet size knob: total synthesized traces in the sweep (CI smoke
+#: sets a tiny value; the committed record uses the default).
+REPLAY_TRACES = int(os.environ.get("REPRO_BENCH_REPLAY_TRACES", "1000"))
+TRACES_PER_DESIGN = 3
+DESIGNS = max((REPLAY_TRACES + TRACES_PER_DESIGN - 1) // TRACES_PER_DESIGN, 1)
+POLICIES = ("no-prefetch", "prefetch-oracle", "evict-lru")
+#: Events per synthesized trace; short on purpose -- the sweep bench
+#: measures the service path, the throughput bench measures the engine.
+SWEEP_LENGTH = 64
+MAX_SETS = 3
+SEED = 2013
+ENGINE_EVENTS = 10_000
+
+
+@pytest.fixture(scope="module")
+def casestudy_scheme():
+    return partition(casestudy_design(), CASESTUDY_BUDGET).scheme
+
+
+def test_engine_throughput(benchmark, bench_record, casestudy_scheme):
+    """Events/second of the replay loop, per policy, on one long trace."""
+    names = config_names(casestudy_scheme.design)
+    spec = TraceSpec(environment="bursty", length=ENGINE_EVENTS, seed=7)
+    # Pre-materialise so the bench times the engine, not the rng stream.
+    trace = list(iter_trace(names, spec))
+
+    result = benchmark(replay_trace, casestudy_scheme, trace)
+    assert result.events == ENGINE_EVENTS
+    assert result.switches > 0
+
+    rows = []
+    rates = {}
+    for policy in POLICIES:
+        t0 = time.perf_counter()
+        replay_trace(casestudy_scheme, trace, policy)
+        wall = time.perf_counter() - t0
+        rates[policy] = ENGINE_EVENTS / wall
+        rows.append((policy, f"{rates[policy]:,.0f}"))
+    print()
+    print(render_table(("policy", "events/s"), rows,
+                       title=f"replay engine, {ENGINE_EVENTS}-event trace"))
+    bench_record(
+        engine_events=ENGINE_EVENTS,
+        engine_events_per_s={k: round(v) for k, v in rates.items()},
+    )
+
+
+def _submit(tmp_path, tag, suite):
+    store = JobStore(tmp_path / f"queue-{tag}")
+    jobs = submit_replay_suite(
+        store, suite, POLICIES, max_candidate_sets=MAX_SETS, max_attempts=1
+    )
+    return store, jobs
+
+
+def test_fleet_sweep_cold_vs_cached(tmp_path, bench_record):
+    """The acceptance-scale sweep: cold compute, then a 100% cached re-run."""
+    suite = WorkloadSuite(
+        designs=DESIGNS,
+        traces_per_design=TRACES_PER_DESIGN,
+        length=SWEEP_LENGTH,
+        seed=SEED,
+    )
+    workers = os.cpu_count() or 1
+    cache = ResultCache(tmp_path / "cache")
+
+    cold_store, jobs = _submit(tmp_path, "cold", suite)
+    t0 = time.perf_counter()
+    cold = run_batch(cold_store, cache, workers=workers)
+    cold_wall = time.perf_counter() - t0
+    assert cold.done + cold.failed == len(jobs)
+    assert cold.cache_hits == 0
+    assert len(replay_store_for(cache)) == cold.done
+
+    warm_store, _ = _submit(tmp_path, "warm", suite)
+    t0 = time.perf_counter()
+    warm = run_batch(warm_store, cache, workers=workers)
+    warm_wall = time.perf_counter() - t0
+    # Every feasible cell is served from the replay store in phase 1;
+    # only the infeasible designs fail again (identically).
+    assert warm.cache_hits == cold.done
+    assert warm.done == cold.done
+    assert warm.failed == cold.failed
+
+    rows = [
+        ("cold", f"{cold_wall:.2f}", f"{cold.done / cold_wall:,.1f}"),
+        ("cached", f"{warm_wall:.2f}", f"{warm.done / warm_wall:,.1f}"),
+    ]
+    print()
+    print(render_table(
+        ("run", "wall s", "jobs/s"),
+        rows,
+        title=(
+            f"replay sweep: {suite.trace_count} traces x "
+            f"{len(POLICIES)} policies, {workers} workers"
+        ),
+    ))
+    bench_record(
+        sweep_traces=suite.trace_count,
+        sweep_policies=len(POLICIES),
+        sweep_jobs=len(jobs),
+        sweep_infeasible=cold.failed,
+        sweep_cold_s=round(cold_wall, 3),
+        sweep_cached_s=round(warm_wall, 3),
+        sweep_cached_hits=warm.cache_hits,
+        sweep_speedup=round(cold_wall / warm_wall, 2) if warm_wall else None,
+        sweep_workers=workers,
+    )
+    # The architectural claim: serving a fleet from the replay store is
+    # never slower than recomputing it.
+    assert warm_wall <= cold_wall

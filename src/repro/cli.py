@@ -13,6 +13,9 @@ Subcommands mirror the deliverables:
 * ``batch submit|run|status`` -- the batch partitioning service
   (job queue + worker pool + content-addressed result cache,
   docs/SERVICE.md);
+* ``replay run|sweep|compare`` -- trace-driven workload replay:
+  measured reconfiguration latency under load, per serving policy
+  (docs/REPLAY.md);
 * ``obs report|export-prom|bench-diff`` -- the telemetry toolchain
   over durable sink directories and BENCH artifacts
   (docs/OBSERVABILITY.md);
@@ -346,6 +349,168 @@ def _cmd_batch_run(args: argparse.Namespace) -> int:
         print(f"failed jobs: {', '.join(report.failed_ids)}", file=sys.stderr)
     _emit_trace(tracer, args)
     return 0 if report.failed == 0 else 3
+
+
+def _cmd_replay_run(args: argparse.Namespace) -> int:
+    from .replay import (
+        PolicyComparison,
+        PolicyLatency,
+        TraceSpec,
+        generator_matrix,
+        iter_trace,
+        render_policy_comparison,
+        replay_record,
+        replay_trace,
+        resolve_policy,
+    )
+    from .replay.policies import PolicyError
+    from .replay.trace import TraceSpecError, config_names
+
+    try:
+        design, capacity, _device = _render_problem(args.design, args.device)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    try:
+        result = partition(design, capacity)
+    except InfeasibleError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    names = config_names(design)
+    try:
+        spec = TraceSpec(
+            environment=args.environment,
+            length=args.length,
+            seed=args.seed,
+            dwell=args.dwell,
+        )
+        policies = [resolve_policy(p) for p in args.policy or ["no-prefetch"]]
+    except (TraceSpecError, PolicyError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    matrix = generator_matrix(names, spec)
+    print(
+        f"{design.name}: {len(names)} configurations, "
+        f"{args.environment} trace of {args.length} events (seed {args.seed})"
+    )
+    aggregates = {}
+    for policy in policies:
+        replayed = replay_trace(
+            result.scheme, iter_trace(names, spec), policy, matrix=matrix
+        )
+        agg = aggregates.setdefault(policy.name, PolicyLatency(policy=policy.name))
+        agg.fold(replay_record(replayed))
+    comparison = PolicyComparison(
+        policies=tuple(aggregates[name] for name in sorted(aggregates)),
+        keys=(),
+    )
+    print(render_policy_comparison(comparison), end="")
+    return 0
+
+
+def _cmd_replay_sweep(args: argparse.Namespace) -> int:
+    from .eval.report import render_batch_report
+    from .replay import ENVIRONMENTS, WorkloadSuite, submit_replay_suite
+    from .replay.policies import PolicyError
+    from .replay.trace import TraceSpecError
+    from .service import ServiceError, run_batch
+
+    store, cache = _queue_stores(args)
+    try:
+        suite = WorkloadSuite(
+            designs=args.designs,
+            traces_per_design=args.traces_per_design,
+            length=args.length,
+            seed=args.seed,
+            environments=(
+                tuple(args.environment) if args.environment else ENVIRONMENTS
+            ),
+        )
+        jobs = submit_replay_suite(
+            store,
+            suite,
+            args.policy or ["no-prefetch", "prefetch-markov", "prefetch-oracle"],
+            device=args.device,
+            max_candidate_sets=args.max_candidate_sets,
+        )
+    except (TraceSpecError, PolicyError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    print(
+        f"submitted {len(jobs)} replay jobs "
+        f"({suite.designs} designs x {suite.traces_per_design} traces x "
+        f"{len(jobs) // max(suite.trace_count, 1)} policies)"
+    )
+    tracer = _make_tracer(args)
+    sink = None
+    if args.telemetry_dir:
+        from .obs import TelemetrySink
+
+        if not isinstance(tracer, RecordingTracer):
+            tracer = RecordingTracer()
+        sink = TelemetrySink(args.telemetry_dir)
+    try:
+        report = run_batch(
+            store, cache, workers=args.workers, tracer=tracer, sink=sink
+        )
+    except ServiceError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    print(render_batch_report(report))
+    if sink is not None:
+        print(
+            f"telemetry: {sink.records_written} records in {sink.directory}",
+            file=sys.stderr,
+        )
+    if report.failed:
+        print(f"failed jobs: {', '.join(report.failed_ids)}", file=sys.stderr)
+    _emit_trace(tracer, args)
+    return 0 if report.failed == 0 else 3
+
+
+def _cmd_replay_compare(args: argparse.Namespace) -> int:
+    from .replay import (
+        ReplayError,
+        collect_policy_comparison,
+        comparison_key,
+        render_policy_comparison,
+        replay_store_for,
+    )
+    from .service import ResultCache
+
+    cache = ResultCache(args.cache)
+    try:
+        comparison = collect_policy_comparison(replay_store_for(cache))
+    except ReplayError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    if not args.out:
+        if getattr(args, "check", False):
+            print("error: --check needs --out", file=sys.stderr)
+            return 1
+        print(render_policy_comparison(comparison), end="")
+        return 0
+    from .render import artifact_key, render_replay_html
+
+    key = artifact_key(comparison_key(comparison.keys), "replay")
+
+    def compute() -> str:
+        return render_replay_html(comparison)
+
+    if args.artifact_cache:
+        from .service import ArtifactStore
+
+        astore = ArtifactStore(args.artifact_cache)
+        text = astore.get(key)
+        if text is None:
+            text = compute()
+            astore.put(key, text)
+            print(f"artifact cache miss: stored {key[:12]}", file=sys.stderr)
+        else:
+            print(f"artifact cache hit: {key[:12]}", file=sys.stderr)
+    else:
+        text = compute()
+    return _finish_render(args, text)
 
 
 def _cmd_obs_report(args: argparse.Namespace) -> int:
@@ -796,6 +961,112 @@ def build_parser() -> argparse.ArgumentParser:
         help="also print recorded failure tracebacks",
     )
     p.set_defaults(func=_cmd_batch_status)
+
+    replay = sub.add_parser(
+        "replay",
+        help="trace-driven workload replay: measured latency under load "
+        "(docs/REPLAY.md)",
+    )
+    replay_sub = replay.add_subparsers(dest="replay_command", required=True)
+
+    p = replay_sub.add_parser(
+        "run", help="replay one synthesized trace against one design"
+    )
+    p.add_argument(
+        "design",
+        help="design XML file, or a builtin problem: 'example' (Sec. IV) "
+        "| 'casestudy' (Sec. V)",
+    )
+    p.add_argument("--device", help="target device name")
+    p.add_argument(
+        "--environment", choices=("uniform", "markov", "bursty"),
+        default="bursty", help="traffic model (default: bursty)",
+    )
+    p.add_argument("--length", type=int, default=256,
+                   help="trace length in events (default 256)")
+    p.add_argument("--seed", type=int, default=2013)
+    p.add_argument(
+        "--dwell", type=float, default=0.9,
+        help="bursty dwell probability (default 0.9)",
+    )
+    p.add_argument(
+        "--policy", action="append", metavar="NAME",
+        help="serving policy preset; repeatable (default: no-prefetch; "
+        "presets: no-prefetch, prefetch-markov, prefetch-oracle, "
+        "evict-lru, evict-static, evict-activity)",
+    )
+    p.set_defaults(func=_cmd_replay_run)
+
+    p = replay_sub.add_parser(
+        "sweep",
+        help="fan a workload suite x policy matrix out as batch replay jobs",
+    )
+    p.add_argument(
+        "--queue", required=True, metavar="DIR",
+        help="queue directory (holds jobs.jsonl; created if missing)",
+    )
+    p.add_argument(
+        "--cache", metavar="DIR",
+        help="result cache directory (default: <queue>/cache; replay "
+        "records land in <cache>/replay)",
+    )
+    p.add_argument("--designs", type=int, default=4,
+                   help="synthetic designs in the suite (default 4)")
+    p.add_argument(
+        "--traces-per-design", type=int, default=3,
+        help="traces per design, round-robining environments (default 3)",
+    )
+    p.add_argument("--length", type=int, default=256,
+                   help="events per trace (default 256)")
+    p.add_argument("--seed", type=int, default=2013)
+    p.add_argument(
+        "--environment", action="append",
+        choices=("uniform", "markov", "bursty"),
+        help="restrict the suite to these environments; repeatable",
+    )
+    p.add_argument(
+        "--policy", action="append", metavar="NAME",
+        help="serving policy preset; repeatable (default: no-prefetch, "
+        "prefetch-markov, prefetch-oracle)",
+    )
+    p.add_argument("--device", help="target device name (else auto-select)")
+    p.add_argument(
+        "--max-candidate-sets", type=int,
+        help="cap the covering loop per job (part of the cache key)",
+    )
+    p.add_argument("--workers", type=int, default=1)
+    p.add_argument(
+        "--telemetry-dir", metavar="DIR",
+        help="persist the run's telemetry (including per-job replay "
+        "summaries) for `repro obs report`",
+    )
+    _add_trace_flags(p)
+    p.set_defaults(func=_cmd_replay_sweep)
+
+    p = replay_sub.add_parser(
+        "compare",
+        help="per-policy latency comparison over stored replay records",
+    )
+    p.add_argument(
+        "--cache", required=True, metavar="DIR",
+        help="result cache directory of the sweep (records are read "
+        "from <cache>/replay)",
+    )
+    p.add_argument(
+        "--out", metavar="FILE",
+        help="render the HTML latency dashboard to FILE ('-' for stdout) "
+        "instead of the text table",
+    )
+    p.add_argument(
+        "--check", action="store_true",
+        help="don't write: re-render and byte-compare against --out; "
+        "exit 3 on drift (CI mode)",
+    )
+    p.add_argument(
+        "--artifact-cache", metavar="DIR",
+        help="content-addressed artifact cache for the rendered dashboard",
+    )
+    p.set_defaults(func=_cmd_replay_compare)
 
     obs = sub.add_parser(
         "obs", help="telemetry toolchain (docs/OBSERVABILITY.md)"

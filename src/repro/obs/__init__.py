@@ -24,6 +24,7 @@ from .render import render_trace_summary, stage_summary_rows
 from .report import (
     BenchDiff,
     BenchDiffError,
+    ReplayPolicyStats,
     RunReport,
     aggregate_run,
     bench_diff,
@@ -66,6 +67,7 @@ __all__ = [
     "PrometheusMetric",
     "QuantileSummary",
     "RecordingTracer",
+    "ReplayPolicyStats",
     "RunReport",
     "SINK_VERSION",
     "SinkError",

@@ -40,6 +40,54 @@ def _percentile(ordered: list[float], pct: float) -> float | None:
 
 
 @dataclass
+class ReplayPolicyStats:
+    """Per-policy replay aggregates folded out of ``job`` records.
+
+    Only *computed* replay jobs ship a summary (cached completions are
+    served without re-running the replay), so these numbers cover the
+    work this telemetry directory actually performed.
+    """
+
+    policy: str
+    jobs: int = 0
+    events: int = 0
+    switches: int = 0
+    stall_events: int = 0
+    total_seconds: float = 0.0
+    latency: Histogram | None = None
+
+    def fold(self, summary: Mapping[str, Any]) -> None:
+        self.jobs += 1
+        self.events += int(summary.get("events", 0))
+        self.switches += int(summary.get("switches", 0))
+        self.stall_events += int(summary.get("stall_events", 0))
+        self.total_seconds += float(summary.get("total_seconds", 0.0))
+        doc = summary.get("latency")
+        if isinstance(doc, Mapping):
+            incoming = Histogram.from_dict(doc)
+            if self.latency is None:
+                self.latency = incoming
+            else:
+                self.latency.merge(incoming)
+
+    def percentile(self, pct: float) -> float | None:
+        return None if self.latency is None else self.latency.percentile(pct)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "policy": self.policy,
+            "jobs": self.jobs,
+            "events": self.events,
+            "switches": self.switches,
+            "stall_events": self.stall_events,
+            "total_seconds": self.total_seconds,
+            "p50_s": self.percentile(50),
+            "p95_s": self.percentile(95),
+            "p99_s": self.percentile(99),
+        }
+
+
+@dataclass
 class RunReport:
     """Aggregate view of one telemetry directory."""
 
@@ -56,6 +104,8 @@ class RunReport:
     counters: dict[str, float] = field(default_factory=dict)
     gauges: dict[str, float] = field(default_factory=dict)
     histograms: dict[str, Histogram] = field(default_factory=dict)
+    #: Policy name -> replay aggregates (from replay-job summaries).
+    replay_policies: dict[str, ReplayPolicyStats] = field(default_factory=dict)
 
     @property
     def jobs_total(self) -> int:
@@ -78,6 +128,7 @@ class RunReport:
             and not self.counters
             and not self.gauges
             and not self.histograms
+            and not self.replay_policies
         )
 
     @property
@@ -107,6 +158,10 @@ class RunReport:
             "gauges": dict(self.gauges),
             "histograms": {
                 name: h.to_dict() for name, h in self.histograms.items()
+            },
+            "replay": {
+                name: stats.to_dict()
+                for name, stats in sorted(self.replay_policies.items())
             },
         }
 
@@ -143,6 +198,12 @@ def aggregate_run(directory: str | Path) -> RunReport:
                 latency = record.get("compute_s")
                 if latency is not None:
                     report.job_latencies_s.append(float(latency))
+                summary = record.get("replay")
+                if isinstance(summary, Mapping):
+                    name = str(summary.get("policy", "?"))
+                    report.replay_policies.setdefault(
+                        name, ReplayPolicyStats(policy=name)
+                    ).fold(summary)
             elif status == "failed":
                 report.jobs_failed += 1
             elif status == "retried":
@@ -177,6 +238,7 @@ def render_run_report(report: RunReport) -> str:
                 "runs: no data",
                 "jobs: no data",
                 "job latency: no data",
+                "replay: no data",
                 "(no telemetry records -- run the batch service with "
                 "--telemetry-dir to populate this directory)",
             ]
@@ -200,6 +262,22 @@ def render_run_report(report: RunReport) -> str:
             f"p99 {fmt_s(report.latency_percentile(99))}"
         ),
     ]
+    if report.replay_policies:
+        lines.append("replay (computed jobs, switch latency):")
+        width = max(len(name) for name in report.replay_policies)
+        for name, stats in sorted(report.replay_policies.items()):
+            lines.append(
+                f"  {name.ljust(width)} : jobs={stats.jobs}"
+                f" switches={stats.switches}"
+                f" stalls={stats.stall_events}"
+                f" p50={_fmt_opt(stats.percentile(50))}"
+                f" p95={_fmt_opt(stats.percentile(95))}"
+                f" p99={_fmt_opt(stats.percentile(99))}"
+            )
+    else:
+        lines.append(
+            "replay: no data (no computed replay jobs in this directory)"
+        )
     if report.histograms:
         lines.append("per-stage distributions:")
         width = max(len(name) for name in report.histograms)

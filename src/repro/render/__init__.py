@@ -16,7 +16,7 @@ renderer identity + :data:`RENDERER_VERSION` in the content-addressed
 store) and *CI-checkable* (``repro render --check`` re-renders and
 byte-compares, exit 3 on drift).
 
-The four renderers, all exposed on ``repro render``:
+The renderers, all exposed on ``repro render``:
 
 * :func:`render_scheme_svg` -- configurations x regions activity grid
   with per-region footprints and the Eq. 8 transition-cost matrix;
@@ -25,7 +25,9 @@ The four renderers, all exposed on ``repro render``:
 * :func:`render_report_html` -- the run dashboard over an aggregated
   telemetry directory (``repro.obs.RunReport``);
 * :func:`render_bench_trend_html` -- the perf-trend page over an
-  ordered ``BENCH_*.json`` history.
+  ordered ``BENCH_*.json`` history;
+* :func:`render_replay_html` -- the replay latency dashboard over a
+  per-policy comparison (:func:`repro.replay.collect_policy_comparison`).
 
 Plus the ASCII floorplan (:func:`render_floorplan`, absorbed from the
 retired ``repro.flow.visualize`` module, which remains as a thin
@@ -47,6 +49,7 @@ from .floorplan import (
     largest_free_rectangle,
     render_floorplan_svg,
 )
+from .replay import render_replay_html
 from .scheme import render_scheme_svg
 
 #: Bumped whenever any renderer's output bytes can change; part of every
@@ -54,7 +57,7 @@ from .scheme import render_scheme_svg
 RENDERER_VERSION = 1
 
 #: The renderer names accepted by ``repro render`` / :func:`artifact_key`.
-RENDERERS = ("scheme", "floorplan", "report", "bench")
+RENDERERS = ("scheme", "floorplan", "report", "bench", "replay")
 
 
 def renderer_meta(renderer: str) -> str:
@@ -86,6 +89,7 @@ __all__ = [
     "render_bench_trend_html",
     "render_floorplan",
     "render_floorplan_svg",
+    "render_replay_html",
     "render_report_html",
     "render_scheme_svg",
     "renderer_meta",

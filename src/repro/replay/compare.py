@@ -1,0 +1,226 @@
+"""Fold stored replay records into a per-policy latency comparison.
+
+One replay record answers "how did this scheme serve this trace under
+this policy"; the question a sweep asks is "which *policy* should a
+deployment run".  :func:`collect_policy_comparison` groups a set of
+replay records by policy name and merges their latency histograms
+(identical bounds by construction -- every replay uses
+:data:`~repro.replay.engine.REPLAY_LATENCY_BOUNDS`), yielding fleet-wide
+p50/p95/p99 delivered switch latency, stall rates and ICAP utilisation
+per policy.
+
+Everything here is deterministic: records are consumed in sorted-key
+order, the comparison has a content address (:func:`comparison_key`)
+for artifact caching, and both renderings -- the text table and the
+HTML dashboard (:func:`repro.render.render_replay_html`) -- are pure
+functions of the comparison.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Mapping
+
+from ..obs.metrics import Histogram
+from .engine import REPLAY_LATENCY_BOUNDS, REPLAY_VERSION, ReplayError
+from .store import ReplayResultStore
+
+
+@dataclass
+class PolicyLatency:
+    """Fleet-wide aggregates for one policy across many replays."""
+
+    policy: str
+    traces: int = 0
+    events: int = 0
+    switches: int = 0
+    rewrites: int = 0
+    total_frames: int = 0
+    total_seconds: float = 0.0
+    stall_events: int = 0
+    slot_budget_s: float = 0.0
+    prefetch_hits: int = 0
+    store_misses: int = 0
+    latency: Histogram = field(
+        default_factory=lambda: Histogram(bounds=REPLAY_LATENCY_BOUNDS)
+    )
+
+    @property
+    def icap_utilisation(self) -> float:
+        """Reconfiguration seconds over the fleet's total slot budget."""
+        if self.slot_budget_s <= 0:
+            return 0.0
+        return self.total_seconds / self.slot_budget_s
+
+    @property
+    def stall_rate(self) -> float:
+        return self.stall_events / self.events if self.events else 0.0
+
+    def percentile(self, pct: float) -> float | None:
+        return self.latency.percentile(pct)
+
+    def fold(self, record: Mapping[str, Any]) -> None:
+        """Merge one canonical replay record into this aggregate."""
+        try:
+            self.traces += 1
+            self.events += int(record["events"])
+            self.switches += int(record["switches"])
+            self.rewrites += int(record["rewrites"])
+            self.total_frames += int(record["total_frames"])
+            self.total_seconds += float(record["total_seconds"])
+            self.stall_events += int(record["stall_events"])
+            self.slot_budget_s += int(record["events"]) * float(record["dwell_s"])
+            prefetch = record.get("prefetch")
+            if prefetch:
+                self.prefetch_hits += int(prefetch.get("hits", 0))
+            store = record.get("store")
+            if store:
+                self.store_misses += int(store.get("misses", 0))
+            self.latency.merge(Histogram.from_dict(record["latency"]))
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ReplayError(f"malformed replay record: {exc}") from exc
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "policy": self.policy,
+            "traces": self.traces,
+            "events": self.events,
+            "switches": self.switches,
+            "rewrites": self.rewrites,
+            "total_frames": self.total_frames,
+            "total_seconds": self.total_seconds,
+            "stall_events": self.stall_events,
+            "stall_rate": self.stall_rate,
+            "icap_utilisation": self.icap_utilisation,
+            "prefetch_hits": self.prefetch_hits,
+            "store_misses": self.store_misses,
+            "p50_s": self.percentile(50),
+            "p95_s": self.percentile(95),
+            "p99_s": self.percentile(99),
+            "latency": self.latency.to_dict(),
+        }
+
+
+@dataclass(frozen=True)
+class PolicyComparison:
+    """Per-policy latency aggregates over one set of replay records."""
+
+    policies: tuple[PolicyLatency, ...]
+    keys: tuple[str, ...]
+
+    @property
+    def traces(self) -> int:
+        return sum(p.traces for p in self.policies)
+
+    def best_by(self, pct: float = 95) -> PolicyLatency | None:
+        """The policy with the lowest pct-th latency (ties by name)."""
+        ranked = [
+            (p.percentile(pct), p.policy, p)
+            for p in self.policies
+            if p.percentile(pct) is not None
+        ]
+        if not ranked:
+            return None
+        return min(ranked, key=lambda item: (item[0], item[1]))[2]
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "key": comparison_key(self.keys),
+            "traces": self.traces,
+            "policies": [p.to_dict() for p in self.policies],
+        }
+
+
+def comparison_key(keys: Iterable[str]) -> str:
+    """Content address of a comparison: the sorted result-key set."""
+    payload = json.dumps(
+        {
+            "format": "repro-replay-compare",
+            "version": REPLAY_VERSION,
+            "keys": sorted(set(keys)),
+        },
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def collect_policy_comparison(
+    store: ReplayResultStore, keys: Iterable[str] | None = None
+) -> PolicyComparison:
+    """Group the store's records by policy and merge their latency.
+
+    ``keys`` restricts the comparison to a subset (e.g. one sweep's
+    result keys); by default every record in the store participates.
+    Records are folded in sorted-key order, so the comparison -- and
+    everything rendered from it -- is independent of filesystem
+    enumeration order.
+    """
+    selected = sorted(store.keys() if keys is None else set(keys))
+    by_policy: dict[str, PolicyLatency] = {}
+    used: list[str] = []
+    for key in selected:
+        record = store.get_record(key)
+        if record is None:
+            raise ReplayError(f"no replay record for key {key}")
+        policy = record.get("policy")
+        name = str(policy.get("name", "?")) if isinstance(policy, Mapping) else "?"
+        by_policy.setdefault(name, PolicyLatency(policy=name)).fold(record)
+        used.append(key)
+    ordered = tuple(by_policy[name] for name in sorted(by_policy))
+    return PolicyComparison(policies=ordered, keys=tuple(used))
+
+
+def _fmt_seconds(value: float | None) -> str:
+    if value is None:
+        return "-"
+    if value < 1e-3:
+        return f"{value * 1e6:.1f}us"
+    if value < 1.0:
+        return f"{value * 1e3:.2f}ms"
+    return f"{value:.3f}s"
+
+
+def render_policy_comparison(comparison: PolicyComparison) -> str:
+    """A deterministic text table of the comparison (CLI output)."""
+    headers = (
+        "policy", "traces", "switches", "p50", "p95", "p99",
+        "stalls", "icap-util",
+    )
+    rows = [
+        (
+            p.policy,
+            str(p.traces),
+            str(p.switches),
+            _fmt_seconds(p.percentile(50)),
+            _fmt_seconds(p.percentile(95)),
+            _fmt_seconds(p.percentile(99)),
+            f"{p.stall_events} ({p.stall_rate * 100:.1f}%)",
+            f"{p.icap_utilisation * 100:.2f}%",
+        )
+        for p in comparison.policies
+    ]
+    if not rows:
+        return "no replay records\n"
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in rows))
+        for i in range(len(headers))
+    ]
+    lines = [
+        "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)).rstrip(),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in rows:
+        lines.append(
+            "  ".join(c.ljust(widths[i]) for i, c in enumerate(row)).rstrip()
+        )
+    best = comparison.best_by(95)
+    if best is not None:
+        lines.append("")
+        lines.append(
+            f"best p95: {best.policy} "
+            f"({_fmt_seconds(best.percentile(95))} over {best.traces} traces)"
+        )
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,225 @@
+"""Replay jobs: the batch service's second workload class.
+
+A replay job is a partition job plus a workload: its ``replay`` spec
+carries a :class:`~repro.replay.trace.TraceSpec` document and a
+:class:`~repro.replay.policies.PolicySpec` document, both canonical
+dicts, so they survive the job log and the worker pickle boundary
+unchanged.  Execution is two cache layers deep:
+
+1. the *partition* result is looked up in the
+   :class:`~repro.service.cache.ResultCache` under the ordinary
+   partition problem key and computed (and cached) on a miss -- so a
+   sweep of 30 policies x traces over one design runs the expensive
+   search once;
+2. the *replay* result is keyed by
+   :func:`~repro.replay.engine.replay_result_key` (problem x trace x
+   policy x version) and stored in the :class:`ReplayResultStore`
+   under ``<cache_root>/replay`` -- a re-run of the whole sweep
+   completes in phase 1 of :func:`repro.service.run_batch` without
+   dispatching a single worker.
+
+:func:`submit_replay_suite` is the fan-out entry: it crosses a
+:class:`~repro.replay.trace.WorkloadSuite` (synthesized designs x
+environments x seeds) with a policy list and enqueues one replay job
+per cell.
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+from typing import Any, Iterable, Mapping
+
+from ..arch.library import DeviceLibrary
+from ..core.partitioner import (
+    PartitionerOptions,
+    partition,
+    partition_with_device_selection,
+)
+from ..flow.xmlio import design_to_xml
+from ..obs import NULL_TRACER, Tracer
+from ..service.cache import ResultCache
+from ..service.jobs import Job, JobStore
+from ..service.problem import resolve_problem_text
+from .engine import ReplayError, ReplayResult, replay_result_key, replay_trace
+from .policies import PolicySpec, resolve_policy
+from .store import ReplayResultStore
+from .trace import TraceSpec, WorkloadSuite, config_names, generator_matrix, iter_trace, trace_key
+
+#: Subdirectory of the result-cache root holding replay records; kept
+#: out of the cache's own shard tree so ``ResultCache.keys()`` never
+#: sees a replay entry.
+REPLAY_STORE_DIRNAME = "replay"
+
+
+def replay_store_for(cache: ResultCache) -> ReplayResultStore:
+    """The replay record store co-located with a result cache."""
+    return ReplayResultStore(Path(cache.root) / REPLAY_STORE_DIRNAME)
+
+
+def _replay_docs(replay: Mapping[str, Any] | None) -> tuple[TraceSpec, PolicySpec]:
+    if not isinstance(replay, Mapping):
+        raise ReplayError("replay job carries no replay spec")
+    try:
+        trace_doc = replay["trace"]
+        policy_doc = replay["policy"]
+    except KeyError as exc:
+        raise ReplayError(f"replay spec is missing {exc}") from exc
+    return TraceSpec.from_dict(trace_doc), resolve_policy(policy_doc)
+
+
+def replay_job_key(job: Job, library: DeviceLibrary | None = None) -> str:
+    """The content-address of one replay job: problem x trace x policy.
+
+    The partition half is the ordinary
+    :func:`~repro.service.pool.partition_problem_key`; the trace half
+    hashes the configuration-name universe with the spec, so renaming a
+    configuration (which changes the trace) changes the key even when
+    the spec document does not.
+    """
+    from ..service.pool import partition_problem_key
+
+    spec, policy = _replay_docs(job.replay)
+    problem = resolve_problem_text(job.design_xml, job.device, library)
+    names = config_names(problem.design)
+    return replay_result_key(
+        partition_problem_key(job, library), trace_key(names, spec), policy
+    )
+
+
+def replay_summary(result: ReplayResult) -> dict[str, Any]:
+    """The compact per-job summary shipped in worker outcomes.
+
+    This is what lands in the telemetry sink's ``job`` records (and so
+    in ``repro obs report``): enough to aggregate per-policy latency
+    fleet-wide without re-reading the replay store.
+    """
+    return {
+        "policy": str(result.policy.get("name", "?")),
+        "events": result.events,
+        "switches": result.switches,
+        "stall_events": result.stall_events,
+        "total_seconds": result.total_seconds,
+        "icap_utilisation": result.icap_utilisation,
+        "latency": result.latency.to_dict(),
+    }
+
+
+def run_replay_payload(
+    payload: Mapping[str, Any],
+    started: float | None = None,
+    tracer: Tracer = NULL_TRACER,
+) -> dict[str, Any]:
+    """Worker body of one replay job (called from ``execute_job_payload``).
+
+    Partition-result resolution is cache-first: a hit rebuilds the
+    scheme from the stored entry, a miss runs the search and caches it
+    under the partition key -- so the replay store and the result cache
+    fill each other's future lookups.  Exceptions propagate; the
+    caller's outcome envelope turns them into ``ok=False`` payloads.
+    """
+    t0 = time.perf_counter() if started is None else started
+    from ..service.pool import partition_problem_key_text
+
+    spec, policy = _replay_docs(payload.get("replay"))
+    cache = ResultCache(payload["cache_root"])
+    store = replay_store_for(cache)
+    partition_key = partition_problem_key_text(
+        payload["design_xml"],
+        payload["device"],
+        payload["max_candidate_sets"],
+        payload.get("library"),
+    )
+    cached = cache.lookup(partition_key)
+    if cached is not None:
+        result, device_name = cached.result, cached.device_name
+    else:
+        problem = resolve_problem_text(
+            payload["design_xml"], payload["device"], payload.get("library")
+        )
+        options = PartitionerOptions(
+            max_candidate_sets=payload["max_candidate_sets"]
+        )
+        if problem.device is not None:
+            assert problem.capacity is not None
+            result = partition(
+                problem.design, problem.capacity, options, tracer=tracer
+            )
+            device_name = problem.device.name
+        else:
+            selected = partition_with_device_selection(
+                problem.design, problem.library, options, tracer=tracer
+            )
+            result, device_name = selected.result, selected.device.name
+        cache.put(
+            partition_key,
+            result,
+            device_name=device_name,
+            compute_s=time.perf_counter() - t0,
+        )
+
+    scheme = result.scheme
+    names = config_names(scheme.design)
+    key = replay_result_key(partition_key, trace_key(names, spec), policy)
+    with tracer.span("replay", policy=policy.name, environment=spec.environment):
+        replayed = replay_trace(
+            scheme,
+            iter_trace(names, spec),
+            policy,
+            matrix=generator_matrix(names, spec),
+            problem_key=partition_key,
+            trace_key=trace_key(names, spec),
+        )
+    store.put_result(key, replayed)
+    return {
+        "job_id": payload["job_id"],
+        "ok": True,
+        "key": key,
+        "device": device_name,
+        "total_frames": result.total_frames,
+        "compute_s": time.perf_counter() - t0,
+        "replay": replay_summary(replayed),
+    }
+
+
+def submit_replay_suite(
+    store: JobStore,
+    suite: WorkloadSuite,
+    policies: Iterable[PolicySpec | str | Mapping],
+    device: str | None = None,
+    max_candidate_sets: int | None = None,
+    max_attempts: int | None = None,
+    priority: int = 0,
+    submitter: str = "",
+) -> list[Job]:
+    """Fan a workload suite x policy list out as replay jobs.
+
+    One job per (design, trace, policy) cell, named
+    ``<design>/<environment>[<trace-seed>]/<policy>``; submission
+    dedupes identical cells, so re-submitting a suite onto a queue that
+    already holds it is a no-op.  Returns the jobs in submission order.
+    """
+    resolved = [resolve_policy(p) for p in policies]
+    if not resolved:
+        raise ReplayError("submit_replay_suite needs at least one policy")
+    jobs: list[Job] = []
+    for design, spec in suite.iter_workloads():
+        design_xml = design_to_xml(design, device_name=device)
+        for policy in resolved:
+            kwargs: dict[str, Any] = {}
+            if max_attempts is not None:
+                kwargs["max_attempts"] = max_attempts
+            jobs.append(
+                store.submit(
+                    name=f"{design.name}/{spec.environment}[{spec.seed}]/{policy.name}",
+                    design_xml=design_xml,
+                    device=device,
+                    max_candidate_sets=max_candidate_sets,
+                    priority=priority,
+                    submitter=submitter,
+                    kind="replay",
+                    replay={"trace": spec.to_dict(), "policy": policy.to_dict()},
+                    **kwargs,
+                )
+            )
+    return jobs

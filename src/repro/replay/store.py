@@ -1,0 +1,112 @@
+"""Content-addressed on-disk store of replay records.
+
+Mirrors the :class:`repro.service.cache.ResultCache` disciplines --
+sharded layout (``<root>/ab/<key>.json``), atomic writes, format/version
+envelope, per-instance hit/miss counters -- for the replay subsystem's
+records.  Keys come from :func:`repro.replay.engine.replay_result_key`
+(problem key x trace key x policy x replay version), so a fleet sweep
+re-run completes entirely from this store, exactly like partition jobs
+complete from the result cache.
+
+The store lives in its own subtree (conventionally
+``<cache_root>/replay`` -- see :func:`repro.replay.service.replay_store_for`)
+so the partition cache's directory scans never see replay entries.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Mapping
+
+from ..eval.persistence import PersistenceError
+from ..service.cache import ArtifactStore
+from .engine import ReplayResult, replay_record, result_from_record
+
+#: Envelope header of every stored record.
+ENTRY_FORMAT = "repro-replay-record"
+ENTRY_VERSION = 1
+
+
+class ReplayResultStore(ArtifactStore):
+    """Sharded, atomic store of canonical replay records.
+
+    Builds on :class:`~repro.service.cache.ArtifactStore` for layout and
+    atomic text IO; adds the JSON envelope and record (de)serialisation.
+    Because :func:`replay_record` is deterministic and the envelope is
+    dumped canonically, the bytes for one key are identical no matter
+    which worker writes them -- concurrent writers race to the same file.
+    """
+
+    SUFFIX = ".json"
+
+    def path_for(self, key: str) -> Path:
+        if len(key) < 3:
+            raise PersistenceError(f"replay key too short: {key!r}")
+        return self.root / key[:2] / f"{key}{self.SUFFIX}"
+
+    def put_record(self, key: str, record: Mapping[str, Any]) -> Path:
+        """Store one canonical record under ``key`` atomically."""
+        text = json.dumps(
+            {
+                "format": ENTRY_FORMAT,
+                "version": ENTRY_VERSION,
+                "key": key,
+                "record": dict(record),
+            },
+            sort_keys=True,
+            separators=(",", ":"),
+        ) + "\n"
+        return self.put(key, text)
+
+    def put_result(self, key: str, result: ReplayResult) -> Path:
+        return self.put_record(key, replay_record(result))
+
+    def _envelope(self, key: str, text: str) -> Mapping[str, Any] | None:
+        try:
+            doc = json.loads(text)
+        except json.JSONDecodeError:
+            return None
+        if (
+            not isinstance(doc, Mapping)
+            or doc.get("format") != ENTRY_FORMAT
+            or doc.get("version") != ENTRY_VERSION
+            or doc.get("key") != key
+            or not isinstance(doc.get("record"), Mapping)
+        ):
+            return None
+        return doc
+
+    def get_record(self, key: str) -> dict[str, Any] | None:
+        """The record for ``key``; ``None`` on a miss or corrupt entry."""
+        text = self.get(key)
+        if text is None:
+            return None
+        doc = self._envelope(key, text)
+        if doc is None:
+            self.hits -= 1
+            self.misses += 1
+            return None
+        return dict(doc["record"])
+
+    def get_result(self, key: str) -> ReplayResult | None:
+        record = self.get_record(key)
+        return None if record is None else result_from_record(record)
+
+    def probe(self, key: str) -> bool:
+        """Cheap hit test: is there a plausibly valid record for ``key``?
+
+        Mirrors :meth:`repro.service.cache.ResultCache.probe` -- the
+        batch runner's phase-1 check: envelope validation only, corrupt
+        or missing entries count as misses.
+        """
+        try:
+            text = self.path_for(key).read_text(encoding="utf-8")
+        except OSError:
+            self.misses += 1
+            return False
+        if self._envelope(key, text) is None:
+            self.misses += 1
+            return False
+        self.hits += 1
+        return True

@@ -2,8 +2,8 @@
 management, environment-driven adaptation traces."""
 
 from .adaptive import (
+    AdaptiveEnvironmentError,
     BurstyEnvironment,
-    EnvironmentError,
     MarkovEnvironment,
     UniformEnvironment,
     uniform_markov,
@@ -41,11 +41,22 @@ from .manager import (
     replay,
 )
 
+def __getattr__(name: str):
+    # Deprecated alias: the old exception name shadowed the builtin
+    # ``EnvironmentError``.  Resolving it through the defining module
+    # keeps the warning text (and its single source of truth) there.
+    if name == "EnvironmentError":
+        from . import adaptive
+
+        return adaptive.EnvironmentError
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
 __all__ = [
+    "AdaptiveEnvironmentError",
     "BurstyEnvironment",
     "CUSTOM_DMA_CONTROLLER",
     "ConfigurationManager",
-    "EnvironmentError",
     "FLASH_STREAMING",
     "ICAP_CLOCK_HZ",
     "ICAP_PEAK_BYTES_PER_S",

@@ -35,12 +35,19 @@ from .faults import (
 )
 from .jobs import (
     DEFAULT_MAX_ATTEMPTS,
+    JOB_KINDS,
     JOB_STATES,
     Job,
     JobStore,
     JobStoreError,
 )
-from .pool import BatchReport, ServiceError, job_problem_key, run_batch
+from .pool import (
+    BatchReport,
+    ServiceError,
+    job_problem_key,
+    partition_problem_key,
+    run_batch,
+)
 from .problem import ResolvedProblem, resolve_problem, resolve_problem_text
 
 __all__ = [
@@ -53,6 +60,7 @@ __all__ = [
     "FaultPlan",
     "FaultSpec",
     "InjectedFault",
+    "JOB_KINDS",
     "JOB_STATES",
     "Job",
     "JobStore",
@@ -62,6 +70,7 @@ __all__ = [
     "ServiceError",
     "job_problem_key",
     "parse_fault",
+    "partition_problem_key",
     "resolve_problem",
     "resolve_problem_text",
     "run_batch",

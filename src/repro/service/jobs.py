@@ -35,6 +35,12 @@ from ..util.jsonl import JsonlError, replay_jsonl
 #: The legal job states, in lifecycle order.
 JOB_STATES = ("pending", "running", "done", "failed")
 
+#: The workload classes the batch service executes.  ``partition`` jobs
+#: run the paper's partitioning search; ``replay`` jobs additionally
+#: replay the resulting scheme against a synthesized traffic trace
+#: under a serving policy (:mod:`repro.replay`).
+JOB_KINDS = ("partition", "replay")
+
 #: Default cap on per-job execution attempts (1 initial + 1 retry).
 DEFAULT_MAX_ATTEMPTS = 2
 
@@ -66,6 +72,8 @@ class Job:
     design_xml: str
     device: str | None = None
     max_candidate_sets: int | None = None
+    kind: str = "partition"
+    replay: dict | None = None
     spec_digest: str = ""
     priority: int = 0
     submitter: str = ""
@@ -82,6 +90,19 @@ class Job:
     def __post_init__(self) -> None:
         if self.state not in JOB_STATES:
             raise JobStoreError(f"unknown job state {self.state!r}")
+        if self.kind not in JOB_KINDS:
+            raise JobStoreError(f"unknown job kind {self.kind!r}")
+        if self.kind == "replay":
+            if not isinstance(self.replay, Mapping) or not (
+                isinstance(self.replay.get("trace"), Mapping)
+                and isinstance(self.replay.get("policy"), Mapping)
+            ):
+                raise JobStoreError(
+                    "a replay job needs a replay spec with 'trace' and "
+                    "'policy' mappings"
+                )
+        elif self.replay is not None:
+            raise JobStoreError("only replay jobs carry a replay spec")
         if self.max_attempts < 1:
             raise JobStoreError("max_attempts must be at least 1")
         if not isinstance(self.priority, int) or isinstance(self.priority, bool):
@@ -94,12 +115,19 @@ class Job:
 
 
 def _spec_digest(
-    design_xml: str, device: str | None, max_candidate_sets: int | None
+    design_xml: str,
+    device: str | None,
+    max_candidate_sets: int | None,
+    kind: str = "partition",
+    replay: Mapping | None = None,
 ) -> str:
-    payload = json.dumps(
-        {"xml": design_xml, "device": device, "sets": max_candidate_sets},
-        sort_keys=True,
-    )
+    doc: dict = {"xml": design_xml, "device": device, "sets": max_candidate_sets}
+    if kind != "partition":
+        # Partition digests stay byte-stable across the kind field's
+        # introduction; only the new workload classes extend the payload.
+        doc["kind"] = kind
+        doc["replay"] = None if replay is None else dict(replay)
+    payload = json.dumps(doc, sort_keys=True)
     return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
 
 
@@ -179,6 +207,8 @@ class JobStore:
         dedupe: bool = True,
         priority: int = 0,
         submitter: str = "",
+        kind: str = "partition",
+        replay: Mapping | None = None,
     ) -> Job:
         """Enqueue one job; identical specs dedupe by default.
 
@@ -189,7 +219,7 @@ class JobStore:
         :meth:`pending`) and do not distinguish specs: resubmitting a
         queued spec at a new priority dedupes onto the existing job.
         """
-        digest = _spec_digest(design_xml, device, max_candidate_sets)
+        digest = _spec_digest(design_xml, device, max_candidate_sets, kind, replay)
         if dedupe:
             for jid in self._by_digest.get(digest, ()):
                 existing = self._jobs[jid]
@@ -201,6 +231,8 @@ class JobStore:
             design_xml=design_xml,
             device=device,
             max_candidate_sets=max_candidate_sets,
+            kind=kind,
+            replay=None if replay is None else dict(replay),
             spec_digest=digest,
             priority=priority,
             submitter=submitter,

@@ -88,15 +88,43 @@ def _job_options(job_or_sets: Job | int | None) -> PartitionerOptions:
 
 
 def job_problem_key(job: Job, library: DeviceLibrary | None = None) -> str:
-    """The content-address of a job's problem.
+    """The content-address of a job's problem, whatever its kind.
+
+    ``partition`` jobs key on the partitioning problem alone
+    (:func:`partition_problem_key`); ``replay`` jobs fold the trace and
+    policy in on top (:func:`repro.replay.service.replay_job_key`), so
+    the same scheme replayed under a different workload or policy is a
+    distinct cache entry.
+    """
+    if job.kind == "replay":
+        from ..replay.service import replay_job_key
+
+        return replay_job_key(job, library)
+    return partition_problem_key(job, library)
+
+
+def partition_problem_key(job: Job, library: DeviceLibrary | None = None) -> str:
+    """The content-address of a job's *partitioning* problem.
 
     Fixed-device jobs hash (design, budget, options, device name);
     auto-select jobs have no budget until a device is chosen, so they
     hash (design, options) plus the library's device ladder -- the
     selection protocol is deterministic given those.
     """
-    problem = resolve_problem_text(job.design_xml, job.device, library)
-    options = _job_options(job)
+    return partition_problem_key_text(
+        job.design_xml, job.device, job.max_candidate_sets, library
+    )
+
+
+def partition_problem_key_text(
+    design_xml: str,
+    device: str | None,
+    max_candidate_sets: int | None,
+    library: DeviceLibrary | None = None,
+) -> str:
+    """:func:`partition_problem_key` from raw spec fields (worker side)."""
+    problem = resolve_problem_text(design_xml, device, library)
+    options = _job_options(max_candidate_sets)
     if problem.device is not None:
         assert problem.capacity is not None
         return problem_key(
@@ -191,28 +219,35 @@ def execute_job_payload(payload: dict[str, Any]) -> dict[str, Any]:
     try:
         if payload.get("fault"):
             inject(spec_from_payload(payload["fault"]), heartbeat=heartbeat)
-        problem = resolve_problem_text(
-            payload["design_xml"], payload["device"], payload.get("library")
-        )
-        options = _job_options(payload["max_candidate_sets"])
-        result, device_name = _compute(
-            problem, options, worker_tracer or NULL_TRACER
-        )
-        compute_s = time.perf_counter() - started
-        ResultCache(payload["cache_root"]).put(
-            payload["key"],
-            result,
-            device_name=device_name,
-            compute_s=compute_s,
-        )
-        outcome = {
-            "job_id": payload["job_id"],
-            "ok": True,
-            "key": payload["key"],
-            "device": device_name,
-            "total_frames": result.total_frames,
-            "compute_s": compute_s,
-        }
+        if payload.get("kind", "partition") == "replay":
+            from ..replay.service import run_replay_payload
+
+            outcome = run_replay_payload(
+                payload, started=started, tracer=worker_tracer or NULL_TRACER
+            )
+        else:
+            problem = resolve_problem_text(
+                payload["design_xml"], payload["device"], payload.get("library")
+            )
+            options = _job_options(payload["max_candidate_sets"])
+            result, device_name = _compute(
+                problem, options, worker_tracer or NULL_TRACER
+            )
+            compute_s = time.perf_counter() - started
+            ResultCache(payload["cache_root"]).put(
+                payload["key"],
+                result,
+                device_name=device_name,
+                compute_s=compute_s,
+            )
+            outcome = {
+                "job_id": payload["job_id"],
+                "ok": True,
+                "key": payload["key"],
+                "device": device_name,
+                "total_frames": result.total_frames,
+                "compute_s": compute_s,
+            }
         if worker_tracer is not None:
             outcome["trace"] = worker_tracer.trace().to_dict()
         return outcome
@@ -403,6 +438,20 @@ def run_batch(
         # whose spec cannot even be keyed (unparseable XML, unknown
         # device) fails terminally here -- the failure is deterministic
         # before any worker could run, so retrying it is pointless.
+        # Replay jobs probe the replay record store (a sibling subtree
+        # of the partition cache) instead of the cache itself.
+        replay_store: Any = None
+
+        def probe_hit(job: Job, key: str) -> bool:
+            nonlocal replay_store
+            if job.kind == "replay":
+                if replay_store is None:
+                    from ..replay.service import replay_store_for
+
+                    replay_store = replay_store_for(cache)
+                return replay_store.probe(key)
+            return cache.probe(key)
+
         misses: list[tuple[Job, str]] = []
         for job in store.pending():
             try:
@@ -430,7 +479,7 @@ def run_batch(
                     )
                 continue
             probe_started = time.perf_counter()
-            hit = cache.probe(key)
+            hit = probe_hit(job, key)
             tracer.observe(
                 "service.cache_probe_s", time.perf_counter() - probe_started
             )
@@ -502,10 +551,14 @@ def run_batch(
                         compute_s=outcome["compute_s"],
                     )
                 if sink is not None:
+                    extra: dict[str, Any] = {}
+                    if outcome.get("replay") is not None:
+                        extra["replay"] = outcome["replay"]
                     sink.append(
                         "job", job=job_id, key=outcome["key"], status="done",
                         compute_s=outcome["compute_s"],
                         total_frames=outcome["total_frames"],
+                        **extra,
                     )
                 return
             timed_out = bool(outcome.get("timeout"))
@@ -550,6 +603,8 @@ def run_batch(
                 "design_xml": job.design_xml,
                 "device": job.device,
                 "max_candidate_sets": job.max_candidate_sets,
+                "kind": job.kind,
+                "replay": job.replay,
                 "cache_root": str(cache.root),
                 "key": key,
                 "library": library,

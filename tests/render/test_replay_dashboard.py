@@ -1,0 +1,85 @@
+"""The replay latency dashboard renderer: structure, determinism, golden."""
+
+from __future__ import annotations
+
+from repro.obs.metrics import Histogram
+from repro.render import artifact_key, render_replay_html, renderer_meta
+from repro.replay import REPLAY_LATENCY_BOUNDS, PolicyComparison, comparison_key
+from repro.replay.compare import PolicyLatency
+
+from .conftest import parse_markup
+from .test_determinism import check_golden
+
+
+def _latency(policy: str, values, stalls=0, prefetch_hits=0, store_misses=0):
+    agg = PolicyLatency(policy=policy)
+    agg.traces = 2
+    agg.events = 4 * len(values)
+    agg.switches = len(values)
+    agg.rewrites = 2 * len(values)
+    agg.total_frames = 100 * len(values)
+    agg.total_seconds = sum(values)
+    agg.stall_events = stalls
+    agg.slot_budget_s = agg.events * 0.01
+    agg.prefetch_hits = prefetch_hits
+    agg.store_misses = store_misses
+    agg.latency = Histogram(bounds=REPLAY_LATENCY_BOUNDS)
+    for v in values:
+        agg.latency.observe(v)
+    return agg
+
+
+def sample_comparison() -> PolicyComparison:
+    """A fixed two-policy comparison (no partitioning, fully synthetic)."""
+    fast = _latency(
+        "prefetch-oracle", [0.0002, 0.0004, 0.0008, 0.002], prefetch_hits=3
+    )
+    slow = _latency(
+        "no-prefetch", [0.004, 0.006, 0.009, 0.02], stalls=1, store_misses=2
+    )
+    keys = ("a" * 64, "b" * 64)
+    return PolicyComparison(policies=(slow, fast), keys=keys)
+
+
+class TestReplayDashboard:
+    def test_golden(self):
+        check_golden("replay.html", render_replay_html(sample_comparison()))
+
+    def test_double_render_is_byte_identical(self):
+        comparison = sample_comparison()
+        assert render_replay_html(comparison) == render_replay_html(comparison)
+
+    def test_well_formed_and_stamped(self):
+        text = render_replay_html(sample_comparison())
+        parse_markup(text)
+        assert renderer_meta("replay") in text
+
+    def test_best_policy_flagged(self):
+        text = render_replay_html(sample_comparison())
+        assert "best p95" in text
+        assert "prefetch-oracle" in text
+
+    def test_prefetch_section_renders_effect_rows(self):
+        text = render_replay_html(sample_comparison())
+        assert "Prefetch and bitstream-store effects" in text
+        assert "frames streamed" in text
+
+    def test_empty_comparison_degrades(self):
+        empty = PolicyComparison(policies=(), keys=())
+        text = render_replay_html(empty)
+        parse_markup(text)
+        assert "no replay records" in text
+        assert "repro replay sweep" in text
+
+    def test_no_prefetching_policies_degrades_that_section(self):
+        plain = PolicyComparison(
+            policies=(_latency("no-prefetch", [0.001, 0.002]),), keys=("c" * 64,)
+        )
+        text = render_replay_html(plain)
+        assert "no prefetching or eviction policies" in text
+
+    def test_artifact_key_accepts_replay_renderer(self):
+        comparison = sample_comparison()
+        key = artifact_key(comparison_key(comparison.keys), "replay")
+        assert len(key) == 64
+        assert key != artifact_key(comparison_key(comparison.keys), "report")

@@ -1,0 +1,180 @@
+"""The replay loop: determinism, policy effects, record round-trips."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.arch.resources import ResourceVector
+from repro.core.partitioner import partition
+from repro.replay import (
+    REPLAY_LATENCY_BOUNDS,
+    POLICY_PRESETS,
+    PolicySpec,
+    ReplayError,
+    TraceSpec,
+    generator_matrix,
+    iter_trace,
+    replay_record,
+    replay_result_key,
+    replay_trace,
+)
+from repro.replay.engine import result_from_record
+from repro.replay.trace import config_names
+
+EXAMPLE_BUDGET = ResourceVector(520, 16, 16)
+
+
+@pytest.fixture(scope="module")
+def example_scheme():
+    from repro.eval.example_design import example_design
+
+    return partition(example_design(), EXAMPLE_BUDGET).scheme
+
+
+def _trace(scheme, environment="bursty", length=400, seed=21, dwell=0.85):
+    names = config_names(scheme.design)
+    spec = TraceSpec(environment=environment, length=length, seed=seed,
+                     dwell=dwell)
+    return names, spec
+
+
+class TestReplayTrace:
+    def test_counts_are_consistent(self, example_scheme):
+        names, spec = _trace(example_scheme)
+        result = replay_trace(example_scheme, iter_trace(names, spec))
+        assert result.events == spec.length
+        assert 0 < result.switches < result.events
+        assert result.latency.count == result.switches
+        assert result.total_frames > 0
+        assert result.total_seconds > 0
+        assert result.percentile(50) is not None
+        assert result.prefetch is None and result.store is None
+
+    def test_initial_configuration_is_uncharged(self, example_scheme):
+        names = config_names(example_scheme.design)
+        result = replay_trace(example_scheme, [names[0]])
+        assert result.events == 1
+        assert result.switches == 0
+        assert result.total_seconds == 0.0
+
+    def test_deterministic_records(self, example_scheme):
+        names, spec = _trace(example_scheme)
+        records = [
+            replay_record(
+                replay_trace(
+                    example_scheme, iter_trace(names, spec), "prefetch-oracle"
+                )
+            )
+            for _ in range(2)
+        ]
+        assert records[0] == records[1]
+
+    def test_oracle_not_worse_than_no_prefetch(self, example_scheme):
+        names, spec = _trace(example_scheme)
+        base = replay_trace(example_scheme, iter_trace(names, spec))
+        oracle = replay_trace(
+            example_scheme, iter_trace(names, spec), "prefetch-oracle"
+        )
+        assert oracle.total_seconds <= base.total_seconds
+        assert oracle.prefetch is not None
+        assert oracle.prefetch["hits"] > 0
+        assert oracle.prefetch_hit_rate > 0
+
+    def test_markov_predictor_needs_matrix(self, example_scheme):
+        names, spec = _trace(example_scheme)
+        with pytest.raises(ReplayError):
+            replay_trace(
+                example_scheme, iter_trace(names, spec), "prefetch-markov"
+            )
+        result = replay_trace(
+            example_scheme,
+            iter_trace(names, spec),
+            "prefetch-markov",
+            matrix=generator_matrix(names, spec),
+        )
+        assert result.events == spec.length
+
+    def test_eviction_store_slows_misses_and_reports_stats(
+        self, example_scheme
+    ):
+        names, spec = _trace(example_scheme)
+        resident = replay_trace(example_scheme, iter_trace(names, spec))
+        # A one-frame store forces a slow-path fetch on nearly every
+        # rewrite: delivered latency must degrade.
+        tight = PolicySpec(name="tight", eviction="lru",
+                           store_capacity_frames=1)
+        evicted = replay_trace(example_scheme, iter_trace(names, spec), tight)
+        assert evicted.store is not None
+        assert evicted.store["misses"] > 0
+        assert evicted.total_seconds > resident.total_seconds
+        assert evicted.stall_events >= resident.stall_events
+
+    def test_stalls_counted_against_dwell_budget(self, example_scheme):
+        names, spec = _trace(example_scheme)
+        strict = PolicySpec(name="strict", dwell_s=1e-9)
+        result = replay_trace(example_scheme, iter_trace(names, spec), strict)
+        # Every switch that rewrote anything busts a nanosecond slot
+        # budget; free switches (stale content already correct) don't.
+        assert 0 < result.stall_events <= result.switches
+        assert result.icap_utilisation > 0
+        generous = PolicySpec(name="generous", dwell_s=10.0)
+        relaxed = replay_trace(
+            example_scheme, iter_trace(names, spec), generous
+        )
+        assert relaxed.stall_events == 0
+
+    def test_empty_trace(self, example_scheme):
+        result = replay_trace(example_scheme, [])
+        assert result.events == 0 and result.switches == 0
+        assert result.icap_utilisation == 0.0
+        assert result.percentile(50) is None
+
+
+class TestRecords:
+    def test_round_trip(self, example_scheme):
+        names, spec = _trace(example_scheme)
+        result = replay_trace(
+            example_scheme,
+            iter_trace(names, spec),
+            "prefetch-oracle",
+            problem_key="p" * 64,
+            trace_key="t" * 64,
+        )
+        again = result_from_record(replay_record(result))
+        assert replay_record(again) == replay_record(result)
+        assert again.problem_key == "p" * 64
+        assert again.trace_key == "t" * 64
+        assert again.percentile(95) == result.percentile(95)
+
+    def test_record_has_no_wallclock_fields(self, example_scheme):
+        names, spec = _trace(example_scheme, length=10)
+        record = replay_record(
+            replay_trace(example_scheme, iter_trace(names, spec))
+        )
+        assert not any("wall" in k or "time" in k for k in record)
+
+    def test_malformed_record_rejected(self):
+        with pytest.raises(ReplayError):
+            result_from_record({"events": 1})
+
+    def test_latency_bounds_are_increasing(self):
+        assert list(REPLAY_LATENCY_BOUNDS) == sorted(REPLAY_LATENCY_BOUNDS)
+        assert len(set(REPLAY_LATENCY_BOUNDS)) == len(REPLAY_LATENCY_BOUNDS)
+
+
+class TestResultKey:
+    def test_stable_and_distinct(self):
+        k = replay_result_key("p1", "t1", "no-prefetch")
+        assert k == replay_result_key("p1", "t1", "no-prefetch")
+        assert len(k) == 64
+        assert k != replay_result_key("p2", "t1", "no-prefetch")
+        assert k != replay_result_key("p1", "t2", "no-prefetch")
+        assert k != replay_result_key("p1", "t1", "prefetch-oracle")
+
+    def test_policy_forms_are_equivalent(self):
+        spec = POLICY_PRESETS["evict-lru"]
+        assert (
+            replay_result_key("p", "t", spec)
+            == replay_result_key("p", "t", "evict-lru")
+            == replay_result_key("p", "t", spec.to_dict())
+        )

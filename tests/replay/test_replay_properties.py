@@ -1,0 +1,114 @@
+"""Hypothesis properties of the replay subsystem.
+
+Three invariants hold for *every* synthesized trace, not just the
+seeds the unit tests pin:
+
+* the oracle predictor is an upper bound -- prefetching with perfect
+  one-step lookahead never delivers more reconfiguration seconds than
+  serving the same trace with no prefetching at all;
+* :class:`repro.runtime.manager.RuntimeStats` is exactly the fold of
+  its :class:`TransitionRecord` history (charged records only);
+* replay is a pure function of (scheme, trace, policy): same inputs,
+  byte-identical canonical records.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.arch.resources import ResourceVector
+from repro.core.partitioner import partition
+from repro.replay import (
+    TraceSpec,
+    generator_matrix,
+    iter_trace,
+    replay_record,
+    replay_trace,
+)
+from repro.replay.trace import config_names
+from repro.runtime.manager import ConfigurationManager
+
+SETTINGS = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@pytest.fixture(scope="module")
+def example_scheme():
+    from repro.eval.example_design import example_design
+
+    return partition(example_design(), ResourceVector(520, 16, 16)).scheme
+
+
+@st.composite
+def trace_specs(draw):
+    environment = draw(st.sampled_from(["uniform", "markov", "bursty"]))
+    return TraceSpec(
+        environment=environment,
+        length=draw(st.integers(0, 120)),
+        seed=draw(st.integers(0, 2**32 - 1)),
+        dwell=draw(st.floats(0.0, 0.99)),
+    )
+
+
+@SETTINGS
+@given(spec=trace_specs())
+def test_oracle_never_worse_than_no_prefetch(example_scheme, spec):
+    names = config_names(example_scheme.design)
+    base = replay_trace(example_scheme, iter_trace(names, spec))
+    oracle = replay_trace(
+        example_scheme, iter_trace(names, spec), "prefetch-oracle"
+    )
+    assert oracle.total_seconds <= base.total_seconds + 1e-12
+    assert oracle.events == base.events == spec.length
+    assert oracle.switches == base.switches
+
+
+@SETTINGS
+@given(spec=trace_specs())
+def test_runtime_stats_equal_record_sums(example_scheme, spec):
+    names = config_names(example_scheme.design)
+    manager = ConfigurationManager(example_scheme)
+    for name in iter_trace(names, spec):
+        manager.goto(name)
+    charged = [
+        r for r in manager.history if r.from_configuration is not None
+    ]
+    stats = manager.stats
+    assert stats.transitions == len(charged)
+    assert stats.total_frames == sum(r.frames for r in charged)
+    assert stats.total_seconds == pytest.approx(
+        sum(r.seconds for r in charged)
+    )
+    assert stats.worst_frames == max(
+        (r.frames for r in charged), default=0
+    )
+    assert stats.rewrites_by_region == {
+        name: sum(1 for r in charged if name in r.regions_rewritten)
+        for name in {n for r in charged for n in r.regions_rewritten}
+    }
+
+
+@SETTINGS
+@given(
+    spec=trace_specs(),
+    policy=st.sampled_from(
+        ["no-prefetch", "prefetch-markov", "prefetch-oracle", "evict-lru"]
+    ),
+)
+def test_replay_is_bit_identical_for_same_inputs(example_scheme, spec, policy):
+    names = config_names(example_scheme.design)
+    matrix = generator_matrix(names, spec)
+    records = [
+        replay_record(
+            replay_trace(
+                example_scheme, iter_trace(names, spec), policy, matrix=matrix
+            )
+        )
+        for _ in range(2)
+    ]
+    assert records[0] == records[1]

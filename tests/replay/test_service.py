@@ -1,0 +1,226 @@
+"""Replay jobs through the batch service: keys, digests, cache layers."""
+
+from __future__ import annotations
+
+import pytest
+
+import json
+
+from repro.flow.xmlio import design_to_xml
+from repro.replay import (
+    POLICY_PRESETS,
+    ReplayError,
+    TraceSpec,
+    WorkloadSuite,
+    replay_job_key,
+    replay_store_for,
+    submit_replay_suite,
+)
+from repro.replay.service import run_replay_payload
+from repro.service import JobStore, ResultCache, run_batch
+from repro.service.jobs import Job, _spec_digest
+from repro.service.pool import job_problem_key
+
+
+def payload_for(job, cache_root):
+    """The worker payload run_batch builds for one job (test stand-in)."""
+    return {
+        "job_id": job.id,
+        "design_xml": job.design_xml,
+        "device": job.device,
+        "max_candidate_sets": job.max_candidate_sets,
+        "kind": job.kind,
+        "replay": job.replay,
+        "cache_root": str(cache_root),
+        "key": job_problem_key(job),
+        "library": None,
+        "collect_trace": False,
+    }
+
+
+def _replay_doc(spec=None, policy="no-prefetch"):
+    spec = spec or TraceSpec(environment="bursty", length=40, seed=5)
+    return {
+        "trace": spec.to_dict(),
+        "policy": POLICY_PRESETS[policy].to_dict(),
+    }
+
+
+class TestJobKind:
+    def test_default_kind_is_partition(self, tiny_design, tmp_path):
+        store = JobStore(tmp_path / "q")
+        job = store.submit(name="j", design_xml=design_to_xml(tiny_design))
+        assert job.kind == "partition" and job.replay is None
+
+    def test_unknown_kind_rejected(self, tiny_design):
+        with pytest.raises(ValueError):
+            Job(id="x", name="x", design_xml=design_to_xml(tiny_design),
+                kind="teleport")
+
+    def test_replay_job_needs_a_spec(self, tiny_design):
+        xml = design_to_xml(tiny_design)
+        with pytest.raises(ValueError):
+            Job(id="x", name="x", design_xml=xml, kind="replay")
+        with pytest.raises(ValueError):
+            Job(id="x", name="x", design_xml=xml, kind="replay",
+                replay={"trace": {}})
+
+    def test_partition_job_rejects_replay_spec(self, tiny_design):
+        with pytest.raises(ValueError):
+            Job(id="x", name="x", design_xml=design_to_xml(tiny_design),
+                replay=_replay_doc())
+
+    def test_partition_digest_is_unchanged_by_kind_field(self, tiny_design):
+        # Back-compat: queues written before the kind field must dedupe
+        # against fresh submissions, so the partition digest ignores it.
+        xml = design_to_xml(tiny_design)
+        legacy_payload = (
+            '{"device": null, "sets": null, "xml": ' + json.dumps(xml) + "}"
+        )
+        import hashlib
+        expected = hashlib.sha256(
+            legacy_payload.encode("utf-8")
+        ).hexdigest()[:16]
+        assert _spec_digest(xml, None, None) == expected
+        assert _spec_digest(xml, None, None, kind="partition") == expected
+
+    def test_replay_digest_differs_per_policy(self, tiny_design):
+        xml = design_to_xml(tiny_design)
+        a = _spec_digest(xml, None, None, "replay", _replay_doc())
+        b = _spec_digest(xml, None, None, "replay",
+                         _replay_doc(policy="prefetch-oracle"))
+        assert a != b != _spec_digest(xml, None, None)
+
+    def test_payload_carries_kind_and_replay(self, tiny_design, tmp_path):
+        store = JobStore(tmp_path / "q")
+        job = store.submit(name="j", design_xml=design_to_xml(tiny_design),
+                           kind="replay", replay=_replay_doc())
+        payload = payload_for(job, tmp_path / "cache")
+        assert payload["kind"] == "replay"
+        assert payload["replay"] == job.replay
+
+    def test_jobs_round_trip_through_the_log(self, tiny_design, tmp_path):
+        store = JobStore(tmp_path / "q")
+        store.submit(name="j", design_xml=design_to_xml(tiny_design),
+                     kind="replay", replay=_replay_doc())
+        again = JobStore(tmp_path / "q").jobs()[0]
+        assert again.kind == "replay"
+        assert again.replay == _replay_doc()
+
+
+class TestReplayJobKey:
+    def test_key_dispatch_and_sensitivity(self, tiny_design):
+        xml = design_to_xml(tiny_design)
+        job = Job(id="x", name="x", design_xml=xml, kind="replay",
+                  replay=_replay_doc())
+        key = job_problem_key(job)
+        assert key == replay_job_key(job)
+        assert len(key) == 64
+        partition_job = Job(id="y", name="y", design_xml=xml)
+        assert key != job_problem_key(partition_job)
+        other = Job(id="z", name="z", design_xml=xml, kind="replay",
+                    replay=_replay_doc(policy="prefetch-oracle"))
+        assert key != job_problem_key(other)
+
+    def test_malformed_replay_spec_raises(self, tiny_design):
+        job = Job(id="x", name="x", design_xml=design_to_xml(tiny_design),
+                  kind="replay", replay=_replay_doc())
+        object.__setattr__(job, "replay", {"trace": {}, "policy": {}})
+        with pytest.raises((ReplayError, ValueError)):
+            replay_job_key(job)
+
+
+class TestRunReplayPayload:
+    def test_fills_both_cache_layers(self, tiny_design, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        store = JobStore(tmp_path / "q")
+        job = store.submit(name="j", design_xml=design_to_xml(tiny_design),
+                           kind="replay", replay=_replay_doc())
+        outcome = run_replay_payload(payload_for(job, cache.root))
+        assert outcome["ok"]
+        assert outcome["key"] == replay_job_key(job)
+        assert outcome["replay"]["policy"] == "no-prefetch"
+        assert outcome["replay"]["events"] == 40
+        # Layer 1: the partition result landed in the result cache.
+        assert len(cache) == 1
+        # Layer 2: the replay record landed in the replay store.
+        replay_store = replay_store_for(cache)
+        assert replay_store.get_record(outcome["key"]) is not None
+
+    def test_partition_cache_reused_across_policies(self, tiny_design,
+                                                    tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        store = JobStore(tmp_path / "q")
+        xml = design_to_xml(tiny_design)
+        for policy in ("no-prefetch", "prefetch-oracle"):
+            job = store.submit(name=policy, design_xml=xml, kind="replay",
+                               replay=_replay_doc(policy=policy))
+            run_replay_payload(payload_for(job, cache.root))
+        # Two replay records, but the expensive search ran once.
+        assert len(cache) == 1
+        assert len(replay_store_for(cache)) == 2
+
+
+class TestSubmitReplaySuite:
+    def test_fans_out_the_full_cross_product(self, tmp_path):
+        store = JobStore(tmp_path / "q")
+        suite = WorkloadSuite(designs=2, traces_per_design=2, length=24,
+                              seed=3)
+        jobs = submit_replay_suite(
+            store, suite, ["no-prefetch", "prefetch-oracle"]
+        )
+        assert len(jobs) == 2 * 2 * 2
+        assert all(j.kind == "replay" for j in jobs)
+        assert "/uniform[" in jobs[0].name
+
+    def test_resubmission_dedupes(self, tmp_path):
+        store = JobStore(tmp_path / "q")
+        suite = WorkloadSuite(designs=1, traces_per_design=2, length=24)
+        submit_replay_suite(store, suite, ["no-prefetch"])
+        submit_replay_suite(store, suite, ["no-prefetch"])
+        assert store.counts()["pending"] == 2
+
+    def test_needs_a_policy(self, tmp_path):
+        store = JobStore(tmp_path / "q")
+        suite = WorkloadSuite(designs=1)
+        with pytest.raises(ReplayError):
+            submit_replay_suite(store, suite, [])
+
+
+class TestBatchIntegration:
+    def test_sweep_runs_and_reruns_from_cache(self, tmp_path):
+        queue = JobStore(tmp_path / "q")
+        cache = ResultCache(tmp_path / "cache")
+        suite = WorkloadSuite(designs=2, traces_per_design=2, length=24,
+                              seed=7)
+        jobs = submit_replay_suite(
+            queue, suite, ["no-prefetch", "prefetch-oracle", "evict-lru"]
+        )
+        assert len(jobs) == 12
+        report = run_batch(queue, cache, workers=2)
+        assert report.done == 12 and report.failed == 0
+        assert report.cache_hits == 0
+        store = replay_store_for(cache)
+        assert len(store) == 12
+
+        # A fresh queue holding the same suite completes from the
+        # replay store without dispatching a single worker.
+        queue2 = JobStore(tmp_path / "q2")
+        submit_replay_suite(
+            queue2, suite, ["no-prefetch", "prefetch-oracle", "evict-lru"]
+        )
+        report2 = run_batch(queue2, cache, workers=2)
+        assert report2.done == 12
+        assert report2.cache_hits == 12
+
+    def test_mixed_kind_batch(self, tiny_design, tmp_path):
+        queue = JobStore(tmp_path / "q")
+        cache = ResultCache(tmp_path / "cache")
+        xml = design_to_xml(tiny_design)
+        queue.submit(name="partition", design_xml=xml)
+        queue.submit(name="replay", design_xml=xml, kind="replay",
+                     replay=_replay_doc())
+        report = run_batch(queue, cache, workers=1)
+        assert report.done == 2 and report.failed == 0
+        assert len(cache) == 1
+        assert len(replay_store_for(cache)) == 1

@@ -1,0 +1,248 @@
+"""Trace specs, streaming generators and the workload suite.
+
+The load-bearing guarantee is rng-sequence equivalence: the lazy
+streams of :func:`repro.replay.iter_trace` must equal the eager lists
+built by the :mod:`repro.runtime.adaptive` environment classes element
+for element, per environment kind.
+"""
+
+from __future__ import annotations
+
+from itertools import islice
+
+import pytest
+
+from repro.replay import (
+    ENVIRONMENTS,
+    TraceSpec,
+    WorkloadSuite,
+    generator_matrix,
+    iter_trace,
+    ring_matrix,
+    trace_key,
+)
+from repro.replay.trace import TraceSpecError, config_names, resolved_matrix
+from repro.runtime.adaptive import (
+    BurstyEnvironment,
+    MarkovEnvironment,
+    UniformEnvironment,
+)
+
+
+class TestStreamEquivalence:
+    """iter_trace draws the exact rng sequence of the eager classes."""
+
+    def test_uniform_matches_environment(self, paper_example):
+        names = config_names(paper_example)
+        spec = TraceSpec(environment="uniform", length=300, seed=7)
+        assert list(iter_trace(names, spec)) == UniformEnvironment(
+            paper_example
+        ).trace(300, seed=7)
+
+    def test_bursty_matches_environment(self, paper_example):
+        names = config_names(paper_example)
+        spec = TraceSpec(environment="bursty", length=300, seed=42, dwell=0.85)
+        assert list(iter_trace(names, spec)) == BurstyEnvironment(
+            paper_example, dwell=0.85
+        ).trace(300, seed=42)
+
+    def test_markov_matches_environment(self, paper_example):
+        names = config_names(paper_example)
+        matrix = ring_matrix(names, bias=0.6)
+        # Destination order matters to the rng walk: the stream consumes
+        # rows in canonical (sorted) order, so prime the eager class
+        # with the same ordering.
+        nested = {src: dict(row) for src, row in matrix}
+        spec = TraceSpec(environment="markov", length=300, seed=9, matrix=matrix)
+        assert list(iter_trace(names, spec)) == MarkovEnvironment(
+            paper_example, nested
+        ).trace(300, seed=9)
+
+    def test_markov_default_matrix_is_the_ring(self, paper_example):
+        names = config_names(paper_example)
+        spec = TraceSpec(environment="markov", length=50, seed=3)
+        assert resolved_matrix(names, spec) == ring_matrix(names)
+
+    def test_single_configuration_uniform(self):
+        spec = TraceSpec(environment="uniform", length=5)
+        # Mirrors UniformEnvironment: one event, then nothing to switch to.
+        assert list(iter_trace(["only"], spec)) == ["only"]
+        assert list(iter_trace(["only"], TraceSpec("uniform", 0))) == []
+
+    def test_empty_names_rejected(self):
+        with pytest.raises(TraceSpecError):
+            list(iter_trace([], TraceSpec(environment="uniform", length=1)))
+
+    def test_stream_is_lazy(self, paper_example):
+        names = config_names(paper_example)
+        spec = TraceSpec(environment="bursty", length=10**9, seed=1)
+        head = list(islice(iter_trace(names, spec), 8))
+        assert len(head) == 8
+        assert all(h in names for h in head)
+
+
+class TestTraceKey:
+    def test_stable_across_equal_specs(self, paper_example):
+        names = config_names(paper_example)
+        a = trace_key(names, TraceSpec("uniform", 100, seed=4))
+        b = trace_key(names, TraceSpec("uniform", 100, seed=4))
+        assert a == b and len(a) == 64
+
+    @pytest.mark.parametrize(
+        "other",
+        [
+            TraceSpec("uniform", 100, seed=5),
+            TraceSpec("uniform", 101, seed=4),
+            TraceSpec("bursty", 100, seed=4),
+            TraceSpec("bursty", 100, seed=4, dwell=0.5),
+        ],
+    )
+    def test_sensitive_to_spec_fields(self, paper_example, other):
+        names = config_names(paper_example)
+        assert trace_key(names, TraceSpec("uniform", 100, seed=4)) != trace_key(
+            names, other
+        )
+
+    def test_sensitive_to_name_order(self):
+        spec = TraceSpec("uniform", 10)
+        assert trace_key(["a", "b"], spec) != trace_key(["b", "a"], spec)
+
+    def test_round_trips_through_dict(self, paper_example):
+        names = config_names(paper_example)
+        spec = TraceSpec(
+            environment="markov", length=64, seed=11, matrix=ring_matrix(names)
+        )
+        again = TraceSpec.from_dict(spec.to_dict())
+        assert again == spec
+        assert trace_key(names, again) == trace_key(names, spec)
+
+
+class TestSpecValidation:
+    def test_unknown_environment(self):
+        with pytest.raises(TraceSpecError):
+            TraceSpec(environment="lunar", length=1)
+
+    def test_negative_length(self):
+        with pytest.raises(TraceSpecError):
+            TraceSpec(environment="uniform", length=-1)
+
+    def test_dwell_out_of_range(self):
+        with pytest.raises(TraceSpecError):
+            TraceSpec(environment="bursty", length=1, dwell=1.0)
+
+    def test_matrix_only_for_markov(self):
+        with pytest.raises(TraceSpecError):
+            TraceSpec(
+                environment="uniform", length=1, matrix=ring_matrix(["a", "b"])
+            )
+
+    def test_start_only_for_markov(self):
+        with pytest.raises(TraceSpecError):
+            TraceSpec(environment="bursty", length=1, start="a")
+
+    def test_matrix_rows_must_sum_to_one(self):
+        with pytest.raises(TraceSpecError):
+            TraceSpec(
+                environment="markov",
+                length=1,
+                matrix={"a": {"b": 0.5}, "b": {"a": 1.0}},
+            )
+
+    def test_markov_matrix_unknown_names_rejected_at_stream_time(self):
+        spec = TraceSpec(
+            environment="markov",
+            length=4,
+            matrix={"a": {"x": 1.0}, "b": {"a": 1.0}},
+        )
+        with pytest.raises(TraceSpecError):
+            list(iter_trace(["a", "b"], spec))
+
+    def test_markov_unknown_start_rejected(self):
+        spec = TraceSpec(environment="markov", length=4, start="zz")
+        with pytest.raises(TraceSpecError):
+            list(iter_trace(["a", "b"], spec))
+
+
+class TestRingMatrix:
+    def test_rows_are_stochastic_and_biased(self):
+        rows = dict(ring_matrix(["a", "b", "c"], bias=0.7))
+        assert set(rows) == {"a", "b", "c"}
+        for src, row in rows.items():
+            probs = dict(row)
+            assert src not in probs
+            assert sum(probs.values()) == pytest.approx(1.0)
+        assert dict(rows["a"])["b"] == pytest.approx(0.7)
+
+    def test_two_names_degenerates_to_certainty(self):
+        rows = dict(ring_matrix(["a", "b"]))
+        assert dict(rows["a"]) == {"b": 1.0}
+
+    def test_needs_two_names(self):
+        with pytest.raises(TraceSpecError):
+            ring_matrix(["solo"])
+
+    def test_bias_must_be_open_interval(self):
+        with pytest.raises(TraceSpecError):
+            ring_matrix(["a", "b"], bias=1.0)
+
+
+class TestGeneratorMatrix:
+    def test_markov_returns_resolved_matrix(self, paper_example):
+        names = config_names(paper_example)
+        spec = TraceSpec(environment="markov", length=1)
+        nested = generator_matrix(names, spec)
+        assert nested == {src: dict(row) for src, row in ring_matrix(names)}
+
+    def test_uniform_and_bursty_return_jump_distribution(self):
+        for env in ("uniform", "bursty"):
+            nested = generator_matrix(
+                ["a", "b", "c"], TraceSpec(environment=env, length=1)
+            )
+            assert nested["a"] == {"b": 0.5, "c": 0.5}
+
+    def test_single_configuration_has_no_distribution(self):
+        assert generator_matrix(["a"], TraceSpec("uniform", 1)) is None
+
+
+class TestWorkloadSuite:
+    def test_deterministic_fleet(self):
+        a = WorkloadSuite(designs=3, traces_per_design=2, length=32, seed=5)
+        b = WorkloadSuite(designs=3, traces_per_design=2, length=32, seed=5)
+        wa = [(d.name, spec) for d, spec in a.iter_workloads()]
+        wb = [(d.name, spec) for d, spec in b.iter_workloads()]
+        assert wa == wb
+        assert len(wa) == a.trace_count == 6
+
+    def test_environments_round_robin(self):
+        suite = WorkloadSuite(designs=1, traces_per_design=4, length=8)
+        envs = [suite.spec_for(0, t).environment for t in range(4)]
+        assert envs == ["uniform", "markov", "bursty", "uniform"]
+        assert set(envs) <= set(ENVIRONMENTS)
+
+    def test_slot_seeds_are_distinct(self):
+        suite = WorkloadSuite(designs=4, traces_per_design=3, length=8, seed=1)
+        seeds = {
+            suite.spec_for(d, t).seed
+            for d in range(suite.designs)
+            for t in range(suite.traces_per_design)
+        }
+        assert len(seeds) == suite.trace_count
+
+    def test_iteration_is_lazy(self):
+        # A fleet far too large to materialise: islice must return fast.
+        suite = WorkloadSuite(designs=10_000, traces_per_design=10, length=16)
+        head = list(islice(suite.iter_workloads(), 3))
+        assert len(head) == 3
+        design, spec = head[0]
+        assert spec.length == 16
+        assert design.configurations
+
+    def test_validation(self):
+        with pytest.raises(TraceSpecError):
+            WorkloadSuite(designs=0)
+        with pytest.raises(TraceSpecError):
+            WorkloadSuite(designs=1, traces_per_design=0)
+        with pytest.raises(TraceSpecError):
+            WorkloadSuite(designs=1, environments=())
+        with pytest.raises(TraceSpecError):
+            WorkloadSuite(designs=1, environments=("lunar",))

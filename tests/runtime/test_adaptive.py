@@ -5,12 +5,51 @@ from __future__ import annotations
 import pytest
 
 from repro.runtime.adaptive import (
+    AdaptiveEnvironmentError as EnvironmentError,
     BurstyEnvironment,
-    EnvironmentError,
     MarkovEnvironment,
     UniformEnvironment,
     uniform_markov,
 )
+
+
+class TestDeprecatedAlias:
+    """The old ``EnvironmentError`` name (which shadowed the builtin)
+    must keep importing, raising and catching through the alias."""
+
+    def test_alias_warns_and_resolves(self):
+        import repro.runtime.adaptive as adaptive
+
+        with pytest.warns(DeprecationWarning, match="AdaptiveEnvironmentError"):
+            alias = getattr(adaptive, "EnvironmentError")
+        assert alias is adaptive.AdaptiveEnvironmentError
+
+    def test_package_alias_warns_and_resolves(self):
+        import repro.runtime as runtime
+
+        with pytest.warns(DeprecationWarning):
+            alias = getattr(runtime, "EnvironmentError")
+        assert alias is runtime.AdaptiveEnvironmentError
+
+    def test_alias_still_raises_and_catches(self, paper_example):
+        import repro.runtime.adaptive as adaptive
+
+        with pytest.warns(DeprecationWarning):
+            alias = getattr(adaptive, "EnvironmentError")
+        # Raised as the new class, caught via the old name (same object).
+        try:
+            BurstyEnvironment(paper_example, dwell=2.0)
+        except alias as exc:
+            assert isinstance(exc, adaptive.AdaptiveEnvironmentError)
+            assert isinstance(exc, ValueError)
+        else:  # pragma: no cover - the constructor must reject dwell=2.0
+            raise AssertionError("expected the alias to catch the raise")
+
+    def test_unknown_attribute_still_raises(self):
+        import repro.runtime.adaptive as adaptive
+
+        with pytest.raises(AttributeError):
+            adaptive.NoSuchThing
 
 
 class TestUniform:

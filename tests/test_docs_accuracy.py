@@ -61,6 +61,7 @@ class TestDocsMentionRealSymbols:
             "FAQ.md",
             "OBSERVABILITY.md",
             "PERFORMANCE.md",
+            "REPLAY.md",
             "REPRODUCING.md",
             "SERVICE.md",
         ],

@@ -147,11 +147,93 @@ class TestAggregateRun:
         assert "runs: no data" in text
         assert "jobs: no data" in text
         assert "job latency: no data" in text
+        assert "replay: no data" in text
         assert "--telemetry-dir" in text
 
     def test_populated_report_is_not_empty(self, tmp_path):
         _write_run(tmp_path / "t")
         assert not aggregate_run(tmp_path / "t").is_empty
+
+
+def _replay_summary(policy, latencies):
+    h = Histogram(bounds=(0.001, 0.01, 0.1))
+    for v in latencies:
+        h.observe(v)
+    return {
+        "policy": policy,
+        "events": 4 * len(latencies),
+        "switches": len(latencies),
+        "stall_events": 1,
+        "total_seconds": sum(latencies),
+        "icap_utilisation": 0.1,
+        "latency": h.to_dict(),
+    }
+
+
+class TestReplaySection:
+    def test_replay_summaries_aggregate_per_policy(self, tmp_path):
+        _write_run(
+            tmp_path / "t",
+            jobs=[
+                {"job": "a", "key": "k1", "status": "done", "compute_s": 0.1,
+                 "replay": _replay_summary("no-prefetch", [0.02, 0.05])},
+                {"job": "b", "key": "k2", "status": "done", "compute_s": 0.1,
+                 "replay": _replay_summary("no-prefetch", [0.03])},
+                {"job": "c", "key": "k3", "status": "done", "compute_s": 0.1,
+                 "replay": _replay_summary("prefetch-oracle", [0.002])},
+            ],
+        )
+        report = aggregate_run(tmp_path / "t")
+        assert set(report.replay_policies) == {"no-prefetch",
+                                              "prefetch-oracle"}
+        stats = report.replay_policies["no-prefetch"]
+        assert stats.jobs == 2
+        assert stats.switches == 3
+        assert stats.events == 12
+        assert stats.stall_events == 2
+        assert stats.percentile(50) is not None
+        doc = report.to_dict()
+        assert doc["replay"]["no-prefetch"]["jobs"] == 2
+        json.dumps(doc)
+
+    def test_replay_section_renders_per_policy_lines(self, tmp_path):
+        _write_run(
+            tmp_path / "t",
+            jobs=[
+                {"job": "a", "key": "k1", "status": "done", "compute_s": 0.1,
+                 "replay": _replay_summary("no-prefetch", [0.02])},
+            ],
+        )
+        text = render_run_report(aggregate_run(tmp_path / "t"))
+        assert "replay (computed jobs, switch latency):" in text
+        assert "no-prefetch" in text
+        assert "p95=" in text
+
+    def test_jobs_without_replay_degrade_to_no_data_line(self, tmp_path):
+        _write_run(
+            tmp_path / "t",
+            jobs=[{"job": "a", "key": "k", "status": "done",
+                   "compute_s": 0.1}],
+        )
+        text = render_run_report(aggregate_run(tmp_path / "t"))
+        assert (
+            "replay: no data (no computed replay jobs in this directory)"
+            in text
+        )
+
+    def test_cached_replay_jobs_carry_no_summary(self, tmp_path):
+        # Cached completions skip the replay; their records must not
+        # perturb the per-policy aggregates.
+        _write_run(
+            tmp_path / "t",
+            jobs=[
+                {"job": "a", "key": "k", "status": "cached"},
+                {"job": "b", "key": "k2", "status": "done", "compute_s": 0.1,
+                 "replay": _replay_summary("no-prefetch", [0.02])},
+            ],
+        )
+        report = aggregate_run(tmp_path / "t")
+        assert report.replay_policies["no-prefetch"].jobs == 1
 
 
 class TestPrometheusRoundTrip:
