@@ -142,6 +142,76 @@ def test_parallel_fanout_scaling(bench_record):
     print(f"\nparallel fan-out scaling: {rows}")
 
 
+def test_bounded_search_speedup(bench_record):
+    """Unbounded vs pruned+beamed incremental search.
+
+    The bound is exact for unweighted costs, so the bounded run must
+    land on a cost no worse than the unbounded one.  Exact pair stats
+    are memoised across restarts, so on re-visited pairs an evaluation
+    is already a dict hit and the beam cannot beat the default heap on
+    wall clock here; what it buys -- and what this bench records
+    alongside the honest timings -- is the cut in exact evaluations and
+    therefore in merge-cache materialisation (``search.nodes_expanded``,
+    see docs/PERFORMANCE.md "Pruning, beams, and portfolio").
+    """
+    from repro.obs import RecordingTracer
+
+    def _bounded_run(design, **alloc):
+        opts = PartitionerOptions(allocation=AllocationOptions(**alloc))
+        tracer = RecordingTracer()
+        t0 = time.perf_counter()
+        result = partition(design, _capacity(design), opts, tracer)
+        elapsed = time.perf_counter() - t0
+        return elapsed, result.objective, tracer.counters
+
+    t_plain = t_bounded = 0.0
+    eval_plain = eval_bounded = 0
+    per_design = []
+    for design in _designs(seed0=7200):
+        d_plain, cost_plain, c_plain = _bounded_run(design)
+        d_bounded, cost_bounded, c_bounded = _bounded_run(
+            design, beam_width=8, prune=True
+        )
+        assert cost_bounded <= cost_plain, (
+            f"bounded search worse on {design.name}: "
+            f"{cost_bounded} > {cost_plain}"
+        )
+        assert (
+            c_bounded["search.nodes_expanded"]
+            <= c_plain["search.nodes_expanded"]
+        )
+        t_plain += d_plain
+        t_bounded += d_bounded
+        eval_plain += int(c_plain["search.nodes_expanded"])
+        eval_bounded += int(c_bounded["search.nodes_expanded"])
+        per_design.append(
+            {
+                "design": design.name,
+                "unbounded_s": round(d_plain, 3),
+                "bounded_s": round(d_bounded, 3),
+            }
+        )
+    speedup = t_plain / max(t_bounded, 1e-9)
+    bench_record(
+        bounded_search={
+            "beam_width": 8,
+            "prune": True,
+            "unbounded_s": round(t_plain, 3),
+            "bounded_s": round(t_bounded, 3),
+            "speedup": round(speedup, 2),
+            "exact_evaluations_unbounded": eval_plain,
+            "exact_evaluations_bounded": eval_bounded,
+            "per_design": per_design,
+        }
+    )
+    print(
+        f"\nbounded search ({DESIGNS} {CONFIG} designs): "
+        f"unbounded {t_plain:.2f}s vs beam=8+prune {t_bounded:.2f}s "
+        f"-> {speedup:.2f}x wall, "
+        f"{eval_plain} -> {eval_bounded} exact evaluations"
+    )
+
+
 def test_partition_incremental(benchmark):
     """pytest-benchmark stats for the default engine on one bench design."""
     design = _designs(count=1)[0]

@@ -717,12 +717,67 @@ def fanout_map(fn, payloads, workers: int) -> list[Any]:
         raise
 
 
+class SharedSeenFilter:
+    """Cross-process seen-state exchange for parallel search shards.
+
+    Wraps a ``multiprocessing.Manager`` dict of state fingerprints
+    (:func:`repro.core.fingerprint.state_fingerprint` ints).  Shards call
+    :meth:`exchange` once per restart boundary: publish the fingerprints
+    they claimed since the last call, receive the full set every shard
+    has claimed so far.  One batched RPC per restart keeps the proxy off
+    the descent hot path; the returned set is the whole filter (ints are
+    cheap to ship), so a shard's local seen-set stays a superset of its
+    own knowledge and merging is a plain ``set.update``.
+
+    The proxy reconnects to the manager on unpickling, so a filter can
+    ride inside a ``fanout_map`` payload.
+    """
+
+    def __init__(self, proxy) -> None:
+        self._proxy = proxy
+
+    def exchange(self, fingerprints) -> set[int]:
+        """Publish ``fingerprints``; return every fingerprint known."""
+        proxy = self._proxy
+        for fp in fingerprints:
+            proxy[fp] = True
+        return set(proxy.keys())
+
+
+_SEEN_MANAGER: Any = None
+
+
+def make_seen_filter() -> SharedSeenFilter | None:
+    """A fresh :class:`SharedSeenFilter`, or ``None`` when one cannot work.
+
+    The backing manager process is created lazily and reused for the
+    interpreter's lifetime (spawning one per search would dwarf the
+    shard work, like the fan-out pools).  Returns ``None`` from daemonic
+    processes -- they may not spawn the manager child, and ``fanout_map``
+    falls back to inline execution there anyway, where the caller's
+    private seen-set already covers every shard.
+    """
+    global _SEEN_MANAGER
+    if multiprocessing.current_process().daemon:
+        return None
+    if _SEEN_MANAGER is None:
+        _SEEN_MANAGER = multiprocessing.Manager()
+    return SharedSeenFilter(_SEEN_MANAGER.dict())
+
+
 def _shutdown_fanout_pools() -> None:
+    global _SEEN_MANAGER
     while _FANOUT_POOLS:
         _, pool = _FANOUT_POOLS.popitem()
         try:
             pool.terminate()
             pool.join()
+        except Exception:
+            pass
+    if _SEEN_MANAGER is not None:
+        manager, _SEEN_MANAGER = _SEEN_MANAGER, None
+        try:
+            manager.shutdown()
         except Exception:
             pass
 

@@ -273,6 +273,63 @@ class TestSearch:
         AllocationOptions(engine="reference")
         AllocationOptions(engine="incremental", parallel_restarts=2)
 
+    def test_bounded_search_validation(self):
+        with pytest.raises(ValueError, match="beam_width"):
+            AllocationOptions(beam_width=0)
+        with pytest.raises(ValueError, match="beam_width"):
+            AllocationOptions(beam_width=-3)
+        # The reference engine is the untouched differential oracle: it
+        # accepts none of the bounded-search knobs.
+        with pytest.raises(ValueError, match="reference"):
+            AllocationOptions(engine="reference", beam_width=4)
+        with pytest.raises(ValueError, match="reference"):
+            AllocationOptions(engine="reference", prune=True)
+        # The portfolio occupies the batch pool itself.
+        with pytest.raises(ValueError, match="portfolio|parallel"):
+            AllocationOptions(engine="portfolio", parallel_restarts=2)
+        # Shared seen filter is only meaningful across >= 2 shards.
+        with pytest.raises(ValueError, match="shared_seen_filter"):
+            AllocationOptions(shared_seen_filter=True)
+        with pytest.raises(ValueError, match="shared_seen_filter"):
+            AllocationOptions(shared_seen_filter=True, parallel_restarts=1)
+        # Valid combinations construct cleanly.
+        AllocationOptions(beam_width=1)
+        AllocationOptions(beam_width=16, prune=True)
+        AllocationOptions(engine="portfolio")
+        AllocationOptions(parallel_restarts=2, shared_seen_filter=True)
+
+    def test_search_counters_emitted(self, tiny_design):
+        from repro.obs import RecordingTracer
+
+        cps = first_cps(tiny_design)
+        tracer = RecordingTracer()
+        # A tight budget forces descent through merge candidates so the
+        # frontier counters actually accumulate.
+        search_candidate_set(
+            tiny_design,
+            cps,
+            ResourceVector(340, 0, 0),
+            AllocationOptions(beam_width=4, prune=True),
+            tracer=tracer,
+        )
+        assert tracer.counters["search.nodes_expanded"] > 0
+        assert "search.nodes_pruned" in tracer.counters
+
+    def test_reference_engine_emits_no_search_counters(self, paper_example):
+        from repro.obs import RecordingTracer
+
+        cps = first_cps(paper_example)
+        tracer = RecordingTracer()
+        search_candidate_set(
+            paper_example,
+            cps,
+            ResourceVector(10_000, 100, 100),
+            AllocationOptions(engine="reference"),
+            tracer=tracer,
+        )
+        assert "search.nodes_expanded" not in tracer.counters
+        assert "search.nodes_pruned" not in tracer.counters
+
     def test_heap_counters_emitted(self, paper_example):
         from repro.obs import RecordingTracer
 

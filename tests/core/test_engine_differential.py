@@ -112,10 +112,16 @@ def partition_fingerprint(design, capacity, engine, policy, weights=None):
     )
     tracer = RecordingTracer()
     result = partition(design, capacity, opts, tracer)
+    # Engine-machinery counters (heap traffic, cache effectiveness,
+    # frontier pruned/expanded) legitimately differ between engines; the
+    # contract covers the result and the search-shape counters.
     counters = {
         k: v
         for k, v in sorted(tracer.counters.items())
-        if not k.startswith("merge.heap") and not k.startswith("merge.cache")
+        if not k.startswith("merge.heap")
+        and not k.startswith("merge.cache")
+        and not k.startswith("search.")
+        and not k.startswith("merge.portfolio")
     }
     regions = tuple(
         (r.name, r.labels, r.frames) for r in result.scheme.regions
@@ -265,3 +271,169 @@ class TestParallelFanout:
         partition(design, capacity, opts, tracer)
         assert tracer.counters.get("merge.parallel_shards", 0) > 0
         assert "merge.parallel_duplicate_states" in tracer.counters
+
+
+PARITY_KWARGS = [
+    {"prune": True},
+    {"beam_width": 1},
+    {"beam_width": 4},
+    {"beam_width": 16},
+    {"beam_width": 4, "prune": True},
+]
+
+
+class TestPruneBeamParity:
+    """The expanded gate for the bounded-search knobs.
+
+    With pruning and beams *off* every engine mode must stay on the
+    bit-identical contract above.  With them *on*, the admissible bound
+    guarantees the best cost is never worse than the reference -- and in
+    the unweighted case the bound is exact, so the search-level results
+    (groups, cost, state counters) still match bit-for-bit; only the
+    shared-cache population may shrink.
+    """
+
+    @staticmethod
+    def _result_part(fingerprint):
+        """Per-candidate-set results, without the trailing cache-key list."""
+        return fingerprint[:-1]
+
+    def test_pruned_and_beamed_never_worse(self):
+        for k in range(DIFF_DESIGNS):
+            rng = np.random.default_rng(7000 + k)
+            design = generate_design(
+                rng, CIRCUIT_CLASSES[k % len(CIRCUIT_CLASSES)], f"pb{k}",
+                GeneratorConfig(max_modules=5, max_modes=3),
+            )
+            capacity = budget_for(design)
+            for policy in TransitionPolicy:
+                ref = search_fingerprint(design, capacity, "reference", policy)
+                for kwargs in PARITY_KWARGS:
+                    got = search_fingerprint(
+                        design, capacity, "incremental", policy,
+                        alloc_kwargs=kwargs,
+                    )
+                    for (_, rc, _, _), (_, gc, _, _) in zip(
+                        ref[:-1], got[:-1]
+                    ):
+                        if rc is None:
+                            assert gc is None, f"design {k} {kwargs}"
+                        else:
+                            assert gc is not None and gc <= rc, (
+                                f"design {k} {policy} {kwargs}: "
+                                f"{gc} > {rc}"
+                            )
+
+    @staticmethod
+    def _normalised(fingerprint):
+        """Results with group members order-normalised.
+
+        Unweighted bounds are exact, so the beamed/pruned search applies
+        the same merge at every step -- but it materialises fewer pairs
+        into the shared cache, and a later candidate set that misses the
+        cache rebuilds the same merged group with a different member
+        concatenation order.  Costs, state signatures (sorted) and
+        counters are unaffected; only the cosmetic member order inside a
+        region can differ, so that is the one thing we normalise here.
+        """
+        out = []
+        for groups, cost, states, feasible in fingerprint[:-1]:
+            if groups is not None:
+                groups = tuple(tuple(sorted(g)) for g in groups)
+            out.append((groups, cost, states, feasible))
+        return out
+
+    def test_unweighted_prune_and_beam_bit_identical(self):
+        """Exact bounds keep the unweighted search on the full contract."""
+        for k in range(DIFF_DESIGNS):
+            rng = np.random.default_rng(7100 + k)
+            design = generate_design(
+                rng, CIRCUIT_CLASSES[k % len(CIRCUIT_CLASSES)], f"pbe{k}",
+                GeneratorConfig(max_modules=4, max_modes=3),
+            )
+            capacity = budget_for(design)
+            for policy in TransitionPolicy:
+                ref = search_fingerprint(design, capacity, "reference", policy)
+                for kwargs in PARITY_KWARGS:
+                    got = search_fingerprint(
+                        design, capacity, "incremental", policy,
+                        alloc_kwargs=kwargs,
+                    )
+                    assert self._normalised(got) == self._normalised(ref), (
+                        f"design {k} {policy} {kwargs}"
+                    )
+
+    @SETTINGS
+    @given(synthetic_designs(), st.sampled_from(list(TransitionPolicy)),
+           st.booleans())
+    def test_hypothesis_weighted_never_worse(self, design, policy, weighted):
+        capacity = budget_for(design)
+        weights = weight_matrix(design) if weighted else None
+        ref = search_fingerprint(design, capacity, "reference", policy,
+                                 weights)
+        got = search_fingerprint(
+            design, capacity, "incremental", policy, weights,
+            alloc_kwargs={"beam_width": 4, "prune": True},
+        )
+        for (_, rc, _, _), (_, gc, _, _) in zip(ref[:-1], got[:-1]):
+            if rc is None:
+                assert gc is None
+            else:
+                assert gc is not None and gc <= rc
+
+    def test_defaults_unchanged_by_new_knobs(self):
+        """prune=False/beam=None must be the pre-existing search exactly."""
+        design = casestudy_design()
+        capacity = CASESTUDY_BUDGET
+        base = search_fingerprint(
+            design, capacity, "incremental", TransitionPolicy.LENIENT
+        )
+        explicit = search_fingerprint(
+            design, capacity, "incremental", TransitionPolicy.LENIENT,
+            alloc_kwargs={"beam_width": None, "prune": False},
+        )
+        assert base == explicit
+
+
+class TestPortfolio:
+    def test_portfolio_never_worse_than_reference(self):
+        for k in range(max(3, DIFF_DESIGNS // 2)):
+            rng = np.random.default_rng(7300 + k)
+            design = generate_design(
+                rng, CIRCUIT_CLASSES[k % len(CIRCUIT_CLASSES)], f"pf{k}",
+                GeneratorConfig(max_modules=4, max_modes=3),
+            )
+            capacity = budget_for(design)
+            for policy in TransitionPolicy:
+                ref = search_fingerprint(design, capacity, "reference", policy)
+                got = search_fingerprint(design, capacity, "portfolio", policy)
+                for (_, rc, _, _), (_, gc, _, _) in zip(ref[:-1], got[:-1]):
+                    if rc is None:
+                        assert gc is None, f"design {k}"
+                    else:
+                        assert gc is not None and gc <= rc, f"design {k}"
+
+    def test_portfolio_deterministic(self):
+        rng = np.random.default_rng(7400)
+        design = generate_design(
+            rng, CircuitClass.LOGIC, "pfd",
+            GeneratorConfig(max_modules=4, max_modes=3),
+        )
+        capacity = budget_for(design)
+        first = search_fingerprint(
+            design, capacity, "portfolio", TransitionPolicy.LENIENT
+        )
+        second = search_fingerprint(
+            design, capacity, "portfolio", TransitionPolicy.LENIENT
+        )
+        assert first == second
+
+    def test_portfolio_counters_emitted(self):
+        design = casestudy_design()
+        opts = PartitionerOptions(
+            allocation=AllocationOptions(engine="portfolio")
+        )
+        tracer = RecordingTracer()
+        partition(design, CASESTUDY_BUDGET, opts, tracer)
+        assert tracer.counters.get("merge.portfolio_backends", 0) >= 2
+        assert tracer.counters.get("search.nodes_expanded", 0) > 0

@@ -128,3 +128,48 @@ class TestCanonicalForm:
         doc = canonical_problem(shuffled_copy(tiny_design))
         names = [m["name"] for m in doc["design"]["modules"]]
         assert names == sorted(names)
+
+
+class TestSearchOptionsKey:
+    """The conditional "search" sub-dict in the canonical options."""
+
+    @staticmethod
+    def _key(design, **alloc):
+        from repro.core.allocation import AllocationOptions
+
+        return problem_key(
+            design,
+            CAPACITY,
+            PartitionerOptions(allocation=AllocationOptions(**alloc)),
+        )
+
+    def test_default_options_omit_search_dict(self, tiny_design):
+        """Default runs must keep their pre-existing keys (cache compat)."""
+        doc = canonical_problem(
+            tiny_design, CAPACITY, PartitionerOptions()
+        )
+        assert "search" not in doc["options"]
+        # And the no-options key equals the explicit-defaults key.
+        assert problem_key(tiny_design, CAPACITY, PartitionerOptions()) == (
+            self._key(tiny_design)
+        )
+
+    def test_bounded_search_knobs_change_key(self, tiny_design):
+        base = self._key(tiny_design)
+        distinct = {
+            base,
+            self._key(tiny_design, prune=True),
+            self._key(tiny_design, beam_width=4),
+            self._key(tiny_design, beam_width=16),
+            self._key(tiny_design, engine="portfolio"),
+            self._key(tiny_design, parallel_restarts=2),
+        }
+        assert len(distinct) == 6
+
+    def test_shared_seen_filter_excluded_from_key(self, tiny_design):
+        """The filter changes work distribution, never results."""
+        plain = self._key(tiny_design, parallel_restarts=2)
+        filtered = self._key(
+            tiny_design, parallel_restarts=2, shared_seen_filter=True
+        )
+        assert plain == filtered
