@@ -429,7 +429,12 @@ def _cmd_replay_run(args: argparse.Namespace) -> int:
 
 def _cmd_replay_sweep(args: argparse.Namespace) -> int:
     from .eval.report import render_batch_report
-    from .replay import ENVIRONMENTS, WorkloadSuite, submit_replay_suite
+    from .replay import (
+        ENVIRONMENTS,
+        ReplayError,
+        WorkloadSuite,
+        submit_replay_suite,
+    )
     from .replay.policies import PolicyError
     from .replay.trace import TraceSpecError
     from .service import ServiceError, run_batch
@@ -445,20 +450,26 @@ def _cmd_replay_sweep(args: argparse.Namespace) -> int:
                 tuple(args.environment) if args.environment else ENVIRONMENTS
             ),
         )
+        policies = args.policy or [
+            "no-prefetch", "prefetch-markov", "prefetch-oracle"
+        ]
         jobs = submit_replay_suite(
             store,
             suite,
-            args.policy or ["no-prefetch", "prefetch-markov", "prefetch-oracle"],
+            policies,
             device=args.device,
             max_candidate_sets=args.max_candidate_sets,
+            batch_size=args.batch_size,
         )
-    except (TraceSpecError, PolicyError) as exc:
+    except (TraceSpecError, PolicyError, ReplayError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
+    cells = suite.trace_count * len(policies)
+    batched = f", batch size {args.batch_size}" if args.batch_size > 1 else ""
     print(
-        f"submitted {len(jobs)} replay jobs "
+        f"submitted {len(jobs)} replay jobs covering {cells} cells "
         f"({suite.designs} designs x {suite.traces_per_design} traces x "
-        f"{len(jobs) // max(suite.trace_count, 1)} policies)"
+        f"{len(policies)} policies{batched})"
     )
     tracer = _make_tracer(args)
     sink = None
@@ -482,9 +493,27 @@ def _cmd_replay_sweep(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
     if report.failed:
-        print(f"failed jobs: {', '.join(report.failed_ids)}", file=sys.stderr)
+        # Group the failures by their terminal error line so a 1000-job
+        # sweep reports "63 x InfeasibleError: ..." instead of 63 ids.
+        reasons: dict[str, int] = {}
+        for job_id in report.failed_ids:
+            error = (store.get(job_id).error or "").strip()
+            line = error.splitlines()[-1] if error else "unknown error"
+            reasons[line] = reasons.get(line, 0) + 1
+        print(
+            f"failed jobs: {report.failed}/{report.total}", file=sys.stderr
+        )
+        for line, count in sorted(
+            reasons.items(), key=lambda item: (-item[1], item[0])
+        ):
+            print(f"  {count} x {line}", file=sys.stderr)
     _emit_trace(tracer, args)
-    return 0 if report.failed == 0 else 3
+    if report.failed == 0:
+        return 0
+    # Every job failing means the sweep produced nothing at all --
+    # distinct exit code so callers can tell "some infeasible designs"
+    # (3) from "nothing ran" (4).
+    return 4 if report.failed == report.total else 3
 
 
 def _cmd_replay_compare(args: argparse.Namespace) -> int:
@@ -1070,6 +1099,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="cap the covering loop per job (part of the cache key)",
     )
     p.add_argument("--workers", type=int, default=1)
+    p.add_argument(
+        "--batch-size", type=int, default=1, metavar="N",
+        help="traces per replay job (default 1: one job per trace, the "
+        "legacy layout; N>1 micro-batches each design's traces into "
+        "replay-batch jobs, amortising dispatch/scheme/store overhead "
+        "N x while keeping per-trace records byte-identical)",
+    )
     p.add_argument(
         "--telemetry-dir", metavar="DIR",
         help="persist the run's telemetry (including per-job replay "

@@ -57,7 +57,10 @@ class ReplayPolicyStats:
     latency: Histogram | None = None
 
     def fold(self, summary: Mapping[str, Any]) -> None:
-        self.jobs += 1
+        # A micro-batched job ships one summary covering ``traces``
+        # member replays; single-trace summaries carry no field and
+        # count as one, so jobs counts *traces*, batched or not.
+        self.jobs += int(summary.get("traces", 1))
         self.events += int(summary.get("events", 0))
         self.switches += int(summary.get("switches", 0))
         self.stall_events += int(summary.get("stall_events", 0))

@@ -42,10 +42,12 @@ from .compare import (
     render_policy_comparison,
 )
 from .engine import (
+    REPLAY_ENGINES,
     REPLAY_LATENCY_BOUNDS,
     REPLAY_VERSION,
     ReplayError,
     ReplayResult,
+    replay_batch_key,
     replay_record,
     replay_result_key,
     replay_trace,
@@ -59,8 +61,10 @@ from .policies import (
 )
 from .service import (
     replay_job_key,
+    replay_probe_keys,
     replay_store_for,
     replay_summary,
+    run_replay_batch_payload,
     run_replay_payload,
     submit_replay_suite,
 )
@@ -79,6 +83,7 @@ __all__ = [
     "ENVIRONMENTS",
     "EVICTION_POLICIES",
     "POLICY_PRESETS",
+    "REPLAY_ENGINES",
     "REPLAY_LATENCY_BOUNDS",
     "REPLAY_VERSION",
     "BitstreamStore",
@@ -95,7 +100,9 @@ __all__ = [
     "generator_matrix",
     "iter_trace",
     "render_policy_comparison",
+    "replay_batch_key",
     "replay_job_key",
+    "replay_probe_keys",
     "replay_record",
     "replay_result_key",
     "replay_store_for",
@@ -103,6 +110,7 @@ __all__ = [
     "replay_trace",
     "resolve_policy",
     "ring_matrix",
+    "run_replay_batch_payload",
     "run_replay_payload",
     "submit_replay_suite",
     "trace_key",

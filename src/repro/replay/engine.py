@@ -28,10 +28,19 @@ from dataclasses import dataclass, field
 from typing import Any, Iterable, Mapping
 
 from ..core.result import PartitioningScheme
+from ..obs import NULL_TRACER, Tracer
 from ..obs.metrics import Histogram
 from ..runtime.manager import ConfigurationManager
 from ..runtime.prefetch import PrefetchingManager, markov_predictor
+from . import kernel
 from .policies import BitstreamStore, PolicySpec, resolve_policy
+
+#: The replay engines ``replay_trace`` dispatches between.  ``auto``
+#: picks the vectorized kernel when the policy is history-free and the
+#: inlined scalar loop otherwise; ``reference`` is the original
+#: manager-based loop, kept as the differential oracle (the fast paths
+#: are pinned bit-identical to it by tests/replay/test_kernel.py).
+REPLAY_ENGINES = ("auto", "vector", "scalar", "reference")
 
 #: Bumped whenever replay semantics change -- part of every result key,
 #: so stale cached records miss instead of aliasing.
@@ -149,6 +158,33 @@ def replay_result_key(
     return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
 
+def replay_batch_key(
+    problem_key: str,
+    trace_keys: Iterable[str],
+    policy: PolicySpec | str | Mapping,
+) -> str:
+    """Content address of one micro-batched replay job.
+
+    A batch job is the ordered set of its member replays, so its key
+    hashes (problem, ordered trace keys, policy, version); the members
+    themselves stay individually addressed by
+    :func:`replay_result_key`, which is what lets batched and
+    single-trace sweeps share one record store.
+    """
+    payload = json.dumps(
+        {
+            "format": "repro-replay-batch",
+            "version": REPLAY_VERSION,
+            "problem": problem_key,
+            "traces": list(trace_keys),
+            "policy": resolve_policy(policy).to_dict(),
+        },
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
 def replay_trace(
     scheme: PartitioningScheme,
     trace: Iterable[str],
@@ -156,6 +192,8 @@ def replay_trace(
     matrix: Mapping[str, Mapping[str, float]] | None = None,
     problem_key: str | None = None,
     trace_key: str | None = None,
+    engine: str = "auto",
+    tracer: Tracer = NULL_TRACER,
 ) -> ReplayResult:
     """Replay ``trace`` (any iterable of configuration names) under a policy.
 
@@ -164,8 +202,61 @@ def replay_trace(
     required exactly when the policy asks for that predictor.  The
     initial full configuration is never charged (it loads at power-up,
     matching :class:`~repro.runtime.manager.ConfigurationManager`).
+
+    ``engine`` selects the implementation (:data:`REPLAY_ENGINES`); every
+    engine produces bit-identical results, so the choice is purely a
+    throughput knob.  ``vector`` materialises the trace as an id array
+    (and errors on stateful policies); ``auto``/``scalar``/``reference``
+    preserve the streaming contract.  The vector path counts the events
+    it absorbs on ``tracer`` as ``replay.vector_events``.
     """
     policy = resolve_policy(policy)
+    if engine not in REPLAY_ENGINES:
+        raise ReplayError(
+            f"unknown replay engine {engine!r}; expected one of "
+            f"{REPLAY_ENGINES}"
+        )
+    if policy.predictor == "markov" and matrix is None:
+        raise ReplayError(
+            "the markov predictor needs the environment's "
+            "transition matrix (see generator_matrix)"
+        )
+    if engine == "reference":
+        return _replay_reference(
+            scheme, trace, policy, matrix, problem_key, trace_key
+        )
+    result = ReplayResult(
+        policy=policy.to_dict(),
+        dwell_s=policy.dwell_s,
+        problem_key=problem_key,
+        trace_key=trace_key,
+    )
+    tables = kernel.tables_for(scheme)
+    eligible = kernel.vector_eligible(policy)
+    if engine == "vector" and not eligible:
+        raise ReplayError(
+            "the vectorized kernel covers plain-manager policies with "
+            f"'none'/'static' eviction; policy {policy.name!r} is stateful "
+            "(use engine='auto' to fall back to the scalar loop)"
+        )
+    if eligible and engine in ("auto", "vector"):
+        ids = kernel.encode_trace(tables, trace)
+        kernel.run_vector(scheme, tables, ids, policy, result)
+        tracer.count("replay.vector_events", int(ids.size))
+    else:
+        kernel.run_scalar(scheme, tables, trace, policy, matrix, result)
+    return result
+
+
+def _replay_reference(
+    scheme: PartitioningScheme,
+    trace: Iterable[str],
+    policy: PolicySpec,
+    matrix: Mapping[str, Mapping[str, float]] | None = None,
+    problem_key: str | None = None,
+    trace_key: str | None = None,
+) -> ReplayResult:
+    """The original manager-based replay loop -- the semantic oracle."""
     store: BitstreamStore | None = None
     if policy.eviction != "none":
         store = BitstreamStore(scheme, policy)

@@ -21,18 +21,30 @@ unchanged.  Execution is two cache layers deep:
 :func:`submit_replay_suite` is the fan-out entry: it crosses a
 :class:`~repro.replay.trace.WorkloadSuite` (synthesized designs x
 environments x seeds) with a policy list and enqueues one replay job
-per cell.
+per cell -- or, with ``batch_size > 1``, one ``replay-batch`` job per
+N cells sharing a (design, policy), which amortises dispatch, scheme
+resolution and store IO N x while keeping every member record under
+its individual :func:`~repro.replay.engine.replay_result_key` (batched
+and single-trace sweeps fill the same store).
+
+Workers stay *warm*: resolved partition results are kept in a
+module-level LRU keyed by partition problem key, so a persistent
+worker process replaying many traces of one design deserialises the
+scheme once, not once per job (``pool.warm_hits`` counts the reuses).
 """
 
 from __future__ import annotations
 
+import hashlib
 import time
+from collections import OrderedDict
 from pathlib import Path
 from typing import Any, Iterable, Mapping
 
 from ..arch.library import DeviceLibrary
 from ..core.partitioner import (
     PartitionerOptions,
+    PartitionResult,
     partition,
     partition_with_device_selection,
 )
@@ -41,7 +53,14 @@ from ..obs import NULL_TRACER, Tracer
 from ..service.cache import ResultCache
 from ..service.jobs import Job, JobStore
 from ..service.problem import resolve_problem_text
-from .engine import ReplayError, ReplayResult, replay_result_key, replay_trace
+from .engine import (
+    ReplayError,
+    ReplayResult,
+    replay_batch_key,
+    replay_record,
+    replay_result_key,
+    replay_trace,
+)
 from .policies import PolicySpec, resolve_policy
 from .store import ReplayResultStore
 from .trace import TraceSpec, WorkloadSuite, config_names, generator_matrix, iter_trace, trace_key
@@ -50,6 +69,54 @@ from .trace import TraceSpec, WorkloadSuite, config_names, generator_matrix, ite
 #: out of the cache's own shard tree so ``ResultCache.keys()`` never
 #: sees a replay entry.
 REPLAY_STORE_DIRNAME = "replay"
+
+#: Cap of the per-process warm scheme cache (resolved partition results
+#: keyed by partition problem key).  Schemes are small relative to the
+#: traces replayed against them; the cap only bounds pathological
+#: many-design single-process sweeps.
+WARM_SCHEME_LIMIT = 64
+
+#: partition key -> (PartitionResult, device name), most recent last.
+_WARM_SCHEMES: "OrderedDict[str, tuple[PartitionResult, str | None]]" = (
+    OrderedDict()
+)
+
+#: (xml sha256, device, max_candidate_sets) -> (partition key, config
+#: names).  A sweep keys the same design once per policy in phase 1 and
+#: once more in the worker; the memo collapses those repeat XML parses.
+#: Only populated for the default library -- a caller-supplied library
+#: changes the key of auto-select problems.
+_KEY_MEMO_LIMIT = 256
+_KEY_MEMO: "OrderedDict[tuple, tuple[str, tuple[str, ...]]]" = OrderedDict()
+
+
+def _problem_key_names(
+    design_xml: str,
+    device: str | None,
+    max_candidate_sets: int | None,
+    library: DeviceLibrary | None,
+) -> tuple[str, tuple[str, ...]]:
+    """(partition problem key, configuration names) of one design spec."""
+    from ..service.pool import partition_problem_key_resolved
+
+    memo_key = None
+    if library is None:
+        digest = hashlib.sha256(design_xml.encode("utf-8")).hexdigest()
+        memo_key = (digest, device, max_candidate_sets)
+        hit = _KEY_MEMO.get(memo_key)
+        if hit is not None:
+            _KEY_MEMO.move_to_end(memo_key)
+            return hit
+    problem = resolve_problem_text(design_xml, device, library)
+    out = (
+        partition_problem_key_resolved(problem, max_candidate_sets),
+        config_names(problem.design),
+    )
+    if memo_key is not None:
+        _KEY_MEMO[memo_key] = out
+        while len(_KEY_MEMO) > _KEY_MEMO_LIMIT:
+            _KEY_MEMO.popitem(last=False)
+    return out
 
 
 def replay_store_for(cache: ResultCache) -> ReplayResultStore:
@@ -68,6 +135,26 @@ def _replay_docs(replay: Mapping[str, Any] | None) -> tuple[TraceSpec, PolicySpe
     return TraceSpec.from_dict(trace_doc), resolve_policy(policy_doc)
 
 
+def _replay_batch_docs(
+    replay: Mapping[str, Any] | None,
+) -> tuple[list[TraceSpec], PolicySpec]:
+    if not isinstance(replay, Mapping):
+        raise ReplayError("replay-batch job carries no replay spec")
+    try:
+        trace_docs = replay["traces"]
+        policy_doc = replay["policy"]
+    except KeyError as exc:
+        raise ReplayError(f"replay-batch spec is missing {exc}") from exc
+    if not isinstance(trace_docs, (list, tuple)) or not trace_docs:
+        raise ReplayError(
+            "replay-batch spec needs a non-empty 'traces' sequence"
+        )
+    return (
+        [TraceSpec.from_dict(doc) for doc in trace_docs],
+        resolve_policy(policy_doc),
+    )
+
+
 def replay_job_key(job: Job, library: DeviceLibrary | None = None) -> str:
     """The content-address of one replay job: problem x trace x policy.
 
@@ -77,14 +164,35 @@ def replay_job_key(job: Job, library: DeviceLibrary | None = None) -> str:
     configuration (which changes the trace) changes the key even when
     the spec document does not.
     """
-    from ..service.pool import partition_problem_key
+    key, _members = replay_probe_keys(job, library)
+    return key
 
-    spec, policy = _replay_docs(job.replay)
-    problem = resolve_problem_text(job.design_xml, job.device, library)
-    names = config_names(problem.design)
-    return replay_result_key(
-        partition_problem_key(job, library), trace_key(names, spec), policy
+
+def replay_probe_keys(
+    job: Job, library: DeviceLibrary | None = None
+) -> tuple[str, list[str]]:
+    """``(job key, member record keys)`` of a replay or replay-batch job.
+
+    One XML parse covers both halves (the problem key and the trace
+    keys).  For single-trace jobs the job key *is* the one member key;
+    for batches the job key is :func:`~repro.replay.engine.replay_batch_key`
+    while the members are the per-trace record keys -- phase 1 of the
+    batch runner declares the job cached exactly when **every** member
+    has a stored record.
+    """
+    partition_key, names = _problem_key_names(
+        job.design_xml, job.device, job.max_candidate_sets, library
     )
+    if job.kind == "replay-batch":
+        specs, policy = _replay_batch_docs(job.replay)
+        tkeys = [trace_key(names, spec) for spec in specs]
+        members = [
+            replay_result_key(partition_key, tk, policy) for tk in tkeys
+        ]
+        return replay_batch_key(partition_key, tkeys, policy), members
+    spec, policy = _replay_docs(job.replay)
+    key = replay_result_key(partition_key, trace_key(names, spec), policy)
+    return key, [key]
 
 
 def replay_summary(result: ReplayResult) -> dict[str, Any]:
@@ -105,31 +213,36 @@ def replay_summary(result: ReplayResult) -> dict[str, Any]:
     }
 
 
-def run_replay_payload(
+def _partition_for(
     payload: Mapping[str, Any],
-    started: float | None = None,
+    cache: ResultCache,
+    t0: float,
     tracer: Tracer = NULL_TRACER,
-) -> dict[str, Any]:
-    """Worker body of one replay job (called from ``execute_job_payload``).
+) -> tuple[str, PartitionResult, str | None]:
+    """Resolve the payload's partition half, warm-cache first.
 
-    Partition-result resolution is cache-first: a hit rebuilds the
-    scheme from the stored entry, a miss runs the search and caches it
-    under the partition key -- so the replay store and the result cache
-    fill each other's future lookups.  Exceptions propagate; the
-    caller's outcome envelope turns them into ``ok=False`` payloads.
+    Three layers, cheapest first: the module-level warm LRU (a
+    persistent worker re-serving a design it has seen skips even the
+    cache-entry deserialisation -- counted as ``pool.warm_hits``), then
+    the on-disk :class:`~repro.service.cache.ResultCache`, then the
+    actual partitioning search (cached for everyone afterwards).  The
+    warm path still guarantees the cache entry exists, so cross-process
+    lookups never depend on which worker computed the scheme.
     """
-    t0 = time.perf_counter() if started is None else started
-    from ..service.pool import partition_problem_key_text
-
-    spec, policy = _replay_docs(payload.get("replay"))
-    cache = ResultCache(payload["cache_root"])
-    store = replay_store_for(cache)
-    partition_key = partition_problem_key_text(
+    partition_key, _names = _problem_key_names(
         payload["design_xml"],
         payload["device"],
         payload["max_candidate_sets"],
         payload.get("library"),
     )
+    warm = _WARM_SCHEMES.get(partition_key)
+    if warm is not None:
+        _WARM_SCHEMES.move_to_end(partition_key)
+        result, device_name = warm
+        tracer.count("pool.warm_hits", 1)
+        if partition_key not in cache:
+            cache.put(partition_key, result, device_name=device_name)
+        return partition_key, result, device_name
     cached = cache.lookup(partition_key)
     if cached is not None:
         result, device_name = cached.result, cached.device_name
@@ -157,6 +270,32 @@ def run_replay_payload(
             device_name=device_name,
             compute_s=time.perf_counter() - t0,
         )
+    _WARM_SCHEMES[partition_key] = (result, device_name)
+    while len(_WARM_SCHEMES) > WARM_SCHEME_LIMIT:
+        _WARM_SCHEMES.popitem(last=False)
+    return partition_key, result, device_name
+
+
+def run_replay_payload(
+    payload: Mapping[str, Any],
+    started: float | None = None,
+    tracer: Tracer = NULL_TRACER,
+) -> dict[str, Any]:
+    """Worker body of one replay job (called from ``execute_job_payload``).
+
+    Partition-result resolution is cache-first: a hit rebuilds the
+    scheme from the stored entry, a miss runs the search and caches it
+    under the partition key -- so the replay store and the result cache
+    fill each other's future lookups.  Exceptions propagate; the
+    caller's outcome envelope turns them into ``ok=False`` payloads.
+    """
+    t0 = time.perf_counter() if started is None else started
+    spec, policy = _replay_docs(payload.get("replay"))
+    cache = ResultCache(payload["cache_root"])
+    store = replay_store_for(cache)
+    partition_key, result, device_name = _partition_for(
+        payload, cache, t0, tracer
+    )
 
     scheme = result.scheme
     names = config_names(scheme.design)
@@ -169,6 +308,7 @@ def run_replay_payload(
             matrix=generator_matrix(names, spec),
             problem_key=partition_key,
             trace_key=trace_key(names, spec),
+            tracer=tracer,
         )
     store.put_result(key, replayed)
     return {
@@ -182,6 +322,96 @@ def run_replay_payload(
     }
 
 
+def run_replay_batch_payload(
+    payload: Mapping[str, Any],
+    started: float | None = None,
+    tracer: Tracer = NULL_TRACER,
+) -> dict[str, Any]:
+    """Worker body of one micro-batched replay job.
+
+    The scheme/policy are resolved **once** for all N member traces,
+    each member replays under its individual record key, and the store
+    write is ONE atomic segment append
+    (:meth:`~repro.replay.store.ReplayResultStore.put_many`) -- the
+    three per-trace overheads the batch amortises.  The outcome's
+    ``replay`` summary is the fold of the members (``traces`` carries
+    N, the latency histograms merge), and ``batch`` marks the outcome
+    for the parent's ``replay.batch_jobs`` counter.
+    """
+    t0 = time.perf_counter() if started is None else started
+    specs, policy = _replay_batch_docs(payload.get("replay"))
+    cache = ResultCache(payload["cache_root"])
+    store = replay_store_for(cache)
+    partition_key, result, device_name = _partition_for(
+        payload, cache, t0, tracer
+    )
+
+    scheme = result.scheme
+    names = config_names(scheme.design)
+    records: dict[str, dict[str, Any]] = {}
+    tkeys: list[str] = []
+    summary: dict[str, Any] | None = None
+    with tracer.span("replay_batch", policy=policy.name, traces=len(specs)):
+        for spec in specs:
+            tk = trace_key(names, spec)
+            tkeys.append(tk)
+            replayed = replay_trace(
+                scheme,
+                iter_trace(names, spec),
+                policy,
+                matrix=generator_matrix(names, spec),
+                problem_key=partition_key,
+                trace_key=tk,
+                tracer=tracer,
+            )
+            key = replay_result_key(partition_key, tk, policy)
+            records[key] = replay_record(replayed)
+            summary = _fold_summary(summary, replayed)
+    store.put_many(records)
+    assert summary is not None  # specs is validated non-empty
+    return {
+        "job_id": payload["job_id"],
+        "ok": True,
+        "key": replay_batch_key(partition_key, tkeys, policy),
+        "device": device_name,
+        "total_frames": result.total_frames,
+        "compute_s": time.perf_counter() - t0,
+        "replay": summary,
+        "batch": len(specs),
+        "record_keys": list(records),
+    }
+
+
+def _fold_summary(
+    summary: dict[str, Any] | None, result: ReplayResult
+) -> dict[str, Any]:
+    """Fold one member result into a batch's aggregate replay summary.
+
+    Counts sum, latency histograms merge, and utilisation is recomputed
+    over the folded totals -- the same aggregation
+    :class:`repro.obs.report.ReplayPolicyStats` applies across jobs,
+    done once in-worker so a batch ships one summary, not N.
+    """
+    member = replay_summary(result)
+    if summary is None:
+        member["traces"] = 1
+        return member
+    from ..obs.metrics import Histogram
+
+    summary["traces"] = int(summary.get("traces", 1)) + 1
+    for field in ("events", "switches", "stall_events"):
+        summary[field] += member[field]
+    summary["total_seconds"] += member["total_seconds"]
+    budget = summary["events"] * result.dwell_s
+    summary["icap_utilisation"] = (
+        summary["total_seconds"] / budget if budget > 0 else 0.0
+    )
+    merged = Histogram.from_dict(summary["latency"])
+    merged.merge(result.latency)
+    summary["latency"] = merged.to_dict()
+    return summary
+
+
 def submit_replay_suite(
     store: JobStore,
     suite: WorkloadSuite,
@@ -191,35 +421,88 @@ def submit_replay_suite(
     max_attempts: int | None = None,
     priority: int = 0,
     submitter: str = "",
+    batch_size: int = 1,
 ) -> list[Job]:
     """Fan a workload suite x policy list out as replay jobs.
 
-    One job per (design, trace, policy) cell, named
-    ``<design>/<environment>[<trace-seed>]/<policy>``; submission
-    dedupes identical cells, so re-submitting a suite onto a queue that
-    already holds it is a no-op.  Returns the jobs in submission order.
+    With the default ``batch_size=1``, one job per (design, trace,
+    policy) cell, named ``<design>/<environment>[<trace-seed>]/<policy>``
+    -- byte-identical submissions to the pre-batching path.  With
+    ``batch_size=N``, each design's traces are chunked N at a time into
+    ``replay-batch`` jobs per policy (named
+    ``<design>/batch<i>[<n>]/<policy>``); member records keep their
+    single-trace keys, so batched and unbatched sweeps of the same
+    suite serve each other's cached records.  Submission dedupes
+    identical cells either way, so re-submitting a suite onto a queue
+    that already holds it is a no-op.  Returns the jobs in submission
+    order.
     """
+    if batch_size < 1:
+        raise ReplayError("batch_size must be at least 1")
     resolved = [resolve_policy(p) for p in policies]
     if not resolved:
         raise ReplayError("submit_replay_suite needs at least one policy")
+    kwargs: dict[str, Any] = {}
+    if max_attempts is not None:
+        kwargs["max_attempts"] = max_attempts
     jobs: list[Job] = []
-    for design, spec in suite.iter_workloads():
-        design_xml = design_to_xml(design, device_name=device)
-        for policy in resolved:
-            kwargs: dict[str, Any] = {}
-            if max_attempts is not None:
-                kwargs["max_attempts"] = max_attempts
-            jobs.append(
-                store.submit(
-                    name=f"{design.name}/{spec.environment}[{spec.seed}]/{policy.name}",
-                    design_xml=design_xml,
-                    device=device,
-                    max_candidate_sets=max_candidate_sets,
-                    priority=priority,
-                    submitter=submitter,
-                    kind="replay",
-                    replay={"trace": spec.to_dict(), "policy": policy.to_dict()},
-                    **kwargs,
-                )
+
+    def submit(design_xml: str, name: str, kind: str, replay: dict) -> None:
+        jobs.append(
+            store.submit(
+                name=name,
+                design_xml=design_xml,
+                device=device,
+                max_candidate_sets=max_candidate_sets,
+                priority=priority,
+                submitter=submitter,
+                kind=kind,
+                replay=replay,
+                **kwargs,
             )
+        )
+
+    if batch_size == 1:
+        for design, spec in suite.iter_workloads():
+            design_xml = design_to_xml(design, device_name=device)
+            for policy in resolved:
+                submit(
+                    design_xml,
+                    f"{design.name}/{spec.environment}[{spec.seed}]/{policy.name}",
+                    "replay",
+                    {"trace": spec.to_dict(), "policy": policy.to_dict()},
+                )
+        return jobs
+
+    # iter_workloads yields each design's specs consecutively; chunk
+    # them per design so a batch never straddles two schemes.
+    current: Any = None
+    current_xml = ""
+    pending_specs: list[TraceSpec] = []
+
+    def flush() -> None:
+        if current is None:
+            return
+        for policy in resolved:
+            for i in range(0, len(pending_specs), batch_size):
+                chunk = pending_specs[i : i + batch_size]
+                submit(
+                    current_xml,
+                    f"{current.name}/batch{i // batch_size}"
+                    f"[{len(chunk)}]/{policy.name}",
+                    "replay-batch",
+                    {
+                        "traces": [s.to_dict() for s in chunk],
+                        "policy": policy.to_dict(),
+                    },
+                )
+
+    for design, spec in suite.iter_workloads():
+        if design is not current:
+            flush()
+            current = design
+            current_xml = design_to_xml(design, device_name=device)
+            pending_specs = []
+        pending_specs.append(spec)
+    flush()
     return jobs

@@ -8,6 +8,21 @@ records.  Keys come from :func:`repro.replay.engine.replay_result_key`
 re-run completes entirely from this store, exactly like partition jobs
 complete from the result cache.
 
+Two write layouts coexist:
+
+* **per-key files** (``<root>/ab/<key>.json``) -- one record per file,
+  written by single-trace jobs; and
+* **segments** (``<root>/segments/<digest>.json``) -- one atomic file
+  holding *all* the records of one micro-batched job, so an N-trace job
+  costs one write instead of N.  The digest is the SHA-256 of the
+  segment payload itself, so concurrent workers producing the same
+  batch race to an identical file, exactly like per-key entries.
+
+Reads see the union: :meth:`get_record`/:meth:`probe` fall back to the
+segment index on a per-key miss, and :meth:`probe_many` resolves a
+whole sweep's keys with O(shards + segments) directory/file reads
+instead of O(keys) file opens -- the warm-sweep fast path.
+
 The store lives in its own subtree (conventionally
 ``<cache_root>/replay`` -- see :func:`repro.replay.service.replay_store_for`)
 so the partition cache's directory scans never see replay entries.
@@ -15,9 +30,12 @@ so the partition cache's directory scans never see replay entries.
 
 from __future__ import annotations
 
+import hashlib
 import json
+import os
+import tempfile
 from pathlib import Path
-from typing import Any, Mapping
+from typing import Any, Iterable, Iterator, Mapping
 
 from ..eval.persistence import PersistenceError
 from ..service.cache import ArtifactStore
@@ -26,6 +44,14 @@ from .engine import ReplayResult, replay_record, result_from_record
 #: Envelope header of every stored record.
 ENTRY_FORMAT = "repro-replay-record"
 ENTRY_VERSION = 1
+
+#: Envelope header of every stored segment (micro-batched append).
+SEGMENT_FORMAT = "repro-replay-segment"
+SEGMENT_VERSION = 1
+
+#: Subdirectory holding segment files; deliberately longer than the
+#: two-hex shard names so the layouts can never collide.
+SEGMENT_DIRNAME = "segments"
 
 
 class ReplayResultStore(ArtifactStore):
@@ -39,6 +65,10 @@ class ReplayResultStore(ArtifactStore):
     """
 
     SUFFIX = ".json"
+
+    def __init__(self, root: str | Path):
+        super().__init__(root)
+        self._segment_index: dict[str, dict[str, Any]] | None = None
 
     def path_for(self, key: str) -> Path:
         if len(key) < 3:
@@ -78,15 +108,25 @@ class ReplayResultStore(ArtifactStore):
         return doc
 
     def get_record(self, key: str) -> dict[str, Any] | None:
-        """The record for ``key``; ``None`` on a miss or corrupt entry."""
-        text = self.get(key)
-        if text is None:
-            return None
+        """The record for ``key``; ``None`` on a miss or corrupt entry.
+
+        Looks at the per-key layout first, then at the segment index,
+        so batched and single-trace sweeps read each other's records.
+        """
+        try:
+            text = self.path_for(key).read_text(encoding="utf-8")
+        except FileNotFoundError:
+            record = self.segment_index().get(key)
+            if record is None:
+                self.misses += 1
+                return None
+            self.hits += 1
+            return dict(record)
         doc = self._envelope(key, text)
         if doc is None:
-            self.hits -= 1
             self.misses += 1
             return None
+        self.hits += 1
         return dict(doc["record"])
 
     def get_result(self, key: str) -> ReplayResult | None:
@@ -98,11 +138,15 @@ class ReplayResultStore(ArtifactStore):
 
         Mirrors :meth:`repro.service.cache.ResultCache.probe` -- the
         batch runner's phase-1 check: envelope validation only, corrupt
-        or missing entries count as misses.
+        or missing entries count as misses.  Falls back to the segment
+        index on a per-key miss.
         """
         try:
             text = self.path_for(key).read_text(encoding="utf-8")
         except OSError:
+            if key in self.segment_index():
+                self.hits += 1
+                return True
             self.misses += 1
             return False
         if self._envelope(key, text) is None:
@@ -110,3 +154,142 @@ class ReplayResultStore(ArtifactStore):
             return False
         self.hits += 1
         return True
+
+    # ------------------------------------------------------------------
+    # segment layout (micro-batched appends)
+    # ------------------------------------------------------------------
+    def segment_dir(self) -> Path:
+        return self.root / SEGMENT_DIRNAME
+
+    def segment_paths(self) -> list[Path]:
+        """All segment files, sorted (order is cosmetic: the segment
+        digest is content-derived, so overlapping keys hold identical
+        records and merge order cannot matter)."""
+        try:
+            return sorted(self.segment_dir().glob(f"*{self.SUFFIX}"))
+        except OSError:
+            return []
+
+    def put_many(self, records: Mapping[str, Mapping[str, Any]]) -> Path | None:
+        """Store a whole batch of ``key -> record`` in ONE atomic write.
+
+        The segment file is named by the SHA-256 of its own canonical
+        payload, so identical batches race to identical files (the
+        per-key discipline, lifted to batches).  Returns the segment
+        path, or ``None`` for an empty batch.
+        """
+        if not records:
+            return None
+        payload = json.dumps(
+            {
+                "format": SEGMENT_FORMAT,
+                "version": SEGMENT_VERSION,
+                "records": {k: dict(v) for k, v in records.items()},
+            },
+            sort_keys=True,
+            separators=(",", ":"),
+        ) + "\n"
+        digest = hashlib.sha256(payload.encode("utf-8")).hexdigest()
+        path = self.segment_dir() / f"{digest}{self.SUFFIX}"
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(
+            dir=path.parent, prefix=f".{digest[:8]}-", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                fh.write(payload)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        self._segment_index = None
+        return path
+
+    def _load_segment(self, path: Path) -> Mapping[str, Any] | None:
+        try:
+            doc = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError):
+            return None
+        if (
+            not isinstance(doc, Mapping)
+            or doc.get("format") != SEGMENT_FORMAT
+            or doc.get("version") != SEGMENT_VERSION
+            or not isinstance(doc.get("records"), Mapping)
+        ):
+            return None
+        records = doc["records"]
+        if not all(
+            isinstance(k, str) and isinstance(v, Mapping)
+            for k, v in records.items()
+        ):
+            return None
+        return records
+
+    def segment_index(self) -> Mapping[str, dict[str, Any]]:
+        """``key -> record`` over every valid segment, cached.
+
+        One pass over the segment directory (corrupt segments are
+        skipped -- their keys just miss and recompute, the per-key
+        corruption discipline).  Invalidation: :meth:`put_many` drops
+        the cache; cross-process writers are visible to a fresh store
+        instance, which is what each ``run_batch`` call constructs.
+        """
+        if self._segment_index is None:
+            index: dict[str, dict[str, Any]] = {}
+            for path in self.segment_paths():
+                records = self._load_segment(path)
+                if records is None:
+                    continue
+                for key, record in records.items():
+                    index[key] = dict(record)
+            self._segment_index = index
+        return self._segment_index
+
+    def _file_keys(self) -> set[str]:
+        """Keys of the per-key layout, by directory listing alone.
+
+        Per-key files are written atomically and named by their content
+        address, so presence-by-name is trustworthy without opening the
+        files -- this is what keeps :meth:`probe_many` at O(shards)
+        reads.
+        """
+        out: set[str] = set()
+        try:
+            shards = sorted(self.root.iterdir())
+        except OSError:
+            return out
+        for shard in shards:
+            if not shard.is_dir() or shard.name == SEGMENT_DIRNAME:
+                continue
+            for entry in shard.glob(f"*{self.SUFFIX}"):
+                out.add(entry.stem)
+        return out
+
+    def probe_many(self, keys: Iterable[str]) -> set[str]:
+        """The subset of ``keys`` with a stored record.
+
+        A fully cached N-trace sweep resolves in O(shards + segments)
+        reads instead of N file opens: one directory listing for the
+        per-key layout, one parse per segment.  Hit/miss counters move
+        by the same amounts per-key :meth:`probe` calls would.
+        """
+        keys = list(keys)
+        known = self._file_keys() | set(self.segment_index())
+        present = {k for k in keys if k in known}
+        self.hits += len(present)
+        self.misses += len(keys) - len(present)
+        return present
+
+    def keys(self) -> Iterator[str]:
+        """All stored keys across both layouts (order unspecified)."""
+        seen = self._file_keys()
+        yield from seen
+        for key in self.segment_index():
+            if key not in seen:
+                yield key
+
+    def __contains__(self, key: str) -> bool:
+        return self.path_for(key).exists() or key in self.segment_index()

@@ -38,8 +38,10 @@ JOB_STATES = ("pending", "running", "done", "failed")
 #: The workload classes the batch service executes.  ``partition`` jobs
 #: run the paper's partitioning search; ``replay`` jobs additionally
 #: replay the resulting scheme against a synthesized traffic trace
-#: under a serving policy (:mod:`repro.replay`).
-JOB_KINDS = ("partition", "replay")
+#: under a serving policy (:mod:`repro.replay`); ``replay-batch`` jobs
+#: carry N trace specs sharing one scheme/policy, so dispatch, scheme
+#: resolution and store IO amortise N x (the micro-batching fast path).
+JOB_KINDS = ("partition", "replay", "replay-batch")
 
 #: Default cap on per-job execution attempts (1 initial + 1 retry).
 DEFAULT_MAX_ATTEMPTS = 2
@@ -100,6 +102,22 @@ class Job:
                 raise JobStoreError(
                     "a replay job needs a replay spec with 'trace' and "
                     "'policy' mappings"
+                )
+        elif self.kind == "replay-batch":
+            traces = None
+            if isinstance(self.replay, Mapping):
+                traces = self.replay.get("traces")
+            if (
+                traces is None
+                or not isinstance(traces, (list, tuple))
+                or not traces
+                or not all(isinstance(t, Mapping) for t in traces)
+                or not isinstance(self.replay.get("policy"), Mapping)
+            ):
+                raise JobStoreError(
+                    "a replay-batch job needs a replay spec with a "
+                    "non-empty 'traces' sequence of mappings and a "
+                    "'policy' mapping"
                 )
         elif self.replay is not None:
             raise JobStoreError("only replay jobs carry a replay spec")

@@ -10,8 +10,11 @@ cores and never let one of them wedge the batch.
    dispatching a worker or re-running any search stage**;
 2. misses are executed in (priority desc, fair round-robin, FIFO) order
    -- the :meth:`~repro.service.jobs.JobStore.pending` schedule --
-   inline for ``workers=1`` with no supervision, else one *supervised*
-   ``multiprocessing.Process`` per job, at most ``workers`` in flight;
+   inline for ``workers=1`` with no supervision; on a persistent *warm*
+   process pool for plain multi-worker batches (workers survive across
+   jobs and batches, so per-process scheme caches keep paying off);
+   else one *supervised* ``multiprocessing.Process`` per job, at most
+   ``workers`` in flight;
 3. a worker exception never poisons the batch: the traceback travels
    back as data, the job re-queues until its attempt cap, then lands in
    ``failed`` while every other job keeps flowing;
@@ -96,10 +99,10 @@ def job_problem_key(job: Job, library: DeviceLibrary | None = None) -> str:
     the same scheme replayed under a different workload or policy is a
     distinct cache entry.
     """
-    if job.kind == "replay":
-        from ..replay.service import replay_job_key
+    if job.kind in ("replay", "replay-batch"):
+        from ..replay.service import replay_probe_keys
 
-        return replay_job_key(job, library)
+        return replay_probe_keys(job, library)[0]
     return partition_problem_key(job, library)
 
 
@@ -124,6 +127,18 @@ def partition_problem_key_text(
 ) -> str:
     """:func:`partition_problem_key` from raw spec fields (worker side)."""
     problem = resolve_problem_text(design_xml, device, library)
+    return partition_problem_key_resolved(problem, max_candidate_sets)
+
+
+def partition_problem_key_resolved(
+    problem: ResolvedProblem, max_candidate_sets: int | None
+) -> str:
+    """:func:`partition_problem_key` from an already-resolved problem.
+
+    Callers that need both the key and the resolved design (the replay
+    key helpers) resolve once and key from the result, instead of
+    paying a second XML parse inside :func:`partition_problem_key_text`.
+    """
     options = _job_options(max_candidate_sets)
     if problem.device is not None:
         assert problem.capacity is not None
@@ -223,6 +238,12 @@ def execute_job_payload(payload: dict[str, Any]) -> dict[str, Any]:
             from ..replay.service import run_replay_payload
 
             outcome = run_replay_payload(
+                payload, started=started, tracer=worker_tracer or NULL_TRACER
+            )
+        elif payload.get("kind") == "replay-batch":
+            from ..replay.service import run_replay_batch_payload
+
+            outcome = run_replay_batch_payload(
                 payload, started=started, tracer=worker_tracer or NULL_TRACER
             )
         else:
@@ -387,12 +408,15 @@ def run_batch(
 
     ``job_timeout_s`` is the per-job wall deadline; ``heartbeat_timeout_s``
     the staleness threshold on worker beats (beats are emitted every
-    ``heartbeat_interval_s``).  Setting either engages *supervision*:
-    jobs run in dedicated killable processes even with ``workers=1``.
-    With neither set and ``workers=1``, jobs run inline in the parent
-    (no supervision possible -- nothing can preempt the caller's own
-    thread).  ``faults`` is the deterministic test-only fault plan
-    (:mod:`repro.service.faults`).
+    ``heartbeat_interval_s``).  Setting either -- or injecting
+    ``faults`` (the deterministic test-only plan from
+    :mod:`repro.service.faults`, which may crash or wedge workers on
+    purpose) -- engages *supervision*: jobs run in dedicated killable
+    processes even with ``workers=1``.  Without supervision,
+    ``workers=1`` runs jobs inline in the parent (nothing can preempt
+    the caller's own thread) and ``workers>1`` runs them on a
+    persistent warm process pool that survives across batches, keeping
+    per-worker scheme caches hot (``pool.warm_hits``).
 
     ``sink`` persists the run's telemetry (progress events, one ``job``
     record per outcome keyed by job id + problem key, one end-of-run
@@ -408,8 +432,16 @@ def run_batch(
         raise ServiceError("job_timeout_s must be positive")
     if heartbeat_timeout_s is not None and heartbeat_timeout_s <= 0:
         raise ServiceError("heartbeat_timeout_s must be positive")
+    # Supervision (one killable process per job) engages only when the
+    # caller asks for something that needs it: deadlines, heartbeat
+    # staleness, or injected faults (which may crash/wedge workers on
+    # purpose).  Plain multi-worker batches instead run on a persistent
+    # *warm* pool -- workers survive across jobs and batches, so their
+    # module-level scheme caches keep paying off (pool.warm_hits).
     supervised = (
-        workers > 1 or job_timeout_s is not None or heartbeat_timeout_s is not None
+        job_timeout_s is not None
+        or heartbeat_timeout_s is not None
+        or bool(faults)
     )
     if faults and faults.has_hang and not (
         job_timeout_s is not None or heartbeat_timeout_s is not None
@@ -439,23 +471,21 @@ def run_batch(
         # device) fails terminally here -- the failure is deterministic
         # before any worker could run, so retrying it is pointless.
         # Replay jobs probe the replay record store (a sibling subtree
-        # of the partition cache) instead of the cache itself.
-        replay_store: Any = None
-
-        def probe_hit(job: Job, key: str) -> bool:
-            nonlocal replay_store
-            if job.kind == "replay":
-                if replay_store is None:
-                    from ..replay.service import replay_store_for
-
-                    replay_store = replay_store_for(cache)
-                return replay_store.probe(key)
-            return cache.probe(key)
-
-        misses: list[tuple[Job, str]] = []
+        # of the partition cache) instead of the cache itself -- in ONE
+        # bulk ``probe_many`` over every member record key, so a fully
+        # cached N-trace sweep costs O(shards + segments) reads, not N
+        # file opens.  A replay/replay-batch job is a hit exactly when
+        # every one of its member records is stored.
+        keyed: list[tuple[Job, str, list[str] | None]] = []
+        replay_members: list[str] = []
         for job in store.pending():
             try:
-                key = job_problem_key(job, library)
+                if job.kind in ("replay", "replay-batch"):
+                    from ..replay.service import replay_probe_keys
+
+                    key, members = replay_probe_keys(job, library)
+                else:
+                    key, members = partition_problem_key(job, library), None
             except Exception:
                 error = traceback.format_exc()
                 while True:
@@ -478,11 +508,31 @@ def run_batch(
                         attempts=job.attempts, timeout=False,
                     )
                 continue
+            keyed.append((job, key, members))
+            if members is not None:
+                replay_members.extend(members)
+
+        present: set[str] = set()
+        if replay_members:
+            from ..replay.service import replay_store_for
+
+            replay_store = replay_store_for(cache)
             probe_started = time.perf_counter()
-            hit = probe_hit(job, key)
+            present = replay_store.probe_many(replay_members)
             tracer.observe(
                 "service.cache_probe_s", time.perf_counter() - probe_started
             )
+
+        misses: list[tuple[Job, str]] = []
+        for job, key, members in keyed:
+            if members is not None:
+                hit = all(m in present for m in members)
+            else:
+                probe_started = time.perf_counter()
+                hit = cache.probe(key)
+                tracer.observe(
+                    "service.cache_probe_s", time.perf_counter() - probe_started
+                )
             if hit:
                 store.mark_done(job.id, key, cache_hit=True)
                 results[job.id] = key
@@ -541,6 +591,8 @@ def run_batch(
                 )
                 results[job_id] = outcome["key"]
                 computed += 1
+                if outcome.get("batch"):
+                    tracer.count("replay.batch_jobs", 1)
                 tracer.observe("service.job_wall_s", outcome["compute_s"])
                 if tracer.enabled:
                     tracer.progress(
@@ -615,9 +667,17 @@ def run_batch(
             return payload
 
         if not supervised:
-            while heap:
-                _prio, _seq, job, key = heapq.heappop(heap)
-                handle(execute_job_payload(payload_for(job, key)))
+            if workers == 1:
+                while heap:
+                    _prio, _seq, job, key = heapq.heappop(heap)
+                    handle(execute_job_payload(payload_for(job, key)))
+            else:
+                _drain_warm(
+                    heap=heap,
+                    workers=workers,
+                    payload_for=payload_for,
+                    handle=handle,
+                )
         else:
             _drain_supervised(
                 heap=heap,
@@ -675,6 +735,106 @@ def run_batch(
 
 
 _FANOUT_POOLS: dict[int, Any] = {}
+
+#: Persistent warm batch pools, cached per worker count like the
+#: fan-out pools.  Workers survive across jobs *and* ``run_batch``
+#: calls, which is what lets the replay service's module-level scheme
+#: cache keep paying off (``pool.warm_hits``) fleet-wide.
+_WARM_EXECUTORS: dict[int, Any] = {}
+
+
+def _warm_executor(workers: int):
+    executor = _WARM_EXECUTORS.get(workers)
+    if executor is None:
+        from concurrent.futures import ProcessPoolExecutor
+
+        executor = ProcessPoolExecutor(max_workers=workers)
+        _WARM_EXECUTORS[workers] = executor
+    return executor
+
+
+def _retire_warm_executor(workers: int) -> None:
+    executor = _WARM_EXECUTORS.pop(workers, None)
+    if executor is not None:
+        try:
+            executor.shutdown(wait=False, cancel_futures=True)
+        except Exception:
+            pass
+
+
+def _drain_warm(heap, workers, payload_for, handle) -> None:
+    """Unsupervised multi-worker drain on the persistent warm pool.
+
+    At most ``workers`` jobs in flight; each completion refills the
+    slot (and may push a retry back onto ``heap`` via ``handle``).  A
+    broken pool (a worker killed hard, e.g. by the OOM killer) fails
+    every in-flight job -- their attempt caps still apply, so they
+    re-queue like any other failure -- and the pool is rebuilt before
+    the drain continues, so one dead worker never strands the batch.
+    """
+    from concurrent.futures import FIRST_COMPLETED, wait
+    from concurrent.futures.process import BrokenProcessPool
+
+    in_flight: dict[Any, tuple[str, float]] = {}
+
+    def fail(job_id: str, started_perf: float, error: str) -> None:
+        handle({
+            "job_id": job_id,
+            "ok": False,
+            "error": error,
+            "compute_s": time.perf_counter() - started_perf,
+        })
+
+    while heap or in_flight:
+        executor = _warm_executor(workers)
+        while heap and len(in_flight) < workers:
+            _prio, _seq, job, key = heapq.heappop(heap)
+            started_perf = time.perf_counter()
+            try:
+                future = executor.submit(
+                    execute_job_payload, payload_for(job, key)
+                )
+            except BrokenProcessPool:
+                _retire_warm_executor(workers)
+                fail(
+                    job.id, started_perf,
+                    "warm worker pool broke before dispatch; pool rebuilt",
+                )
+                executor = _warm_executor(workers)
+                continue
+            in_flight[future] = (job.id, started_perf)
+        if not in_flight:
+            continue
+        done, _pending = wait(set(in_flight), return_when=FIRST_COMPLETED)
+        broken = False
+        for future in done:
+            job_id, started_perf = in_flight.pop(future)
+            try:
+                outcome = future.result()
+            except (KeyboardInterrupt, SystemExit):
+                raise
+            except BrokenProcessPool:
+                broken = True
+                fail(
+                    job_id, started_perf,
+                    "worker process died without reporting (warm pool broke)",
+                )
+            except BaseException:
+                fail(job_id, started_perf, traceback.format_exc())
+            else:
+                handle(outcome)
+        if broken:
+            # The executor is unusable; every remaining in-flight
+            # future fails with it.  Fail them now (their retries go
+            # back on the heap) and start the next round on a fresh
+            # pool.
+            for job_id, started_perf in in_flight.values():
+                fail(
+                    job_id, started_perf,
+                    "worker process died without reporting (warm pool broke)",
+                )
+            in_flight.clear()
+            _retire_warm_executor(workers)
 
 
 def fanout_map(fn, payloads, workers: int) -> list[Any]:
@@ -767,6 +927,9 @@ def make_seen_filter() -> SharedSeenFilter | None:
 
 def _shutdown_fanout_pools() -> None:
     global _SEEN_MANAGER
+    while _WARM_EXECUTORS:
+        workers, _executor = next(iter(_WARM_EXECUTORS.items()))
+        _retire_warm_executor(workers)
     while _FANOUT_POOLS:
         _, pool = _FANOUT_POOLS.popitem()
         try:

@@ -55,13 +55,28 @@ class ResolvedProblem:
         )
 
 
+#: Shared default library: devices are frozen and the ladder never
+#: changes, so every resolution (and every keying pass over a fleet of
+#: jobs) can reuse one instance instead of rebuilding the column
+#: synthesis per call.
+_DEFAULT_LIBRARY: DeviceLibrary | None = None
+
+
+def default_library() -> DeviceLibrary:
+    """The cached default device library (:func:`virtex5_full`)."""
+    global _DEFAULT_LIBRARY
+    if _DEFAULT_LIBRARY is None:
+        _DEFAULT_LIBRARY = virtex5_full()
+    return _DEFAULT_LIBRARY
+
+
 def resolve_problem_text(
     text: str,
     device_name: str | None = None,
     library: DeviceLibrary | None = None,
 ) -> ResolvedProblem:
     """Resolve a problem from XML *text* (the batch-worker entry point)."""
-    library = library or virtex5_full()
+    library = library or default_library()
     doc = parse_design(text)
     design = doc.design
     name = device_name or doc.device_name

@@ -76,9 +76,85 @@ class TestReplaySweep:
         ])
         assert rc == 0
         out = capsys.readouterr().out
-        assert "submitted 8 replay jobs (2 designs x 2 traces x 2 policies)" \
-            in out
+        assert (
+            "submitted 8 replay jobs covering 8 cells "
+            "(2 designs x 2 traces x 2 policies)"
+        ) in out
         assert "cache hits" in out and "8" in out
+
+    def test_batched_sweep_matches_single_and_reports_batches(
+            self, swept, tmp_path, capsys):
+        _queue, cache_dir = swept
+        capsys.readouterr()
+        queue2 = tmp_path / "queue-batched"
+        rc = main([
+            "replay", "sweep", "--queue", str(queue2),
+            "--designs", "2", "--traces-per-design", "2",
+            "--length", "40", "--seed", "3", "--workers", "1",
+            "--policy", "no-prefetch", "--policy", "prefetch-oracle",
+            "--batch-size", "2",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert (
+            "submitted 4 replay jobs covering 8 cells "
+            "(2 designs x 2 traces x 2 policies, batch size 2)"
+        ) in out
+        from repro.replay import replay_store_for
+
+        single = replay_store_for(ResultCache(cache_dir))
+        batched = replay_store_for(ResultCache(queue2 / "cache"))
+        assert set(batched.keys()) == set(single.keys())
+        for key in single.keys():
+            assert batched.get_record(key) == single.get_record(key)
+
+    def test_bad_batch_size_errors(self, tmp_path, capsys):
+        rc = main([
+            "replay", "sweep", "--queue", str(tmp_path / "q"),
+            "--designs", "1", "--batch-size", "0",
+        ])
+        assert rc == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_all_jobs_failing_exits_4_with_grouped_reasons(
+            self, tmp_path, monkeypatch, capsys):
+        import repro.replay.service as replay_service
+
+        def boom(payload, **kwargs):
+            raise RuntimeError("synthetic replay failure")
+
+        monkeypatch.setattr(replay_service, "run_replay_payload", boom)
+        rc = main([
+            "replay", "sweep", "--queue", str(tmp_path / "q"),
+            "--designs", "1", "--traces-per-design", "2",
+            "--length", "24", "--policy", "no-prefetch",
+        ])
+        assert rc == 4
+        err = capsys.readouterr().err
+        assert "failed jobs: 2/2" in err
+        assert "2 x RuntimeError: synthetic replay failure" in err
+
+    def test_partial_failure_exits_3(self, tmp_path, monkeypatch, capsys):
+        import repro.replay.service as replay_service
+
+        real = replay_service.run_replay_batch_payload
+
+        def selective(payload, **kwargs):
+            if payload["replay"]["policy"]["name"] == "prefetch-oracle":
+                raise RuntimeError("synthetic oracle failure")
+            return real(payload, **kwargs)
+
+        monkeypatch.setattr(
+            replay_service, "run_replay_batch_payload", selective)
+        rc = main([
+            "replay", "sweep", "--queue", str(tmp_path / "q"),
+            "--designs", "1", "--traces-per-design", "2",
+            "--length", "24", "--batch-size", "2",
+            "--policy", "no-prefetch", "--policy", "prefetch-oracle",
+        ])
+        assert rc == 3
+        err = capsys.readouterr().err
+        assert "failed jobs: 1/2" in err
 
     def test_telemetry_records_replay_summaries(self, tmp_path, capsys):
         telemetry = tmp_path / "telemetry"
