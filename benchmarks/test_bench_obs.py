@@ -75,3 +75,24 @@ def test_single_design_trace_summary(benchmark):
     tracer = benchmark(traced)
     print()
     print(render_trace_summary(tracer.trace()))
+
+
+def test_resource_sampling_pair(benchmark):
+    """The per-job cost of resource telemetry: one pre-job snapshot plus
+    one end-of-job delta (exactly what ``execute_job_payload`` adds).
+
+    The acceptance story (EXPERIMENTS.md, "Resource-sampling overhead")
+    is that two ``getrusage`` calls are microseconds against jobs that
+    take milliseconds to minutes -- this bench keeps that claim honest.
+    """
+    from repro.obs.resources import RUSAGE_AVAILABLE, job_resources, sample_self
+
+    if not RUSAGE_AVAILABLE:
+        pytest.skip("resource.getrusage unavailable")
+
+    def sample_pair():
+        start = sample_self()
+        return job_resources(start)
+
+    delta = benchmark(sample_pair)
+    assert delta is not None and delta["rss_peak_mb"] > 0

@@ -13,12 +13,19 @@ from .export import (
     parse_prometheus,
     prometheus_text,
 )
+from .follow import FollowCursor, TelemetryFollower, follow_records
 from .metrics import (
     DEFAULT_BOUNDS,
     Histogram,
     MetricsError,
     QuantileSummary,
     merge_histogram_maps,
+)
+from .registry import (
+    RegistryError,
+    RunEntry,
+    RunRegistry,
+    config_digest,
 )
 from .render import render_trace_summary, stage_summary_rows
 from .report import (
@@ -34,13 +41,33 @@ from .report import (
     render_bench_diff,
     render_run_report,
 )
+from .resources import (
+    ResourceSample,
+    WorkerResources,
+    fold_resource_records,
+    job_resources,
+    sample_self,
+)
 from .sink import (
     SINK_VERSION,
     SinkError,
+    SinkStats,
     TelemetrySink,
     iter_telemetry,
     load_telemetry,
+    sink_stats,
 )
+from .slo import (
+    SloError,
+    SloResult,
+    SloRule,
+    SloVerdict,
+    evaluate_slo,
+    load_slo,
+    render_slo_result,
+    resolve_metric,
+)
+from .top import FleetView, WorkerView, render_top
 from .tracer import (
     NULL_TRACER,
     TRACE_FORMAT,
@@ -59,6 +86,8 @@ __all__ = [
     "BenchDiff",
     "BenchDiffError",
     "DEFAULT_BOUNDS",
+    "FleetView",
+    "FollowCursor",
     "Histogram",
     "MetricsError",
     "NULL_TRACER",
@@ -67,30 +96,53 @@ __all__ = [
     "PrometheusMetric",
     "QuantileSummary",
     "RecordingTracer",
+    "RegistryError",
     "ReplayPolicyStats",
+    "ResourceSample",
+    "RunEntry",
+    "RunRegistry",
     "RunReport",
     "SINK_VERSION",
     "SinkError",
+    "SinkStats",
+    "SloError",
+    "SloResult",
+    "SloRule",
+    "SloVerdict",
     "Span",
     "TRACE_FORMAT",
     "TRACE_VERSION",
+    "TelemetryFollower",
     "TelemetrySink",
     "Trace",
     "TraceError",
     "Tracer",
+    "WorkerResources",
+    "WorkerView",
     "aggregate_run",
     "bench_diff",
     "bench_timings",
+    "config_digest",
+    "evaluate_slo",
     "export_prometheus_dir",
+    "fold_resource_records",
+    "follow_records",
     "iter_telemetry",
+    "job_resources",
     "load_bench",
+    "load_slo",
     "load_telemetry",
     "merge_histogram_maps",
     "parse_prometheus",
     "prometheus_text",
     "render_bench_diff",
     "render_run_report",
+    "render_slo_result",
+    "render_top",
     "render_trace_summary",
+    "resolve_metric",
+    "sample_self",
+    "sink_stats",
     "stage_summary_rows",
     "trace_from_dict",
     "trace_from_json",

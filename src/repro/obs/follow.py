@@ -1,0 +1,262 @@
+"""Live telemetry: an incremental, resumable cursor over a sink directory.
+
+``load_telemetry`` is post-hoc -- it sees a run only after the run
+quiesces.  :class:`TelemetryFollower` is the live half: it tails a
+rotating :class:`~repro.obs.sink.TelemetrySink` directory *while a run
+writes it*, yielding each record exactly once, in order, with bounded
+memory (one line buffered at a time, never a whole segment or
+directory).
+
+The discipline mirrors the sink's crash model:
+
+* a **torn tail** on the newest segment (a record whose terminating
+  newline has not landed yet -- mid-append, or a crash) is *pending*:
+  the follower stops in front of it and re-examines it on the next
+  :meth:`~TelemetryFollower.poll`, emitting the record only once its
+  newline arrives.  A tear that never completes (a crash) is never
+  emitted -- exactly what ``load_telemetry`` would drop;
+* **rotation** is followed transparently: when a newer segment exists,
+  the current one must be complete (the sink writes whole lines and
+  never reopens a rotated segment), so an incomplete tail there raises
+  :class:`~repro.obs.sink.SinkError`, as does any structurally invalid
+  record -- the same verdicts as :func:`~repro.obs.sink.iter_telemetry`;
+* once the run quiesces, the concatenation of everything a follower
+  ever yielded equals ``load_telemetry`` on the same directory,
+  record for record.
+
+The cursor (segment index + byte offset) is a plain serialisable value
+(:class:`FollowCursor`), so ``repro obs tail --cursor-file`` can resume
+across invocations without re-reading (or re-emitting) history.
+
+:func:`iter_telemetry` is implemented on the same machinery -- one
+strict pass over a quiesced directory -- which is what makes its
+streaming guarantee explicit: records are decoded one line at a time
+and yielded immediately, never materialised per segment or directory.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Callable, Iterator, Mapping
+
+from .sink import (
+    SINK_VERSION,
+    SinkError,
+    _segment_index,
+    _segment_path,
+    _segments,
+)
+
+#: Module-level decode hook -- tests monkeypatch this to prove the
+#: reader holds O(1) records, not a segment or directory at a time.
+_decode = json.loads
+
+
+@dataclass(frozen=True)
+class FollowCursor:
+    """A resumable position in a telemetry directory.
+
+    ``segment`` is the numeric index of the segment being read (the
+    ``NNNNN`` of ``telemetry-NNNNN.jsonl``); ``offset`` the byte offset
+    of the next unread byte within it; ``records`` the count of records
+    yielded up to this position (display/diagnostics only -- resumption
+    needs just segment + offset).
+    """
+
+    segment: int = 0
+    offset: int = 0
+    records: int = 0
+
+    def to_dict(self) -> dict[str, int]:
+        return {
+            "segment": self.segment,
+            "offset": self.offset,
+            "records": self.records,
+        }
+
+    @classmethod
+    def from_dict(cls, doc: Mapping[str, Any]) -> "FollowCursor":
+        try:
+            return cls(
+                segment=int(doc["segment"]),
+                offset=int(doc["offset"]),
+                records=int(doc.get("records", 0)),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise SinkError(f"invalid follow cursor: {dict(doc)!r}") from exc
+
+
+def _validate(record: Any, where: str) -> dict[str, Any]:
+    """The per-record structural checks shared with ``iter_telemetry``."""
+    if not isinstance(record, Mapping):
+        raise SinkError(f"{where}: telemetry record must be an object")
+    if record.get("v") != SINK_VERSION:
+        raise SinkError(
+            f"{where}: unsupported telemetry version {record.get('v')!r}"
+        )
+    if not isinstance(record.get("kind"), str):
+        raise SinkError(f"{where}: telemetry record has no kind")
+    return dict(record)
+
+
+class TelemetryFollower:
+    """Incremental reader over a (possibly still-growing) sink directory.
+
+    Each :meth:`poll` yields every record that became *complete* since
+    the previous poll, advancing the cursor as records are consumed --
+    abandoning the generator mid-iteration loses nothing.  A directory
+    (or segment) that does not exist yet simply yields no records: the
+    follower may be started before the run it watches.
+
+    Not a watcher -- polling is the caller's loop (:func:`follow_records`
+    wraps the common sleep-until-idle shape).
+    """
+
+    def __init__(
+        self,
+        directory: str | Path,
+        cursor: FollowCursor | None = None,
+    ):
+        self.directory = Path(directory)
+        cursor = cursor or FollowCursor()
+        self._segment = cursor.segment
+        self._offset = cursor.offset
+        self._records = cursor.records
+
+    @property
+    def cursor(self) -> FollowCursor:
+        """The resumable position after everything yielded so far."""
+        return FollowCursor(
+            segment=self._segment, offset=self._offset, records=self._records
+        )
+
+    def poll(self) -> Iterator[dict[str, Any]]:
+        """Yield every newly-completed record, oldest first.
+
+        Bounded memory: one line is buffered at a time.  Raises
+        :class:`SinkError` for real corruption (an invalid record, a
+        torn tail on a rotated segment, a segment that shrank beneath
+        the cursor); a torn tail on the *newest* segment is pending
+        data, not corruption.
+        """
+        segments = _segments(self.directory)
+        if not segments:
+            return
+        indices = [_segment_index(p) for p in segments]
+        if self._segment not in indices:
+            if any(i > self._segment for i in indices):
+                raise SinkError(
+                    f"{self.directory}: segment {self._segment} vanished "
+                    "beneath the cursor"
+                )
+            # The cursor's segment has not been created yet (a follower
+            # started ahead of the sink, or resumed past the end).
+            if self._offset:
+                raise SinkError(
+                    f"{self.directory}: cursor names missing segment "
+                    f"{self._segment} at offset {self._offset}"
+                )
+            return
+        newest = max(indices)
+        while True:
+            path = _segment_path(self.directory, self._segment)
+            is_newest = self._segment == newest
+            complete = yield from self._drain_segment(path, is_newest)
+            if is_newest or not complete:
+                return
+            # Rotation: this segment is done, move to its successor.
+            # Indices rise by one per rotation (the sink never skips).
+            self._segment += 1
+            self._offset = 0
+
+    def _drain_segment(self, path: Path, is_newest: bool):
+        """Yield completed records from ``path`` starting at the cursor.
+
+        Returns True when the segment was consumed to a clean
+        (newline-terminated) end, False when a pending tail remains on
+        the newest segment.
+        """
+        with path.open("rb") as fh:
+            fh.seek(0, 2)
+            size = fh.tell()
+            if size < self._offset:
+                raise SinkError(
+                    f"{path}: segment shrank beneath the cursor "
+                    f"({size} < {self._offset})"
+                )
+            fh.seek(self._offset)
+            while True:
+                line = fh.readline()
+                if not line:
+                    return True
+                if not line.endswith(b"\n"):
+                    # Incomplete tail.  On the newest segment it is a
+                    # record still being written (or a crash tear) --
+                    # wait for its newline.  On a rotated segment no
+                    # writer will ever finish it: corruption.
+                    if is_newest:
+                        return False
+                    raise SinkError(
+                        f"{path}: rotated segment has a torn final line"
+                    )
+                where = f"{path}@{self._offset}"
+                try:
+                    record = _decode(line.decode("utf-8"))
+                except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+                    # A newline-terminated line that is not JSON: if it
+                    # is (currently) the final line of the newest
+                    # segment, treat it as a torn tail -- exactly what
+                    # ``load_telemetry`` would silently drop.  Anywhere
+                    # else it is mid-log corruption.
+                    if is_newest and fh.tell() >= size:
+                        return False
+                    raise SinkError(f"{where}: corrupt record: {exc}") from exc
+                # Validate, then advance *before* yielding: the moment
+                # a yield delivers, the record is consumed -- a caller
+                # that abandons the generator afterwards must not see
+                # it again on the next poll.
+                record = _validate(record, where)
+                self._offset += len(line)
+                self._records += 1
+                yield record
+
+
+def follow_records(
+    directory: str | Path,
+    cursor: FollowCursor | None = None,
+    poll_s: float = 0.2,
+    idle_timeout_s: float | None = None,
+    stop: Callable[[], bool] | None = None,
+    clock: Callable[[], float] = time.monotonic,
+    sleep: Callable[[float], None] = time.sleep,
+) -> Iterator[dict[str, Any]]:
+    """Follow a telemetry directory live: poll, yield, sleep, repeat.
+
+    Ends when ``stop()`` returns true or no new record has arrived for
+    ``idle_timeout_s`` seconds (``None`` follows forever).  The
+    ``clock``/``sleep`` injection keeps tests deterministic.
+    """
+    follower = TelemetryFollower(directory, cursor)
+    last_news = clock()
+    stopped = False
+    while True:
+        got = False
+        for record in follower.poll():
+            got = True
+            yield record
+        if stopped:
+            # ``stop()`` was observed true *before* this poll started,
+            # so the poll that just drained saw everything durable.
+            return
+        now = clock()
+        if got:
+            last_news = now
+        if stop is not None and stop():
+            stopped = True
+            continue
+        if idle_timeout_s is not None and now - last_news >= idle_timeout_s:
+            return
+        sleep(poll_s)

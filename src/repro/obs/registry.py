@@ -1,0 +1,244 @@
+"""Durable run registry: every batch run, what it was, how it ended.
+
+Telemetry directories answer "what happened inside run X"; the registry
+answers "which runs exist at all".  It is one append-only
+``runs.jsonl`` in a registry directory, written with the shared
+:func:`repro.util.jsonl.replay_jsonl` crash discipline (flush per
+append; a crash tears at most the final line, which readers drop), and
+folded into :class:`RunEntry` objects on read:
+
+* a ``start`` record lands the moment ``run_batch`` (or ``replay
+  sweep``) accepts a batch: run id, job kinds, job count, workers, the
+  sha-256 **config digest** of the run's effective configuration, and
+  the telemetry directory if one is attached;
+* a ``finish`` record lands when the run returns: status plus the final
+  report summary.
+
+A run that crashed mid-batch simply never writes its ``finish`` record
+-- it lists as ``running`` forever, which is exactly the honest answer
+(``repro obs runs`` shows it with no finish time).  The registry never
+mutates old lines, so concurrent readers are always safe.
+
+One registry per fleet/queue is the intended shape (the CLI defaults to
+``<queue>/registry``), but nothing couples a registry to a queue --
+point several queues at one registry to get a fleet-wide ledger.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import time
+import uuid
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Iterable, Mapping
+
+from ..util.jsonl import JsonlError, replay_jsonl
+
+#: Schema version stamped into every registry record.
+REGISTRY_VERSION = 1
+
+#: The ledger file inside a registry directory.
+REGISTRY_FILENAME = "runs.jsonl"
+
+
+class RegistryError(ValueError):
+    """Raised for corrupt registries or malformed registry calls."""
+
+
+def config_digest(config: Mapping[str, Any] | None) -> str:
+    """A stable content-address of a run's effective configuration.
+
+    Canonical-JSON sha-256, like :func:`repro.core.fingerprint` keys --
+    two runs share a digest exactly when their configs are equal as
+    JSON values.  ``None`` digests as the empty config.
+    """
+    canonical = json.dumps(
+        dict(config or {}), sort_keys=True, separators=(",", ":"),
+        default=str,
+    )
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def _default_run_id(clock: Callable[[], float]) -> str:
+    """Sortable-by-start run id: UTC timestamp + random suffix."""
+    stamp = time.strftime("%Y%m%dT%H%M%S", time.gmtime(clock()))
+    return f"{stamp}-{uuid.uuid4().hex[:8]}"
+
+
+@dataclass
+class RunEntry:
+    """One registered run, folded from its start/finish records."""
+
+    run_id: str
+    status: str = "running"  # running | done | failed
+    kinds: tuple[str, ...] = ()
+    jobs: int = 0
+    workers: int = 1
+    config_digest: str = ""
+    telemetry: str | None = None
+    started_ts: float | None = None
+    finished_ts: float | None = None
+    summary: dict[str, Any] = field(default_factory=dict)
+    meta: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def duration_s(self) -> float | None:
+        if self.started_ts is None or self.finished_ts is None:
+            return None
+        return max(0.0, self.finished_ts - self.started_ts)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "run_id": self.run_id,
+            "status": self.status,
+            "kinds": list(self.kinds),
+            "jobs": self.jobs,
+            "workers": self.workers,
+            "config_digest": self.config_digest,
+            "telemetry": self.telemetry,
+            "started_ts": self.started_ts,
+            "finished_ts": self.finished_ts,
+            "duration_s": self.duration_s,
+            "summary": dict(self.summary),
+            "meta": dict(self.meta),
+        }
+
+
+class RunRegistry:
+    """Append-only ledger of batch runs in one directory.
+
+    Reopening an existing registry heals a torn tail (the job-store
+    recovery discipline) before appending.  Not multi-writer safe
+    within one process -- share one instance per run, like the sink.
+    """
+
+    def __init__(
+        self,
+        directory: str | Path,
+        clock: Callable[[], float] = time.time,
+        id_factory: Callable[[], str] | None = None,
+    ):
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self._clock = clock
+        self._id_factory = id_factory or (lambda: _default_run_id(clock))
+        if self.path.exists():
+            try:
+                replay_jsonl(self.path)  # heal a torn tail pre-append
+            except JsonlError as exc:
+                raise RegistryError(str(exc)) from exc
+
+    @property
+    def path(self) -> Path:
+        return self.directory / REGISTRY_FILENAME
+
+    # -- writing ---------------------------------------------------------
+    def _append(self, record: dict[str, Any]) -> None:
+        with self.path.open("a", encoding="utf-8") as fh:
+            fh.write(json.dumps(record, sort_keys=True) + "\n")
+            fh.flush()
+
+    def start(
+        self,
+        *,
+        kinds: Iterable[str] = (),
+        jobs: int = 0,
+        workers: int = 1,
+        config: Mapping[str, Any] | None = None,
+        telemetry: str | Path | None = None,
+        meta: Mapping[str, Any] | None = None,
+        run_id: str | None = None,
+    ) -> str:
+        """Register a run as started; returns its run id."""
+        run_id = run_id or self._id_factory()
+        self._append({
+            "v": REGISTRY_VERSION,
+            "event": "start",
+            "run": run_id,
+            "ts": self._clock(),
+            "kinds": sorted(set(kinds)),
+            "jobs": int(jobs),
+            "workers": int(workers),
+            "config_digest": config_digest(config),
+            "telemetry": str(telemetry) if telemetry is not None else None,
+            "meta": dict(meta or {}),
+        })
+        return run_id
+
+    def finish(
+        self,
+        run_id: str,
+        *,
+        status: str = "done",
+        summary: Mapping[str, Any] | None = None,
+    ) -> None:
+        """Register a run as finished, with its final report summary."""
+        if status not in ("done", "failed"):
+            raise RegistryError(f"invalid finish status: {status!r}")
+        self._append({
+            "v": REGISTRY_VERSION,
+            "event": "finish",
+            "run": run_id,
+            "ts": self._clock(),
+            "status": status,
+            "summary": dict(summary or {}),
+        })
+
+    # -- reading ---------------------------------------------------------
+    def entries(self) -> list[RunEntry]:
+        """Every registered run, oldest start first, records folded.
+
+        Read-only and crash-tolerant: a torn final line (a crash
+        mid-append) is dropped without repairing the file, so read-only
+        checkouts and concurrent readers are safe.
+        """
+        try:
+            records = replay_jsonl(self.path, repair=False)
+        except JsonlError as exc:
+            raise RegistryError(str(exc)) from exc
+        entries: dict[str, RunEntry] = {}
+        for i, record in enumerate(records, start=1):
+            where = f"{self.path}:{i}"
+            if not isinstance(record, Mapping):
+                raise RegistryError(f"{where}: registry record must be an object")
+            if record.get("v") != REGISTRY_VERSION:
+                raise RegistryError(
+                    f"{where}: unsupported registry version {record.get('v')!r}"
+                )
+            run_id = record.get("run")
+            event = record.get("event")
+            if not isinstance(run_id, str) or not run_id:
+                raise RegistryError(f"{where}: registry record has no run id")
+            entry = entries.get(run_id)
+            if entry is None:
+                entry = entries[run_id] = RunEntry(run_id=run_id)
+            if event == "start":
+                entry.started_ts = float(record.get("ts") or 0.0)
+                entry.kinds = tuple(record.get("kinds") or ())
+                entry.jobs = int(record.get("jobs") or 0)
+                entry.workers = int(record.get("workers") or 1)
+                entry.config_digest = str(record.get("config_digest") or "")
+                telemetry = record.get("telemetry")
+                entry.telemetry = str(telemetry) if telemetry else None
+                entry.meta = dict(record.get("meta") or {})
+            elif event == "finish":
+                entry.finished_ts = float(record.get("ts") or 0.0)
+                entry.status = str(record.get("status") or "done")
+                entry.summary = dict(record.get("summary") or {})
+            else:
+                raise RegistryError(
+                    f"{where}: unknown registry event {event!r}"
+                )
+        return sorted(
+            entries.values(),
+            key=lambda e: (e.started_ts is None, e.started_ts or 0.0, e.run_id),
+        )
+
+    def get(self, run_id: str) -> RunEntry:
+        """The folded entry for one run id."""
+        for entry in self.entries():
+            if entry.run_id == run_id:
+                return entry
+        raise RegistryError(f"unknown run id: {run_id}")

@@ -21,7 +21,8 @@ from pathlib import Path
 from typing import Any, Mapping
 
 from .metrics import Histogram, merge_histogram_maps
-from .sink import _segments, iter_telemetry
+from .resources import WorkerResources, fold_resource_records
+from .sink import _segments, iter_telemetry, sink_stats
 
 #: Default relative regression threshold of ``bench_diff`` (25% -- wide
 #: enough for shared-runner noise, tight enough to catch real cliffs).
@@ -109,6 +110,17 @@ class RunReport:
     histograms: dict[str, Histogram] = field(default_factory=dict)
     #: Policy name -> replay aggregates (from replay-job summaries).
     replay_policies: dict[str, ReplayPolicyStats] = field(default_factory=dict)
+    #: pid -> folded worker resource telemetry (``resource`` records).
+    worker_resources: dict[int, WorkerResources] = field(default_factory=dict)
+    #: Pool occupancy timeline: (ts, in_flight, queue_depth) samples.
+    occupancy: list[tuple[float, int, int]] = field(default_factory=list)
+    #: Summed ``duration_s * workers`` across run records -- the wall
+    #: budget that CPU utilisation is measured against.
+    wall_budget_s: float = 0.0
+    #: On-disk shape of the directory (segments / bytes / rotations).
+    sink_segments: int = 0
+    sink_bytes: int = 0
+    sink_rotations: int = 0
 
     @property
     def jobs_total(self) -> int:
@@ -142,6 +154,48 @@ class RunReport:
     def latency_percentile(self, pct: float) -> float | None:
         return _percentile(self.job_latencies_s, pct)
 
+    @property
+    def timeout_rate(self) -> float:
+        total = self.jobs_total
+        return self.timeouts / total if total else 0.0
+
+    @property
+    def failure_rate(self) -> float:
+        total = self.jobs_total
+        return self.jobs_failed / total if total else 0.0
+
+    @property
+    def events_dropped(self) -> float:
+        """Ring-buffer drops (``obs.events_dropped``): silent event loss."""
+        return float(self.counters.get("obs.events_dropped", 0.0))
+
+    @property
+    def worker_peak_rss_mb(self) -> float | None:
+        """High-water RSS across every worker, or ``None`` unsampled."""
+        if not self.worker_resources:
+            return None
+        return max(w.rss_peak_mb for w in self.worker_resources.values())
+
+    @property
+    def cpu_total_s(self) -> float:
+        """Summed per-job CPU (user + sys deltas) across all workers."""
+        return sum(w.cpu_s for w in self.worker_resources.values())
+
+    @property
+    def cpu_utilisation(self) -> float | None:
+        """CPU seconds burned over the pool's wall budget, or ``None``.
+
+        The budget is ``duration_s * workers`` summed over run records,
+        so it needs at least one completed run *and* resource samples.
+        """
+        if not self.worker_resources or self.wall_budget_s <= 0:
+            return None
+        return min(1.0, self.cpu_total_s / self.wall_budget_s)
+
+    @property
+    def peak_in_flight(self) -> int:
+        return max((s[1] for s in self.occupancy), default=0)
+
     def to_dict(self) -> dict[str, Any]:
         return {
             "directory": self.directory,
@@ -166,6 +220,26 @@ class RunReport:
                 name: stats.to_dict()
                 for name, stats in sorted(self.replay_policies.items())
             },
+            "timeout_rate": self.timeout_rate,
+            "failure_rate": self.failure_rate,
+            "events_dropped": self.events_dropped,
+            "sink": {
+                "segments": self.sink_segments,
+                "bytes": self.sink_bytes,
+                "rotations": self.sink_rotations,
+            },
+            "workers": [
+                self.worker_resources[pid].to_dict()
+                for pid in sorted(self.worker_resources)
+            ],
+            "worker_peak_rss_mb": self.worker_peak_rss_mb,
+            "cpu_total_s": self.cpu_total_s,
+            "cpu_utilisation": self.cpu_utilisation,
+            "occupancy": [
+                {"ts": ts, "in_flight": in_flight, "queue_depth": depth}
+                for ts, in_flight, depth in self.occupancy
+            ],
+            "peak_in_flight": self.peak_in_flight,
         }
 
 
@@ -174,9 +248,12 @@ def aggregate_run(directory: str | Path) -> RunReport:
 
     ``job`` records drive the outcome counts and exact latency
     percentiles; ``run`` records contribute counters/gauges/histograms
-    (summed / last-write / merged respectively across runs); ``event``
-    records are counted.  Unknown kinds are skipped -- forward
-    compatibility within a schema version.
+    (summed / last-write / merged respectively across runs) plus the
+    wall budget CPU utilisation divides by; ``resource`` records fold
+    into per-worker aggregates (peak RSS, CPU totals); ``pool`` records
+    build the occupancy timeline; ``event`` records are counted.
+    Unknown kinds are skipped -- forward compatibility within a schema
+    version.
 
     A directory that exists but holds no telemetry segments yet (a sink
     opened and never written, a run killed before its first record)
@@ -188,6 +265,11 @@ def aggregate_run(directory: str | Path) -> RunReport:
     path = Path(directory)
     if path.is_dir() and not _segments(path):
         return report
+    stats = sink_stats(path)
+    report.sink_segments = stats.segments
+    report.sink_bytes = stats.bytes
+    report.sink_rotations = stats.rotations
+    resource_records: list[Mapping[str, Any]] = []
     for record in iter_telemetry(directory):
         kind = record["kind"]
         if kind == "event":
@@ -225,6 +307,24 @@ def aggregate_run(directory: str | Path) -> RunReport:
                     for name, doc in (record.get("histograms") or {}).items()
                 },
             )
+            summary = record.get("report")
+            if isinstance(summary, Mapping):
+                duration = summary.get("duration_s")
+                workers = summary.get("workers")
+                if isinstance(duration, (int, float)) and isinstance(
+                    workers, (int, float)
+                ):
+                    report.wall_budget_s += float(duration) * float(workers)
+        elif kind == "resource":
+            resource_records.append(record)
+        elif kind == "pool":
+            in_flight = record.get("in_flight")
+            depth = record.get("queue_depth")
+            if isinstance(in_flight, int) and isinstance(depth, int):
+                report.occupancy.append(
+                    (float(record.get("ts") or 0.0), in_flight, depth)
+                )
+    report.worker_resources = fold_resource_records(resource_records)
     report.job_latencies_s.sort()
     return report
 
@@ -292,6 +392,33 @@ def render_run_report(report: RunReport) -> str:
                 f" p99={_fmt_opt(h.percentile(99))}"
                 f" max={_fmt_opt(h.maximum)}"
             )
+    if report.worker_resources:
+        lines.append("worker resources (per pid):")
+        for pid in sorted(report.worker_resources):
+            worker = report.worker_resources[pid]
+            lines.append(
+                f"  pid {pid} : peak_rss={worker.rss_peak_mb:.1f} MiB"
+                f" cpu={worker.cpu_s:.3f} s"
+                f" (user {worker.cpu_user_s:.3f} + sys {worker.cpu_sys_s:.3f})"
+                f" jobs={worker.jobs}"
+            )
+        peak = report.worker_peak_rss_mb
+        util = report.cpu_utilisation
+        lines.append(
+            f"  fleet : peak_rss={peak:.1f} MiB"
+            + (f" cpu_utilisation={100.0 * util:.1f}%" if util is not None
+               else " cpu_utilisation=-")
+        )
+    if report.occupancy:
+        lines.append(
+            f"pool occupancy: {len(report.occupancy)} samples, "
+            f"peak in-flight {report.peak_in_flight}"
+        )
+    lines.append(
+        f"sink: {report.sink_segments} segment(s), {report.sink_bytes} bytes, "
+        f"{report.sink_rotations} rotation(s); "
+        f"events dropped: {report.events_dropped:g}"
+    )
     if report.counters:
         lines.append("counters:")
         width = max(len(name) for name in report.counters)
@@ -449,8 +576,22 @@ def export_prometheus_dir(directory: str | Path, prefix: str | None = None) -> s
         "report.timeouts": report.timeouts,
         "report.events": report.events,
     })
+    counters.update({
+        "report.events_dropped": report.events_dropped,
+        "report.sink_segments": report.sink_segments,
+        "report.sink_bytes": report.sink_bytes,
+        "report.sink_rotations": report.sink_rotations,
+    })
     gauges = dict(report.gauges)
     gauges["report.cache_hit_rate"] = report.cache_hit_rate
+    gauges["report.timeout_rate"] = report.timeout_rate
+    gauges["report.failure_rate"] = report.failure_rate
+    gauges["report.peak_in_flight"] = report.peak_in_flight
+    if report.worker_peak_rss_mb is not None:
+        gauges["report.worker_peak_rss_mb"] = report.worker_peak_rss_mb
+        gauges["report.cpu_total_s"] = report.cpu_total_s
+    if report.cpu_utilisation is not None:
+        gauges["report.cpu_utilisation"] = report.cpu_utilisation
     for pct in (50, 90, 99):
         value = report.latency_percentile(pct)
         if value is not None:

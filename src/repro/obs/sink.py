@@ -32,10 +32,11 @@ from __future__ import annotations
 
 import json
 import time
+from dataclasses import dataclass
 from pathlib import Path
-from typing import Any, Callable, Iterator, Mapping
+from typing import Any, Callable, Iterator
 
-from ..util.jsonl import JsonlError, replay_jsonl
+from ..util.jsonl import replay_jsonl
 from .tracer import ProgressEvent, Tracer
 
 #: Schema version stamped into every record (the ``v`` field).
@@ -56,6 +57,20 @@ class SinkError(ValueError):
 def _segments(directory: Path) -> list[Path]:
     """Segment files of a telemetry directory, in rotation order."""
     return sorted(directory.glob(f"{_SEGMENT_PREFIX}*{_SEGMENT_SUFFIX}"))
+
+
+def _segment_index(path: Path) -> int:
+    """The numeric rotation index of one segment file name."""
+    stem = path.name[len(_SEGMENT_PREFIX):-len(_SEGMENT_SUFFIX)]
+    try:
+        return int(stem)
+    except ValueError as exc:
+        raise SinkError(f"not a telemetry segment: {path.name}") from exc
+
+
+def _segment_path(directory: Path, index: int) -> Path:
+    """The segment file path for one rotation index."""
+    return directory / f"{_SEGMENT_PREFIX}{index:05d}{_SEGMENT_SUFFIX}"
 
 
 class TelemetrySink:
@@ -85,23 +100,13 @@ class TelemetrySink:
         if existing:
             # Heal a torn tail before appending to it.
             replay_jsonl(existing[-1])
-            self._index = self._segment_index(existing[-1])
+            self._index = _segment_index(existing[-1])
         else:
             self._index = 0
 
-    @staticmethod
-    def _segment_index(path: Path) -> int:
-        stem = path.name[len(_SEGMENT_PREFIX):-len(_SEGMENT_SUFFIX)]
-        try:
-            return int(stem)
-        except ValueError as exc:
-            raise SinkError(f"not a telemetry segment: {path.name}") from exc
-
     @property
     def segment_path(self) -> Path:
-        return self.directory / (
-            f"{_SEGMENT_PREFIX}{self._index:05d}{_SEGMENT_SUFFIX}"
-        )
+        return _segment_path(self.directory, self._index)
 
     # -- writing ---------------------------------------------------------
     def append(self, kind: str, /, **fields: Any) -> dict[str, Any]:
@@ -144,6 +149,12 @@ class TelemetrySink:
 def iter_telemetry(directory: str | Path) -> Iterator[dict[str, Any]]:
     """Yield every record of a telemetry directory, oldest first.
 
+    **Streaming**: records are decoded one line at a time and yielded
+    immediately -- no segment or directory is ever materialised in
+    memory, so a multi-gigabyte telemetry directory costs O(1) records
+    of working set (one pass of the same incremental reader that powers
+    :class:`~repro.obs.follow.TelemetryFollower`).
+
     Tolerates a torn final line on the newest segment (a crash
     mid-append) -- without repairing the files, so read-only checkouts
     and concurrent readers are safe.  A torn line in any *older* segment
@@ -157,35 +168,49 @@ def iter_telemetry(directory: str | Path) -> Iterator[dict[str, Any]]:
     segments = _segments(directory)
     if not segments:
         raise SinkError(f"no telemetry segments in {directory}")
-    for i, segment in enumerate(segments):
-        newest = i == len(segments) - 1
+    from .follow import TelemetryFollower
+
+    yield from TelemetryFollower(directory).poll()
+
+
+@dataclass(frozen=True)
+class SinkStats:
+    """Filesystem-level shape of one telemetry directory."""
+
+    segments: int
+    bytes: int
+
+    @property
+    def rotations(self) -> int:
+        """Completed size-triggered rotations (segments beyond the first)."""
+        return max(0, self.segments - 1)
+
+    def to_dict(self) -> dict[str, int]:
+        return {
+            "segments": self.segments,
+            "bytes": self.bytes,
+            "rotations": self.rotations,
+        }
+
+
+def sink_stats(directory: str | Path) -> SinkStats:
+    """Segment count and on-disk size of a telemetry directory.
+
+    A missing or empty directory has zero segments -- consistent with
+    :func:`~repro.obs.report.aggregate_run` treating "no telemetry yet"
+    as a normal state rather than an error.
+    """
+    directory = Path(directory)
+    if not directory.is_dir():
+        return SinkStats(segments=0, bytes=0)
+    paths = _segments(directory)
+    total = 0
+    for path in paths:
         try:
-            records = replay_jsonl(segment, repair=False)
-        except JsonlError as exc:
-            raise SinkError(str(exc)) from exc
-        if not newest:
-            # replay_jsonl silently drops a torn *final* line; on a
-            # rotated-away segment that tear cannot be crash damage.
-            text = segment.read_text(encoding="utf-8")
-            if text and not text.endswith("\n"):
-                raise SinkError(
-                    f"{segment}: rotated segment has a torn final line"
-                )
-        for lineno, record in enumerate(records, start=1):
-            if not isinstance(record, Mapping):
-                raise SinkError(
-                    f"{segment}:{lineno}: telemetry record must be an object"
-                )
-            if record.get("v") != SINK_VERSION:
-                raise SinkError(
-                    f"{segment}:{lineno}: unsupported telemetry version "
-                    f"{record.get('v')!r}"
-                )
-            if not isinstance(record.get("kind"), str):
-                raise SinkError(
-                    f"{segment}:{lineno}: telemetry record has no kind"
-                )
-            yield dict(record)
+            total += path.stat().st_size
+        except OSError:
+            pass
+    return SinkStats(segments=len(paths), bytes=total)
 
 
 def load_telemetry(directory: str | Path) -> list[dict[str, Any]]:

@@ -1,0 +1,242 @@
+"""``repro obs top``: a refreshing fleet view folded from live telemetry.
+
+:class:`FleetView` consumes sink records one at a time -- typically
+straight off a :class:`~repro.obs.follow.TelemetryFollower` -- and
+maintains the operator's picture of a running batch: per-worker
+resource state, in-flight jobs, queue depth, cache-hit rate, throughput
+(jobs/s and replay cells/s) and an ETA.  Folding is incremental and
+O(fleet) in memory, so it can watch a sweep of any length.
+
+The view is pure state + fold + render; the CLI owns the refresh loop
+(clear screen, poll the follower, re-render), which keeps every piece
+testable without a terminal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+
+@dataclass
+class WorkerView:
+    """Latest known state of one worker process."""
+
+    pid: int
+    rss_peak_mb: float | None = None
+    cpu_user_s: float = 0.0
+    cpu_sys_s: float = 0.0
+    jobs: int = 0
+    last_job: str | None = None
+    last_ts: float | None = None
+    live: bool = False
+
+    @property
+    def cpu_s(self) -> float:
+        return self.cpu_user_s + self.cpu_sys_s
+
+
+@dataclass
+class FleetView:
+    """Incrementally folded state of one telemetry directory."""
+
+    records: int = 0
+    first_ts: float | None = None
+    last_ts: float | None = None
+    #: Totals from the run's opening ``pool`` record (phase=start).
+    submitted: int = 0
+    workers: int = 0
+    #: Latest pool occupancy sample.
+    in_flight: int = 0
+    queue_depth: int = 0
+    #: Outcome counts from ``job`` records.
+    done: int = 0
+    cached: int = 0
+    failed: int = 0
+    retried: int = 0
+    timeouts: int = 0
+    events: int = 0
+    #: Replay cells completed (micro-batched jobs count their members).
+    cells: int = 0
+    runs_finished: int = 0
+    #: job id -> start ts of jobs dispatched but not yet reported.
+    in_flight_jobs: dict[str, float] = field(default_factory=dict)
+    worker_views: dict[int, WorkerView] = field(default_factory=dict)
+
+    # -- folding ---------------------------------------------------------
+    def fold(self, record: Mapping[str, Any]) -> None:
+        """Consume one sink record (any kind; unknown kinds counted only)."""
+        self.records += 1
+        ts = record.get("ts")
+        if isinstance(ts, (int, float)):
+            if self.first_ts is None:
+                self.first_ts = float(ts)
+            self.last_ts = float(ts)
+        kind = record.get("kind")
+        if kind == "event":
+            self._fold_event(record)
+        elif kind == "job":
+            self._fold_job(record)
+        elif kind == "pool":
+            self._fold_pool(record)
+        elif kind == "resource":
+            self._fold_resource(record)
+        elif kind == "run":
+            self.runs_finished += 1
+
+    def _fold_event(self, record: Mapping[str, Any]) -> None:
+        self.events += 1
+        payload = record.get("payload")
+        if record.get("name") == "batch.job_started" and isinstance(
+            payload, Mapping
+        ):
+            job = payload.get("job")
+            if isinstance(job, str):
+                ts = record.get("ts")
+                self.in_flight_jobs[job] = (
+                    float(ts) if isinstance(ts, (int, float)) else 0.0
+                )
+
+    def _fold_job(self, record: Mapping[str, Any]) -> None:
+        job = record.get("job")
+        if isinstance(job, str):
+            self.in_flight_jobs.pop(job, None)
+        status = record.get("status")
+        if status == "done":
+            self.done += 1
+            summary = record.get("replay")
+            if isinstance(summary, Mapping):
+                self.cells += int(summary.get("traces", 1))
+        elif status == "cached":
+            self.cached += 1
+        elif status == "failed":
+            self.failed += 1
+        elif status == "retried":
+            self.retried += 1
+        if record.get("timeout"):
+            self.timeouts += 1
+
+    def _fold_pool(self, record: Mapping[str, Any]) -> None:
+        if record.get("phase") == "start":
+            pending = record.get("pending")
+            workers = record.get("workers")
+            if isinstance(pending, int):
+                self.submitted += pending
+            if isinstance(workers, int):
+                self.workers = workers
+        in_flight = record.get("in_flight")
+        depth = record.get("queue_depth")
+        if isinstance(in_flight, int):
+            self.in_flight = in_flight
+        if isinstance(depth, int):
+            self.queue_depth = depth
+
+    def _fold_resource(self, record: Mapping[str, Any]) -> None:
+        pid = record.get("pid")
+        if not isinstance(pid, int):
+            return
+        view = self.worker_views.setdefault(pid, WorkerView(pid=pid))
+        rss = record.get("rss_peak_mb")
+        if isinstance(rss, (int, float)):
+            view.rss_peak_mb = max(view.rss_peak_mb or 0.0, float(rss))
+        live = bool(record.get("live"))
+        view.live = live
+        if not live:
+            view.jobs += 1
+            for attr in ("cpu_user_s", "cpu_sys_s"):
+                value = record.get(attr)
+                if isinstance(value, (int, float)):
+                    setattr(view, attr, getattr(view, attr) + float(value))
+        job = record.get("job")
+        if isinstance(job, str):
+            view.last_job = job
+        ts = record.get("ts")
+        if isinstance(ts, (int, float)):
+            view.last_ts = float(ts)
+
+    # -- derived ---------------------------------------------------------
+    @property
+    def drained(self) -> int:
+        return self.done + self.cached + self.failed
+
+    @property
+    def remaining(self) -> int:
+        return max(0, self.submitted - self.drained)
+
+    @property
+    def elapsed_s(self) -> float:
+        if self.first_ts is None or self.last_ts is None:
+            return 0.0
+        return max(0.0, self.last_ts - self.first_ts)
+
+    @property
+    def cache_hit_rate(self) -> float:
+        return self.cached / self.drained if self.drained else 0.0
+
+    @property
+    def jobs_per_s(self) -> float:
+        elapsed = self.elapsed_s
+        return self.drained / elapsed if elapsed > 0 else 0.0
+
+    @property
+    def cells_per_s(self) -> float:
+        elapsed = self.elapsed_s
+        return self.cells / elapsed if elapsed > 0 else 0.0
+
+    @property
+    def eta_s(self) -> float | None:
+        """Naive drain-rate ETA; ``None`` until a rate exists."""
+        rate = self.jobs_per_s
+        if rate <= 0 or not self.remaining:
+            return None
+        return self.remaining / rate
+
+
+def render_top(view: FleetView, directory: str | None = None) -> str:
+    """One refresh frame of the fleet view."""
+    header = "fleet" + (f" @ {directory}" if directory else "")
+    if view.records == 0:
+        return f"{header}\n(no telemetry records yet)"
+    eta = view.eta_s
+    lines = [
+        f"{header}  T+{view.elapsed_s:.1f}s  ({view.records} records)",
+        (
+            f"jobs: {view.drained}/{view.submitted} drained = "
+            f"{view.done} computed + {view.cached} cached + "
+            f"{view.failed} failed; retries {view.retried}; "
+            f"timeouts {view.timeouts}"
+        ),
+        (
+            f"pool: {view.in_flight} in-flight, queue {view.queue_depth}, "
+            f"{view.workers} worker(s)"
+        ),
+        (
+            f"rates: {view.jobs_per_s:.2f} jobs/s"
+            + (f", {view.cells_per_s:.2f} cells/s" if view.cells else "")
+            + f"; cache hit {100.0 * view.cache_hit_rate:.1f}%"
+            + (f"; eta ~{eta:.0f}s" if eta is not None else "")
+        ),
+    ]
+    if view.worker_views:
+        lines.append("workers:")
+        for pid in sorted(view.worker_views):
+            worker = view.worker_views[pid]
+            rss = (
+                f"{worker.rss_peak_mb:.1f} MiB"
+                if worker.rss_peak_mb is not None else "-"
+            )
+            tag = " live" if worker.live else ""
+            job = f" job={worker.last_job}" if worker.last_job else ""
+            lines.append(
+                f"  pid {pid} : rss {rss}, cpu {worker.cpu_s:.3f} s, "
+                f"jobs {worker.jobs}{job}{tag}"
+            )
+    if view.in_flight_jobs:
+        lines.append("in-flight jobs:")
+        base = view.last_ts or 0.0
+        for job_id in sorted(view.in_flight_jobs):
+            started = view.in_flight_jobs[job_id]
+            lines.append(f"  {job_id} ({max(0.0, base - started):.1f}s)")
+    if view.runs_finished:
+        lines.append(f"runs finished: {view.runs_finished}")
+    return "\n".join(lines)

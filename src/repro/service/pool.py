@@ -51,7 +51,10 @@ import time
 import traceback
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any
+from typing import TYPE_CHECKING, Any
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..obs.registry import RunRegistry
 
 from ..arch.library import DeviceLibrary
 from ..core.fingerprint import problem_key
@@ -62,6 +65,7 @@ from ..core.partitioner import (
     partition_with_device_selection,
 )
 from ..obs import NULL_TRACER, RecordingTracer, TelemetrySink, Tracer
+from ..obs.resources import job_resources, sample_self
 from .cache import ResultCache
 from .faults import FaultPlan, inject, spec_from_payload
 from .jobs import Job, JobStore
@@ -174,11 +178,18 @@ def _compute(
 
 
 class _Heartbeat:
-    """Worker-side beat emitter: touch ``path`` every ``interval_s``.
+    """Worker-side beat emitter: rewrite ``path`` every ``interval_s``.
 
     Runs on a daemon thread so it beats *while the search computes*,
     with no cooperation from the pipeline.  ``stop()`` silences it --
     which is also how an injected ``hang`` simulates a wedged worker.
+
+    Each beat atomically replaces the file with a live
+    :func:`~repro.obs.resources.sample_self` snapshot (cumulative CPU +
+    RSS high-water mark) -- the supervisor still watches the file's
+    mtime for staleness exactly as before, but can now also *read* the
+    beat and stream worker resources mid-job.  A reader always sees a
+    complete JSON document or the previous one, never a torn write.
     """
 
     def __init__(self, path: str | Path, interval_s: float):
@@ -187,15 +198,22 @@ class _Heartbeat:
         self._stopped = threading.Event()
         self._thread = threading.Thread(target=self._run, daemon=True)
 
+    def _beat(self) -> None:
+        doc: dict[str, Any] = {"ts": time.time()}
+        sampled = sample_self()
+        if sampled is not None:
+            doc.update(sampled.to_dict())
+        _write_json_atomic(self.path, doc)
+
     def start(self) -> "_Heartbeat":
-        self.path.touch()
+        self._beat()
         self._thread.start()
         return self
 
     def _run(self) -> None:
         while not self._stopped.wait(self.interval_s):
             try:
-                self.path.touch()
+                self._beat()
             except OSError:
                 return
 
@@ -222,6 +240,7 @@ def execute_job_payload(payload: dict[str, Any]) -> dict[str, Any]:
     parent can re-root it -- the worker half of cross-process telemetry.
     """
     started = time.perf_counter()
+    started_resources = sample_self()
     heartbeat = None
     worker_tracer: RecordingTracer | None = None
     if payload.get("collect_trace"):
@@ -271,6 +290,7 @@ def execute_job_payload(payload: dict[str, Any]) -> dict[str, Any]:
             }
         if worker_tracer is not None:
             outcome["trace"] = worker_tracer.trace().to_dict()
+        outcome["resources"] = job_resources(started_resources)
         return outcome
     except (KeyboardInterrupt, SystemExit):
         raise
@@ -284,6 +304,7 @@ def execute_job_payload(payload: dict[str, Any]) -> dict[str, Any]:
         if worker_tracer is not None:
             # The spans up to the failure point still tell the story.
             outcome["trace"] = worker_tracer.trace().to_dict()
+        outcome["resources"] = job_resources(started_resources)
         return outcome
     finally:
         if heartbeat is not None:
@@ -381,6 +402,78 @@ class BatchReport:
         }
 
 
+class _PoolTelemetry:
+    """Occupancy gauges and resource records for one ``run_batch``.
+
+    One instance per run, shared by every drain mode.  It deduplicates
+    occupancy samples (a poll loop observes the same shape thousands of
+    times; only *changes* land in the sink) and keeps the tracer's
+    ``service.pool_in_flight`` / ``service.pool_queue_depth`` gauges
+    current.  Everything here is best-effort display/report data -- a
+    failure to read a heartbeat file never fails the batch.
+    """
+
+    def __init__(self, sink: TelemetrySink | None, tracer: Tracer):
+        self.sink = sink
+        self.tracer = tracer
+        self._last: tuple[int, int] | None = None
+        self.peak_in_flight = 0
+
+    def occupancy(self, in_flight: int, queue_depth: int) -> None:
+        """Record the pool shape; no-op unless it changed."""
+        self.peak_in_flight = max(self.peak_in_flight, in_flight)
+        shape = (in_flight, queue_depth)
+        if shape == self._last:
+            return
+        self._last = shape
+        self.tracer.gauge("service.pool_in_flight", float(in_flight))
+        self.tracer.gauge("service.pool_queue_depth", float(queue_depth))
+        if self.sink is not None:
+            self.sink.append(
+                "pool", in_flight=in_flight, queue_depth=queue_depth
+            )
+
+    def job(self, outcome: dict[str, Any]) -> None:
+        """Record one job's resource delta (shipped in its outcome)."""
+        resources = outcome.get("resources")
+        if not resources:
+            return
+        self.tracer.observe(
+            "service.job_cpu_s",
+            (resources.get("cpu_user_s") or 0.0)
+            + (resources.get("cpu_sys_s") or 0.0),
+        )
+        if self.sink is not None:
+            self.sink.append(
+                "resource", job=outcome["job_id"], live=False, **resources
+            )
+
+    def live(self, job_id: str, heartbeat_path: Path) -> None:
+        """Record a live heartbeat sample from a supervised worker.
+
+        Live CPU counters are cumulative (see
+        :mod:`repro.obs.resources`); they are stored as-is and report
+        folding takes CPU only from job (delta) samples.
+        """
+        if self.sink is None:
+            return
+        try:
+            doc = json.loads(heartbeat_path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError):
+            return
+        if not isinstance(doc, dict) or "pid" not in doc:
+            return
+        self.sink.append(
+            "resource",
+            job=job_id,
+            live=True,
+            pid=doc.get("pid"),
+            rss_peak_mb=doc.get("rss_peak_mb"),
+            cpu_user_s=doc.get("cpu_user_s"),
+            cpu_sys_s=doc.get("cpu_sys_s"),
+        )
+
+
 def _kill(process: multiprocessing.process.BaseProcess) -> None:
     """Stop a hung worker: SIGTERM, then SIGKILL if it ignores that."""
     process.terminate()
@@ -403,6 +496,8 @@ def run_batch(
     poll_s: float = DEFAULT_POLL_S,
     sink: TelemetrySink | None = None,
     collect_worker_traces: bool | None = None,
+    registry: "RunRegistry | None" = None,
+    run_meta: dict[str, Any] | None = None,
 ) -> BatchReport:
     """Drain every pending job in ``store`` through ``cache`` + pool.
 
@@ -425,6 +520,14 @@ def run_batch(
     on a private tracer and ship the spans back for re-rooting under
     this run's ``batch_run`` span; it defaults to on exactly when
     someone is looking (a recording ``tracer`` or a ``sink``).
+
+    ``registry`` registers the run in a durable
+    :class:`~repro.obs.registry.RunRegistry`: a ``start`` record before
+    any job dispatches, a ``finish`` record (status + report summary)
+    when the batch returns.  A crash between the two leaves the honest
+    ``running`` entry.  ``run_meta`` rides along in the start record,
+    and the run id stamps the end-of-run ``run`` sink record so
+    telemetry joins cleanly against the registry.
     """
     if workers < 1:
         raise ServiceError("workers must be at least 1")
@@ -462,6 +565,30 @@ def run_batch(
     results: dict[str, str] = {}
     job_started_rel: dict[str, float] = {}
     initial = len(store.pending())
+    pool_tele = _PoolTelemetry(sink, tracer)
+
+    run_id: str | None = None
+    if registry is not None:
+        run_id = registry.start(
+            kinds={job.kind for job in store.pending()},
+            jobs=initial,
+            workers=workers,
+            config={
+                "workers": workers,
+                "supervised": supervised,
+                "job_timeout_s": job_timeout_s,
+                "heartbeat_interval_s": heartbeat_interval_s,
+                "heartbeat_timeout_s": heartbeat_timeout_s,
+                "collect_worker_traces": collect_worker_traces,
+            },
+            telemetry=sink.directory if sink is not None else None,
+            meta=run_meta,
+        )
+    if sink is not None:
+        sink.append(
+            "pool", phase="start", pending=initial, workers=workers,
+            in_flight=0, queue_depth=initial,
+        )
 
     with tracer.span(
         "batch_run", workers=workers, pending=initial, supervised=supervised
@@ -582,6 +709,7 @@ def run_batch(
             job_id = outcome["job_id"]
             key = key_of[job_id]
             adopt(outcome, job_id, key)
+            pool_tele.job(outcome)
             if outcome["ok"]:
                 store.mark_done(
                     job_id,
@@ -670,13 +798,16 @@ def run_batch(
             if workers == 1:
                 while heap:
                     _prio, _seq, job, key = heapq.heappop(heap)
+                    pool_tele.occupancy(1, len(heap))
                     handle(execute_job_payload(payload_for(job, key)))
+                pool_tele.occupancy(0, 0)
             else:
                 _drain_warm(
                     heap=heap,
                     workers=workers,
                     payload_for=payload_for,
                     handle=handle,
+                    pool_tele=pool_tele,
                 )
         else:
             _drain_supervised(
@@ -690,6 +821,7 @@ def run_batch(
                 heartbeat_interval_s=heartbeat_interval_s,
                 heartbeat_timeout_s=heartbeat_timeout_s,
                 poll_s=poll_s,
+                pool_tele=pool_tele,
             )
 
         duration = time.perf_counter() - started
@@ -723,6 +855,8 @@ def run_batch(
     )
     if sink is not None:
         record: dict[str, Any] = {"report": report.to_dict()}
+        if run_id is not None:
+            record["run_id"] = run_id
         if isinstance(tracer, RecordingTracer):
             trace = tracer.trace()
             record["counters"] = dict(trace.counters)
@@ -731,6 +865,12 @@ def run_batch(
                 name: h.to_dict() for name, h in trace.histograms.items()
             }
         sink.append("run", **record)
+    if registry is not None and run_id is not None:
+        registry.finish(
+            run_id,
+            status="done" if failed == 0 else "failed",
+            summary=report.to_dict(),
+        )
     return report
 
 
@@ -762,7 +902,7 @@ def _retire_warm_executor(workers: int) -> None:
             pass
 
 
-def _drain_warm(heap, workers, payload_for, handle) -> None:
+def _drain_warm(heap, workers, payload_for, handle, pool_tele=None) -> None:
     """Unsupervised multi-worker drain on the persistent warm pool.
 
     At most ``workers`` jobs in flight; each completion refills the
@@ -803,6 +943,8 @@ def _drain_warm(heap, workers, payload_for, handle) -> None:
                 executor = _warm_executor(workers)
                 continue
             in_flight[future] = (job.id, started_perf)
+        if pool_tele is not None:
+            pool_tele.occupancy(len(in_flight), len(heap))
         if not in_flight:
             continue
         done, _pending = wait(set(in_flight), return_when=FIRST_COMPLETED)
@@ -835,6 +977,8 @@ def _drain_warm(heap, workers, payload_for, handle) -> None:
                 )
             in_flight.clear()
             _retire_warm_executor(workers)
+    if pool_tele is not None:
+        pool_tele.occupancy(0, 0)
 
 
 def fanout_map(fn, payloads, workers: int) -> list[Any]:
@@ -959,6 +1103,7 @@ def _drain_supervised(
     heartbeat_interval_s,
     heartbeat_timeout_s,
     poll_s,
+    pool_tele=None,
 ) -> None:
     """The supervised drain loop: one killable process per job.
 
@@ -1014,6 +1159,8 @@ def _drain_supervised(
             while heap and len(running) < workers:
                 _prio, _seq, job, key = heapq.heappop(heap)
                 spawn(job, key)
+            if pool_tele is not None:
+                pool_tele.occupancy(len(running), len(heap))
 
             time.sleep(poll_s)
             now_wall = time.time()
@@ -1058,6 +1205,8 @@ def _drain_supervised(
                             key=entry.key,
                             elapsed_s=time.perf_counter() - entry.started_perf,
                         )
+                    if pool_tele is not None:
+                        pool_tele.live(job_id, entry.heartbeat_path)
                 # Channels 3 + 4: deadline and heartbeat staleness.
                 elapsed = time.perf_counter() - entry.started_perf
                 reason = None
@@ -1091,6 +1240,8 @@ def _drain_supervised(
                     "compute_s": elapsed,
                     "timeout": True,
                 })
+        if pool_tele is not None:
+            pool_tele.occupancy(0, 0)
     finally:
         # Never leak workers, whatever interrupted the drain.
         for entry in running.values():

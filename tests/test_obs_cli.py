@@ -160,3 +160,97 @@ class TestObsBenchDiff:
         rc = main(["obs", "bench-diff", old, str(tmp_path / "absent.json")])
         assert rc == 1
         assert "error" in capsys.readouterr().err
+
+
+class TestObsReportNewSurface:
+    def test_json_output_is_pure_json(self, telemetry_dir, capsys):
+        # The --json document is machine-readable as-is: no banner, no
+        # trailing prose -- `repro obs report D --json | jq .` works.
+        rc = main(["obs", "report", telemetry_dir, "--json"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        doc = json.loads(out)
+        assert doc["jobs_done"] == 1
+        assert doc["sink"]["segments"] >= 1
+        assert doc["events_dropped"] == 0
+        assert doc["failure_rate"] == 0.0 and doc["timeout_rate"] == 0.0
+        assert isinstance(doc["workers"], list)
+
+    def test_rendered_report_mentions_sink_and_drops(
+        self, telemetry_dir, capsys
+    ):
+        rc = main(["obs", "report", telemetry_dir])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "sink:" in out and "segment(s)" in out
+        assert "events dropped: 0" in out
+        assert "worker resources (per pid):" in out
+
+
+class TestObsTail:
+    def test_tail_drains_all_records(self, telemetry_dir, capsys):
+        rc = main(["obs", "tail", telemetry_dir])
+        assert rc == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        records = [json.loads(line) for line in lines]
+        assert records == load_telemetry(telemetry_dir)
+
+    def test_tail_output_is_byte_identical_to_segments(
+        self, telemetry_dir, capsys
+    ):
+        from pathlib import Path
+
+        rc = main(["obs", "tail", telemetry_dir])
+        assert rc == 0
+        out = capsys.readouterr().out
+        disk = "".join(
+            p.read_text(encoding="utf-8")
+            for p in sorted(Path(telemetry_dir).glob("telemetry-*.jsonl"))
+        )
+        assert out == disk
+
+    def test_kind_filter(self, telemetry_dir, capsys):
+        rc = main(["obs", "tail", telemetry_dir, "--kind", "job"])
+        assert rc == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert lines
+        assert all(json.loads(line)["kind"] == "job" for line in lines)
+
+    def test_cursor_file_resumes_without_re_emitting(
+        self, telemetry_dir, tmp_path, capsys
+    ):
+        cursor = str(tmp_path / "cursor.json")
+        rc = main(["obs", "tail", telemetry_dir, "--cursor-file", cursor])
+        assert rc == 0
+        first = capsys.readouterr().out
+        assert first.strip()
+        # Second invocation resumes at the saved cursor: nothing new.
+        rc = main(["obs", "tail", telemetry_dir, "--cursor-file", cursor])
+        assert rc == 0
+        assert capsys.readouterr().out == ""
+
+    def test_bad_cursor_file_errors(self, telemetry_dir, tmp_path, capsys):
+        cursor = tmp_path / "cursor.json"
+        cursor.write_text("{broken", encoding="utf-8")
+        rc = main(["obs", "tail", telemetry_dir,
+                   "--cursor-file", str(cursor)])
+        assert rc == 1
+        assert "bad cursor file" in capsys.readouterr().err
+
+    def test_missing_directory_errors_without_follow(self, tmp_path, capsys):
+        rc = main(["obs", "tail", str(tmp_path / "ghost")])
+        assert rc == 1
+        assert "not a telemetry directory" in capsys.readouterr().err
+
+    def test_follow_idle_timeout_returns_after_drain(
+        self, telemetry_dir, capsys
+    ):
+        # --follow on a quiesced directory drains everything, then the
+        # idle timeout ends the loop: exit 0, full byte-identity.
+        rc = main(["obs", "tail", telemetry_dir, "--follow",
+                   "--idle-timeout", "0.2", "--poll", "0.05"])
+        assert rc == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert [json.loads(line) for line in lines] == load_telemetry(
+            telemetry_dir
+        )

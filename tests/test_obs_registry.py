@@ -1,0 +1,211 @@
+"""The run registry: durable start/finish folding, crash honesty,
+config digests, and the ``repro obs runs`` listing."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.obs import RegistryError, RunRegistry, config_digest
+
+
+class FakeClock:
+    def __init__(self, start: float = 1000.0, step: float = 10.0):
+        self.now, self.step = start, step
+
+    def __call__(self) -> float:
+        value = self.now
+        self.now += self.step
+        return value
+
+
+def make_registry(tmp_path, **kwargs):
+    ids = iter(f"run-{i:03d}" for i in range(100))
+    kwargs.setdefault("clock", FakeClock())
+    kwargs.setdefault("id_factory", lambda: next(ids))
+    return RunRegistry(tmp_path / "registry", **kwargs)
+
+
+class TestConfigDigest:
+    def test_stable_across_key_order(self):
+        assert config_digest({"a": 1, "b": 2}) == config_digest({"b": 2, "a": 1})
+
+    def test_distinct_configs_distinct_digests(self):
+        assert config_digest({"workers": 1}) != config_digest({"workers": 2})
+
+    def test_none_is_empty_config(self):
+        assert config_digest(None) == config_digest({})
+
+
+class TestStartFinish:
+    def test_finish_folds_into_entry(self, tmp_path):
+        registry = make_registry(tmp_path)
+        run_id = registry.start(
+            kinds=["replay", "partition"], jobs=7, workers=2,
+            config={"workers": 2}, telemetry=tmp_path / "tele",
+            meta={"command": "test"},
+        )
+        registry.finish(run_id, summary={"done": 7, "failed": 0})
+        (entry,) = registry.entries()
+        assert entry.run_id == run_id
+        assert entry.status == "done"
+        assert entry.kinds == ("partition", "replay")  # sorted, deduped
+        assert entry.jobs == 7 and entry.workers == 2
+        assert entry.config_digest == config_digest({"workers": 2})
+        assert entry.telemetry == str(tmp_path / "tele")
+        assert entry.summary == {"done": 7, "failed": 0}
+        assert entry.meta == {"command": "test"}
+        assert entry.duration_s == 10.0  # FakeClock step
+
+    def test_crashed_run_lists_as_running(self, tmp_path):
+        registry = make_registry(tmp_path)
+        registry.start(jobs=3)
+        (entry,) = registry.entries()
+        assert entry.status == "running"
+        assert entry.finished_ts is None and entry.duration_s is None
+
+    def test_failed_status(self, tmp_path):
+        registry = make_registry(tmp_path)
+        run_id = registry.start()
+        registry.finish(run_id, status="failed", summary={"failed": 1})
+        assert registry.entries()[0].status == "failed"
+
+    def test_invalid_finish_status_rejected(self, tmp_path):
+        registry = make_registry(tmp_path)
+        run_id = registry.start()
+        with pytest.raises(RegistryError):
+            registry.finish(run_id, status="exploded")
+
+    def test_entries_ordered_by_start(self, tmp_path):
+        registry = make_registry(tmp_path)
+        first = registry.start()
+        second = registry.start()
+        registry.finish(second)
+        ids = [e.run_id for e in registry.entries()]
+        assert ids == [first, second]
+
+    def test_get_by_id_and_unknown(self, tmp_path):
+        registry = make_registry(tmp_path)
+        run_id = registry.start()
+        assert registry.get(run_id).run_id == run_id
+        with pytest.raises(RegistryError, match="unknown run"):
+            registry.get("nope")
+
+    def test_default_ids_are_unique(self, tmp_path):
+        registry = RunRegistry(tmp_path / "registry")
+        ids = {registry.start() for _ in range(5)}
+        assert len(ids) == 5
+
+
+class TestCrashSafety:
+    def test_torn_tail_is_dropped_on_read(self, tmp_path):
+        registry = make_registry(tmp_path)
+        run_id = registry.start(jobs=1)
+        registry.finish(run_id)
+        raw = registry.path.read_bytes()
+        registry.path.write_bytes(raw[:-9])  # tear the finish record
+        (entry,) = make_registry(tmp_path).entries()
+        assert entry.status == "running"  # the finish never landed
+
+    def test_reopen_heals_tail_before_append(self, tmp_path):
+        registry = make_registry(tmp_path)
+        registry.start(jobs=1)
+        raw = registry.path.read_bytes()
+        registry.path.write_bytes(raw + b'{"torn')
+        healed = make_registry(tmp_path, id_factory=lambda: "run-healed")
+        healed.start(jobs=2)
+        assert len(healed.entries()) == 2
+
+    def test_mid_file_corruption_raises(self, tmp_path):
+        registry = make_registry(tmp_path)
+        registry.path.write_text(
+            'not json\n'
+            '{"v": 1, "event": "start", "run": "r1", "ts": 1}\n',
+            encoding="utf-8",
+        )
+        with pytest.raises(RegistryError):
+            registry.entries()
+
+    def test_unknown_event_raises(self, tmp_path):
+        registry = make_registry(tmp_path)
+        registry.path.write_text(
+            '{"v": 1, "event": "mystery", "run": "r1", "ts": 1}\n',
+            encoding="utf-8",
+        )
+        with pytest.raises(RegistryError, match="unknown registry event"):
+            registry.entries()
+
+    def test_wrong_version_raises(self, tmp_path):
+        registry = make_registry(tmp_path)
+        registry.path.write_text(
+            '{"v": 99, "event": "start", "run": "r1", "ts": 1}\n',
+            encoding="utf-8",
+        )
+        with pytest.raises(RegistryError, match="version"):
+            registry.entries()
+
+
+class TestRunBatchIntegration:
+    def test_run_batch_registers_start_and_finish(self, tmp_path, tiny_design):
+        from repro.flow.xmlio import design_to_xml
+        from repro.service import JobStore, ResultCache, run_batch
+
+        store = JobStore.open(tmp_path / "queue")
+        cache = ResultCache(tmp_path / "cache")
+        store.submit(
+            name="one",
+            design_xml=design_to_xml(tiny_design, device_name="LX30"),
+            device="LX30",
+        )
+        registry = make_registry(tmp_path)
+        report = run_batch(store, cache, registry=registry,
+                           run_meta={"command": "test"})
+        assert report.done == 1
+        (entry,) = registry.entries()
+        assert entry.status == "done"
+        assert entry.kinds == ("partition",)
+        assert entry.jobs == 1
+        assert entry.summary["done"] == 1
+        assert entry.meta == {"command": "test"}
+
+
+class TestObsRunsCli:
+    def _populate(self, tmp_path):
+        registry = make_registry(tmp_path)
+        run_id = registry.start(kinds=["replay"], jobs=4, workers=2,
+                                config={"workers": 2})
+        registry.finish(run_id, summary={
+            "done": 4, "failed": 0, "cache_hit_rate": 0.25,
+        })
+        registry.start(kinds=["partition"], jobs=1)  # still running
+        return str(tmp_path / "registry")
+
+    def test_runs_lists_entries(self, tmp_path, capsys):
+        directory = self._populate(tmp_path)
+        assert main(["obs", "runs", directory]) == 0
+        out = capsys.readouterr().out
+        assert "run-000" in out and "run-001" in out
+        assert "done" in out and "running" in out
+        assert "hit=25%" in out
+
+    def test_runs_json(self, tmp_path, capsys):
+        directory = self._populate(tmp_path)
+        assert main(["obs", "runs", directory, "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert [e["status"] for e in doc] == ["done", "running"]
+
+    def test_empty_registry(self, tmp_path, capsys):
+        assert main(["obs", "runs", str(tmp_path / "fresh")]) == 0
+        assert "no registered runs" in capsys.readouterr().out
+
+    def test_corrupt_registry_errors(self, tmp_path, capsys):
+        bad = tmp_path / "bad"
+        bad.mkdir()
+        (bad / "runs.jsonl").write_text(
+            'junk\n{"v": 1, "event": "start", "run": "r", "ts": 1}\n',
+            encoding="utf-8",
+        )
+        assert main(["obs", "runs", str(bad)]) == 1
+        assert "error" in capsys.readouterr().err

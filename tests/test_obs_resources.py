@@ -1,0 +1,185 @@
+"""Resource telemetry: getrusage sampling, per-job deltas, per-worker
+folding, and the records a real batch run ships through the sink."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.flow.xmlio import design_to_xml
+from repro.obs import (
+    TelemetrySink,
+    fold_resource_records,
+    job_resources,
+    load_telemetry,
+    sample_self,
+)
+from repro.obs.resources import RUSAGE_AVAILABLE, _maxrss_mb
+from repro.service import JobStore, ResultCache, run_batch
+
+needs_rusage = pytest.mark.skipif(
+    not RUSAGE_AVAILABLE, reason="resource.getrusage unavailable"
+)
+
+
+class TestSampleSelf:
+    @needs_rusage
+    def test_sample_is_plausible(self):
+        sample = sample_self()
+        assert sample is not None
+        assert sample.pid > 0
+        # A Python interpreter cannot have a zero high-water mark, and a
+        # test process should sit well under 16 GiB.
+        assert 1.0 < sample.rss_peak_mb < 16 * 1024
+        assert sample.cpu_user_s >= 0.0 and sample.cpu_sys_s >= 0.0
+
+    @needs_rusage
+    def test_rss_is_monotone(self):
+        first = sample_self()
+        ballast = [list(range(1000)) for _ in range(100)]
+        second = sample_self()
+        del ballast
+        assert second.rss_peak_mb >= first.rss_peak_mb
+
+    @needs_rusage
+    def test_to_dict_round_trip_fields(self):
+        doc = sample_self().to_dict()
+        assert set(doc) == {"pid", "rss_peak_mb", "cpu_user_s", "cpu_sys_s"}
+
+
+class TestMaxrssUnits:
+    def test_linux_reports_kib(self, monkeypatch):
+        monkeypatch.setattr("repro.obs.resources.sys.platform", "linux")
+        assert _maxrss_mb(2048) == 2.0
+
+    def test_darwin_reports_bytes(self, monkeypatch):
+        monkeypatch.setattr("repro.obs.resources.sys.platform", "darwin")
+        assert _maxrss_mb(2 * 1024 * 1024) == 2.0
+
+
+class TestJobResources:
+    @needs_rusage
+    def test_delta_semantics(self):
+        start = sample_self()
+        sum(i * i for i in range(200_000))  # burn a little CPU
+        delta = job_resources(start)
+        assert delta is not None
+        assert delta["pid"] == start.pid
+        assert delta["cpu_user_s"] >= 0.0 and delta["cpu_sys_s"] >= 0.0
+        # The delta is bounded by the cumulative counter at job end.
+        end = sample_self()
+        assert delta["cpu_user_s"] <= end.cpu_user_s + 1e-9
+        assert delta["rss_peak_mb"] >= start.rss_peak_mb
+
+    def test_none_start_is_none(self):
+        assert job_resources(None) is None
+
+    @needs_rusage
+    def test_clock_weirdness_clamps_to_zero(self):
+        inflated = sample_self()
+        inflated = type(inflated)(
+            pid=inflated.pid,
+            rss_peak_mb=inflated.rss_peak_mb,
+            cpu_user_s=inflated.cpu_user_s + 1e6,
+            cpu_sys_s=inflated.cpu_sys_s + 1e6,
+        )
+        delta = job_resources(inflated)
+        assert delta["cpu_user_s"] == 0.0 and delta["cpu_sys_s"] == 0.0
+
+
+class TestFoldResourceRecords:
+    def _record(self, pid, rss, user, sys_, live=False):
+        return {
+            "kind": "resource", "pid": pid, "rss_peak_mb": rss,
+            "cpu_user_s": user, "cpu_sys_s": sys_, "live": live,
+        }
+
+    def test_job_samples_sum_cpu_and_count_jobs(self):
+        folded = fold_resource_records([
+            self._record(10, 50.0, 1.0, 0.5),
+            self._record(10, 60.0, 2.0, 0.5),
+            self._record(11, 40.0, 0.25, 0.25),
+        ])
+        assert set(folded) == {10, 11}
+        assert folded[10].jobs == 2
+        assert folded[10].cpu_user_s == 3.0 and folded[10].cpu_sys_s == 1.0
+        assert folded[10].cpu_s == 4.0
+        assert folded[10].rss_peak_mb == 60.0
+        assert folded[11].jobs == 1 and folded[11].cpu_s == 0.5
+
+    def test_live_samples_raise_rss_but_never_cpu(self):
+        folded = fold_resource_records([
+            self._record(10, 50.0, 1.0, 0.5),
+            # Live heartbeat: cumulative CPU counters -- must NOT sum.
+            self._record(10, 90.0, 100.0, 100.0, live=True),
+        ])
+        assert folded[10].rss_peak_mb == 90.0
+        assert folded[10].cpu_s == 1.5
+        assert folded[10].jobs == 1
+
+    def test_records_without_pid_are_skipped(self):
+        assert fold_resource_records([{"kind": "resource", "rss_peak_mb": 1}]) == {}
+
+    def test_empty(self):
+        assert fold_resource_records([]) == {}
+
+
+@needs_rusage
+class TestBatchRunShipsResourceTelemetry:
+    def _run(self, tmp_path, tiny_design, jobs=2, **kwargs):
+        store = JobStore.open(tmp_path / "queue")
+        cache = ResultCache(tmp_path / "cache")
+        for i in range(jobs):
+            store.submit(
+                name=f"d{i}",
+                design_xml=design_to_xml(tiny_design, device_name="LX30"),
+                device="LX30",
+                dedupe=False,
+            )
+        sink = TelemetrySink(tmp_path / "tele")
+        report = run_batch(store, cache, sink=sink, **kwargs)
+        return report, load_telemetry(tmp_path / "tele")
+
+    def test_inline_run_emits_resource_and_pool_records(
+        self, tmp_path, tiny_design
+    ):
+        report, records = self._run(tmp_path, tiny_design)
+        resources = [r for r in records if r["kind"] == "resource"]
+        # One job computes, the second hits the dedupe-by-content cache
+        # only if keys match; we disabled dedupe, so both compute.
+        assert len(resources) == 2
+        for record in resources:
+            assert record["live"] is False
+            assert record["pid"] > 0 and record["rss_peak_mb"] > 1.0
+            assert record["job"]
+        pools = [r for r in records if r["kind"] == "pool"]
+        assert pools[0]["phase"] == "start"
+        assert pools[0]["pending"] == 2
+        # Occupancy returns to idle once the batch drains.
+        assert pools[-1]["in_flight"] == 0 and pools[-1]["queue_depth"] == 0
+        assert report.done == 2
+
+    def test_warm_pool_run_emits_per_worker_resources(
+        self, tmp_path, tiny_design
+    ):
+        report, records = self._run(tmp_path, tiny_design, workers=2)
+        resources = [r for r in records if r["kind"] == "resource"]
+        assert len(resources) == 2
+        # Worker processes, not the parent.
+        import os
+
+        assert all(r["pid"] != os.getpid() for r in resources)
+        folded = fold_resource_records(resources)
+        assert sum(w.jobs for w in folded.values()) == 2
+        assert report.done == 2
+
+    def test_report_folds_worker_resources(self, tmp_path, tiny_design):
+        from repro.obs import aggregate_run
+
+        self._run(tmp_path, tiny_design)
+        report = aggregate_run(tmp_path / "tele")
+        assert report.worker_resources
+        assert report.worker_peak_rss_mb > 1.0
+        assert report.cpu_total_s >= 0.0
+        doc = report.to_dict()
+        assert doc["worker_peak_rss_mb"] == report.worker_peak_rss_mb
+        assert doc["workers"][0]["pid"] > 0

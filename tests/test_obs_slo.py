@@ -1,0 +1,309 @@
+"""The SLO gate: TOML loading (tomllib and the fallback subset
+parser), metric resolution, evaluation, and ``repro obs check``."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+import repro.obs.slo as slo_mod
+from repro.cli import main
+from repro.flow.xmlio import save_design
+from repro.obs import (
+    SloError,
+    SloRule,
+    evaluate_slo,
+    load_slo,
+    render_slo_result,
+    resolve_metric,
+)
+from repro.obs.metrics import Histogram
+
+#: The committed CI thresholds, resolved repo-relative so the suite
+#: passes regardless of pytest's working directory.
+CI_SLO = str(Path(__file__).resolve().parent.parent / "ci" / "slo.toml")
+
+GOOD_TOML = '''\
+# A comment.
+[[slo]]
+metric = "failure_rate"
+max = 0.0
+
+[[slo]]
+# (the subset parser takes whole-line comments only, like this one)
+metric = "job_wall_s.p95"
+max = 120.5
+
+[[slo]]
+metric = "cache_hit_rate"
+min = 0.25
+max = 1
+
+[[slo]]
+metric = "worker_peak_rss_mb"
+max = 2048.0
+allow_missing = true
+'''
+
+
+def _write(tmp_path, text, name="slo.toml"):
+    path = tmp_path / name
+    path.write_text(text, encoding="utf-8")
+    return path
+
+
+def _hist(values):
+    histogram = Histogram()
+    histogram.observe_many(values)
+    return histogram.to_dict()
+
+
+class TestLoadSlo:
+    def test_loads_rules(self, tmp_path):
+        rules = load_slo(_write(tmp_path, GOOD_TOML))
+        assert [r.metric for r in rules] == [
+            "failure_rate", "job_wall_s.p95", "cache_hit_rate",
+            "worker_peak_rss_mb",
+        ]
+        assert rules[0].max == 0.0 and rules[0].min is None
+        assert rules[2].min == 0.25 and rules[2].max == 1.0
+        assert rules[3].allow_missing is True
+
+    def test_committed_ci_file_loads(self):
+        rules = load_slo(CI_SLO)
+        assert any(r.metric == "events_dropped" for r in rules)
+        assert all(r.min is not None or r.max is not None for r in rules)
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(SloError, match="cannot read"):
+            load_slo(tmp_path / "absent.toml")
+
+    def test_no_rules(self, tmp_path):
+        with pytest.raises(SloError, match="no \\[\\[slo\\]\\] rules"):
+            load_slo(_write(tmp_path, "# empty\n"))
+
+    def test_unknown_key_rejected(self, tmp_path):
+        text = '[[slo]]\nmetric = "x"\nmax = 1\nthreshold = 2\n'
+        with pytest.raises(SloError, match="unknown keys"):
+            load_slo(_write(tmp_path, text))
+
+    def test_rule_needs_bound(self, tmp_path):
+        with pytest.raises(SloError, match="needs a min or a max"):
+            load_slo(_write(tmp_path, '[[slo]]\nmetric = "x"\n'))
+
+    def test_rule_needs_metric(self, tmp_path):
+        with pytest.raises(SloError, match="needs a string 'metric'"):
+            load_slo(_write(tmp_path, "[[slo]]\nmax = 1\n"))
+
+    def test_non_numeric_bound(self, tmp_path):
+        text = '[[slo]]\nmetric = "x"\nmax = "big"\n'
+        with pytest.raises(SloError, match="must be a number"):
+            load_slo(_write(tmp_path, text))
+
+    def test_non_bool_allow_missing(self, tmp_path):
+        text = '[[slo]]\nmetric = "x"\nmax = 1\nallow_missing = 1\n'
+        with pytest.raises(SloError, match="must be a bool"):
+            load_slo(_write(tmp_path, text))
+
+
+class TestSubsetParserParity:
+    """The 3.10 fallback must agree with tomllib on SLO files."""
+
+    @pytest.fixture
+    def force_fallback(self, monkeypatch):
+        monkeypatch.setattr(slo_mod, "_tomllib", None)
+
+    def test_parity_on_good_file(self, force_fallback):
+        import tomllib  # the container runs >= 3.11
+
+        assert slo_mod._parse_toml_subset(GOOD_TOML, "mem") == tomllib.loads(
+            GOOD_TOML
+        )
+
+    def test_parity_on_ci_file(self, force_fallback):
+        import tomllib
+
+        text = Path(CI_SLO).read_text(encoding="utf-8")
+        assert slo_mod._parse_toml_subset(text, "ci") == tomllib.loads(text)
+        assert [r.metric for r in load_slo(CI_SLO)]
+
+    def test_subset_rejects_what_it_cannot_parse(self, force_fallback):
+        for text in (
+            "[[slo]]\nmetric = [1, 2]\n",     # arrays are out of subset
+            "top = 1\n",                       # top-level key
+            "[[bad name]]\n",                  # invalid table name
+            "[[slo]]\nnot a pair\n",           # no '='
+            '[[slo]]\n"weird key" = 1\n',      # quoted keys unsupported
+        ):
+            with pytest.raises(SloError):
+                slo_mod._parse_toml_subset(text, "mem")
+
+    def test_fallback_load_slo_end_to_end(self, tmp_path, force_fallback):
+        rules = load_slo(_write(tmp_path, GOOD_TOML))
+        assert rules[3] == SloRule(
+            metric="worker_peak_rss_mb", max=2048.0, allow_missing=True
+        )
+
+
+class TestResolveMetric:
+    DOC = {
+        "failure_rate": 0.5,
+        "cache_hit_rate": None,
+        "done": 7,
+        "counters": {"obs.events_dropped": 3, "service.jobs_done": 7},
+        "sink": {"segments": 2, "bytes": 512},
+        "histograms": {
+            "service.job_wall_s": _hist([float(i) for i in range(1, 101)]),
+            "replay.cells": _hist([10.0]),
+        },
+    }
+
+    def test_top_level_field(self):
+        assert resolve_metric(self.DOC, "failure_rate") == 0.5
+
+    def test_nested_walk(self):
+        assert resolve_metric(self.DOC, "sink.segments") == 2.0
+
+    def test_dotted_literal_key_inside_counters(self):
+        assert resolve_metric(self.DOC, "counters.obs.events_dropped") == 3.0
+
+    def test_missing_is_none(self):
+        assert resolve_metric(self.DOC, "no.such.metric") is None
+
+    def test_null_value_is_missing(self):
+        assert resolve_metric(self.DOC, "cache_hit_rate") is None
+
+    def test_exact_histogram_percentile(self):
+        value = resolve_metric(self.DOC, "service.job_wall_s.p50")
+        assert value is not None and 40.0 <= value <= 60.0
+
+    def test_suffix_histogram_percentile(self):
+        value = resolve_metric(self.DOC, "job_wall_s.p95")
+        assert value is not None and 90.0 <= value <= 100.0
+
+    def test_ambiguous_suffix_raises(self):
+        doc = dict(self.DOC)
+        doc["histograms"] = {
+            "a.wall_s": _hist([1.0]),
+            "b.wall_s": _hist([2.0]),
+        }
+        with pytest.raises(SloError, match="ambiguous"):
+            resolve_metric(doc, "wall_s.p50")
+
+    def test_non_numeric_raises(self):
+        with pytest.raises(SloError, match="not numeric"):
+            resolve_metric({"name": "tiny"}, "name")
+
+    def test_bool_is_not_numeric(self):
+        with pytest.raises(SloError, match="not numeric"):
+            resolve_metric({"ok": True}, "ok")
+
+
+class TestEvaluate:
+    DOC = {"failure_rate": 0.0, "done": 10, "cache_hit_rate": 0.5}
+
+    def test_all_ok(self):
+        result = evaluate_slo(self.DOC, [
+            SloRule(metric="failure_rate", max=0.0),
+            SloRule(metric="done", min=1),
+            SloRule(metric="cache_hit_rate", min=0.1, max=0.9),
+        ])
+        assert result.ok and not result.breaches
+        assert all(v.reason == "ok" for v in result.verdicts)
+
+    def test_max_breach(self):
+        result = evaluate_slo(self.DOC, [SloRule(metric="done", max=5)])
+        (verdict,) = result.breaches
+        assert verdict.value == 10.0 and "> max 5" in verdict.reason
+
+    def test_min_breach(self):
+        result = evaluate_slo(
+            self.DOC, [SloRule(metric="cache_hit_rate", min=0.9)]
+        )
+        assert not result.ok
+        assert "< min 0.9" in result.breaches[0].reason
+
+    def test_missing_breaches_by_default(self):
+        result = evaluate_slo(self.DOC, [SloRule(metric="ghost", max=1)])
+        assert not result.ok
+        assert "missing" in result.breaches[0].reason
+
+    def test_allow_missing_tolerates(self):
+        result = evaluate_slo(
+            self.DOC, [SloRule(metric="ghost", max=1, allow_missing=True)]
+        )
+        assert result.ok
+        assert result.verdicts[0].value is None
+
+    def test_render_mentions_breach_count(self):
+        result = evaluate_slo(self.DOC, [
+            SloRule(metric="done", max=5),
+            SloRule(metric="failure_rate", max=0.0),
+        ])
+        text = render_slo_result(result)
+        assert "1 breach(es) of 2 rule(s)" in text
+        assert "BREACH" in text and "slo:" in text
+
+    def test_result_to_dict(self):
+        result = evaluate_slo(self.DOC, [SloRule(metric="done", min=1)])
+        doc = result.to_dict()
+        assert doc["ok"] is True and doc["rules"] == 1
+        assert doc["verdicts"][0]["metric"] == "done"
+
+
+@pytest.fixture
+def telemetry_dir(tmp_path, tiny_design, capsys):
+    """A telemetry directory produced by a real single-worker batch run."""
+    design = tmp_path / "design.xml"
+    save_design(tiny_design, design)
+    queue = str(tmp_path / "queue")
+    tele = str(tmp_path / "tele")
+    main(["batch", "submit", "--queue", queue, str(design),
+          "--device", "LX30"])
+    assert main(["batch", "run", "--queue", queue, "--workers", "1",
+                 "--telemetry-dir", tele]) == 0
+    capsys.readouterr()
+    return tele
+
+
+class TestObsCheckCli:
+    def test_ok_exits_zero(self, telemetry_dir, capsys):
+        code = main(["obs", "check", telemetry_dir, "--slo", CI_SLO])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "0 breach(es)" in out
+
+    def test_seeded_breach_exits_three(self, telemetry_dir, tmp_path, capsys):
+        breach = _write(
+            tmp_path,
+            '[[slo]]\nmetric = "cache_hit_rate"\nmin = 0.99\n'
+            '[[slo]]\nmetric = "jobs_done"\nmin = 1\n',
+        )
+        code = main(["obs", "check", telemetry_dir, "--slo", str(breach)])
+        out = capsys.readouterr().out
+        assert code == 3
+        assert "BREACH" in out and "1 breach(es) of 2 rule(s)" in out
+
+    def test_json_output(self, telemetry_dir, tmp_path, capsys):
+        rules = _write(tmp_path, '[[slo]]\nmetric = "failure_rate"\nmax = 0\n')
+        code = main(
+            ["obs", "check", telemetry_dir, "--slo", str(rules), "--json"]
+        )
+        doc = json.loads(capsys.readouterr().out)
+        assert code == 0 and doc["ok"] is True
+        assert doc["verdicts"][0]["metric"] == "failure_rate"
+
+    def test_bad_slo_file_exits_one(self, telemetry_dir, tmp_path, capsys):
+        bad = _write(tmp_path, "not toml [ at all\n")
+        assert main(["obs", "check", telemetry_dir, "--slo", str(bad)]) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_missing_telemetry_exits_one(self, tmp_path, capsys):
+        rules = _write(tmp_path, '[[slo]]\nmetric = "done"\nmin = 1\n')
+        code = main(
+            ["obs", "check", str(tmp_path / "ghost"), "--slo", str(rules)]
+        )
+        assert code == 1
+        assert "error" in capsys.readouterr().err

@@ -1,0 +1,142 @@
+"""The fleet view behind ``repro obs top``: incremental folding of
+sink records into operator state, and the rendered frame."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+from repro.obs import FleetView, render_top
+from repro.obs.sink import SINK_VERSION
+
+
+def rec(kind, ts=None, **fields):
+    record = {"v": SINK_VERSION, "kind": kind, "ts": ts}
+    record.update(fields)
+    return record
+
+
+@pytest.fixture
+def busy_view():
+    view = FleetView()
+    for record in [
+        rec("pool", ts=100.0, phase="start", pending=10, workers=2,
+            in_flight=0, queue_depth=10),
+        rec("event", ts=100.5, name="batch.job_started",
+            payload={"job": "job-a"}),
+        rec("event", ts=100.6, name="batch.job_started",
+            payload={"job": "job-b"}),
+        rec("pool", ts=100.6, in_flight=2, queue_depth=8),
+        rec("resource", ts=101.0, pid=41, live=True, rss_peak_mb=80.0,
+            cpu_user_s=50.0, cpu_sys_s=50.0, job="job-a"),
+        rec("job", ts=102.0, job="job-a", status="done",
+            replay={"traces": 4}),
+        rec("resource", ts=102.0, pid=41, live=False, rss_peak_mb=90.0,
+            cpu_user_s=1.5, cpu_sys_s=0.5, job="job-a"),
+        rec("job", ts=103.0, job="job-b", status="cached"),
+        rec("job", ts=104.0, job="job-c", status="failed", timeout=True),
+        rec("job", ts=104.5, job="job-d", status="retried"),
+        rec("mystery", ts=104.6),  # unknown kinds are counted only
+    ]:
+        view.fold(record)
+    return view
+
+
+class TestFolding:
+    def test_pool_records(self, busy_view):
+        assert busy_view.submitted == 10 and busy_view.workers == 2
+        assert busy_view.in_flight == 2 and busy_view.queue_depth == 8
+
+    def test_job_outcomes(self, busy_view):
+        assert busy_view.done == 1 and busy_view.cached == 1
+        assert busy_view.failed == 1 and busy_view.retried == 1
+        assert busy_view.timeouts == 1
+        assert busy_view.cells == 4  # micro-batched replay traces
+
+    def test_in_flight_jobs_clear_on_outcome(self, busy_view):
+        # job-a and job-b started and finished; nothing dangles.
+        assert busy_view.in_flight_jobs == {}
+
+    def test_in_flight_job_dangles_until_outcome(self):
+        view = FleetView()
+        view.fold(rec("event", ts=1.0, name="batch.job_started",
+                      payload={"job": "slow"}))
+        assert "slow" in view.in_flight_jobs
+        view.fold(rec("job", ts=9.0, job="slow", status="done"))
+        assert view.in_flight_jobs == {}
+
+    def test_worker_views(self, busy_view):
+        (worker,) = busy_view.worker_views.values()
+        assert worker.pid == 41
+        assert worker.rss_peak_mb == 90.0  # high-water across samples
+        assert worker.cpu_s == 2.0  # job deltas only, never live counters
+        assert worker.jobs == 1
+        assert worker.last_job == "job-a"
+        assert worker.live is False  # the job sample was the latest
+
+    def test_record_count_includes_unknown_kinds(self, busy_view):
+        assert busy_view.records == 11
+
+    def test_derived_rates(self, busy_view):
+        assert busy_view.drained == 3 and busy_view.remaining == 7
+        assert busy_view.elapsed_s == pytest.approx(4.6)
+        assert busy_view.cache_hit_rate == pytest.approx(1 / 3)
+        assert busy_view.jobs_per_s == pytest.approx(3 / 4.6)
+        assert busy_view.cells_per_s == pytest.approx(4 / 4.6)
+        assert busy_view.eta_s == pytest.approx(7 / (3 / 4.6))
+
+    def test_empty_view_has_no_rates(self):
+        view = FleetView()
+        assert view.jobs_per_s == 0.0 and view.eta_s is None
+        assert view.cache_hit_rate == 0.0 and view.elapsed_s == 0.0
+
+
+class TestRenderTop:
+    def test_empty_frame(self):
+        text = render_top(FleetView(), directory="tele")
+        assert "fleet @ tele" in text
+        assert "no telemetry records yet" in text
+
+    def test_busy_frame(self, busy_view):
+        text = render_top(busy_view, directory="tele")
+        assert "3/10 drained" in text
+        assert "1 computed + 1 cached + 1 failed" in text
+        assert "retries 1" in text and "timeouts 1" in text
+        assert "2 in-flight, queue 8, 2 worker(s)" in text
+        assert "cells/s" in text and "eta ~" in text
+        assert "pid 41" in text and "rss 90.0 MiB" in text
+
+    def test_dangling_job_shows_age(self):
+        view = FleetView()
+        view.fold(rec("pool", ts=0.0, phase="start", pending=1, workers=1,
+                      in_flight=1, queue_depth=0))
+        view.fold(rec("event", ts=1.0, name="batch.job_started",
+                      payload={"job": "slow-one"}))
+        view.fold(rec("event", ts=11.0, name="tick", payload={}))
+        text = render_top(view)
+        assert "in-flight jobs:" in text
+        assert "slow-one (10.0s)" in text
+
+
+class TestObsTopCli:
+    def test_once_renders_real_run(self, tmp_path, tiny_design, capsys):
+        from repro.flow.xmlio import save_design
+
+        design = tmp_path / "design.xml"
+        save_design(tiny_design, design)
+        queue = str(tmp_path / "queue")
+        tele = str(tmp_path / "tele")
+        main(["batch", "submit", "--queue", queue, str(design),
+              "--device", "LX30"])
+        assert main(["batch", "run", "--queue", queue,
+                     "--telemetry-dir", tele]) == 0
+        capsys.readouterr()
+        assert main(["obs", "top", tele, "--once"]) == 0
+        out = capsys.readouterr().out
+        assert "fleet @" in out
+        assert "1/1 drained" in out
+        assert "runs finished: 1" in out
+
+    def test_once_on_empty_directory(self, tmp_path, capsys):
+        assert main(["obs", "top", str(tmp_path / "ghost"), "--once"]) == 0
+        assert "no telemetry records yet" in capsys.readouterr().out
